@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe *why* DaVinci works by knocking
+out or sweeping one design element at a time on the CAIDA-like trace:
+
+* eviction ratio λ (Algorithm 1's ``ecnt > λ·fcnt`` rule);
+* promotion threshold T (what stays in the filter vs overflows to the
+  invertible part);
+* frequent-part memory share;
+* decode cross-validation (the paper's ``canDecode`` EF check) on/off.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, report
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.metrics import average_relative_error
+from repro.workloads import groundtruth as gt
+from repro.workloads import load_trace
+
+MEMORY_KB = 6.0
+
+
+def _are_for(config, trace, truth):
+    sketch = DaVinciSketch(config)
+    sketch.insert_all(trace)
+    return average_relative_error(truth, sketch.query)
+
+
+def test_ablation_lambda_and_threshold(run_once):
+    trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
+    truth = gt.frequencies(trace)
+
+    def sweep():
+        lambdas = {}
+        for lam in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0):
+            config = DaVinciConfig.from_memory_kb(
+                MEMORY_KB, lambda_evict=lam, seed=BENCH_SEED + 1
+            )
+            lambdas[lam] = _are_for(config, trace, truth)
+        thresholds = {}
+        for threshold in (4, 8, 16, 32, 64):
+            config = DaVinciConfig.from_memory_kb(
+                MEMORY_KB, filter_threshold=threshold, seed=BENCH_SEED + 1
+            )
+            thresholds[threshold] = _are_for(config, trace, truth)
+        return lambdas, thresholds
+
+    lambdas, thresholds = run_once(sweep)
+    body = "\n".join(
+        [
+            "lambda -> " + str({k: round(v, 4) for k, v in lambdas.items()}),
+            "threshold -> " + str({k: round(v, 4) for k, v in thresholds.items()}),
+        ]
+    )
+    report("Ablation: eviction ratio λ and promotion threshold T", body)
+
+    # the default λ=8 sits within 2x of the best swept value
+    assert lambdas[8.0] <= 2 * min(lambdas.values())
+    # the low-threshold design (T=16) clearly beats a filter-heavy T=64
+    assert thresholds[16] < thresholds[64]
+
+
+def test_ablation_memory_split(run_once):
+    trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
+    truth = gt.frequencies(trace)
+
+    def sweep():
+        results = {}
+        for fp_fraction in (0.1, 0.25, 0.4, 0.6):
+            config = DaVinciConfig.from_memory_kb(
+                MEMORY_KB,
+                fp_fraction=fp_fraction,
+                ef_fraction=min(0.85 - fp_fraction, 0.6),
+                seed=BENCH_SEED + 1,
+            )
+            results[fp_fraction] = _are_for(config, trace, truth)
+        return results
+
+    results = run_once(sweep)
+    report(
+        "Ablation: frequent-part memory share",
+        str({k: round(v, 4) for k, v in results.items()}),
+    )
+
+    # the default 25% FP share is within 2x of the best swept split
+    assert results[0.25] <= 2 * min(results.values())
+
+
+def test_ablation_decode_cross_validation(run_once):
+    """Knock out the paper's canDecode EF check and count bad decodes."""
+    trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
+    truth = gt.frequencies(trace)
+
+    def measure():
+        config = DaVinciConfig.from_memory_kb(MEMORY_KB, seed=BENCH_SEED + 1)
+        sketch = DaVinciSketch(config)
+        sketch.insert_all(trace)
+        validated = sketch.decode_result()
+        raw = sketch.ifp.decode(validator=None)
+        false_validated = sum(1 for key in validated.counts if key not in truth)
+        false_raw = sum(1 for key in raw.counts if key not in truth)
+        return {
+            "validated_decoded": len(validated.counts),
+            "raw_decoded": len(raw.counts),
+            "validated_false": false_validated,
+            "raw_false": false_raw,
+        }
+
+    stats = run_once(measure)
+    report("Ablation: decode cross-validation (canDecode)", str(stats))
+
+    # validation must never admit *more* false keys than the raw decode
+    assert stats["validated_false"] <= stats["raw_false"]
+    # and both stay clean thanks to the key-domain consistency check
+    assert stats["validated_false"] == 0

@@ -1,0 +1,124 @@
+"""Extended comparisons against related-work specialists (extension).
+
+The paper's evaluated set omits three specialists its related-work section
+cites; these benches pit DaVinci against them on their home turf:
+
+* **HyperLogLog** on cardinality (the dedicated distinct counter);
+* **HeavyKeeper** on heavy hitters (the dedicated top-k finder);
+* **MV-Sketch** on heavy hitters and (via linear subtraction) changers.
+
+The expected outcome is the paper's thesis in miniature: the specialists
+are hard to beat at their one task, but DaVinci stays within striking
+distance of each while answering all nine tasks from one structure.
+"""
+
+from conftest import BENCH_MEMORIES, BENCH_SCALE, BENCH_SEED, report
+
+from repro.experiments.harness import (
+    HEAVY_HITTER_FRACTION,
+    build_davinci,
+    fill,
+    heavy_threshold,
+    run_sweep,
+)
+from repro.metrics import f1_score, relative_error
+from repro.experiments.report import render_sweep
+from repro.sketches import HeavyKeeper, HyperLogLog, MVSketch
+from repro.workloads import groundtruth as gt
+from repro.workloads import halves, load_trace
+
+
+def test_cardinality_vs_hyperloglog(run_once):
+    trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
+    true_cardinality = float(gt.cardinality(trace))
+
+    def scored(sketch) -> float:
+        return relative_error(true_cardinality, fill(sketch, trace).cardinality())
+
+    result = run_once(
+        run_sweep,
+        "cardinality-extended",
+        "caida",
+        "RE",
+        {
+            "DaVinci": lambda kb: scored(build_davinci(kb, seed=BENCH_SEED + 1)),
+            "HLL": lambda kb: scored(
+                HyperLogLog.from_memory(kb * 1024, seed=BENCH_SEED + 2)
+            ),
+        },
+        BENCH_MEMORIES,
+    )
+    report("Extended: cardinality vs HyperLogLog", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    # the omni-task sketch stays within one order of the specialist
+    assert result.series["DaVinci"][top] < max(
+        0.05, 10 * result.series["HLL"][top]
+    )
+
+
+def test_heavy_hitters_vs_specialists(run_once):
+    trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
+    truth = gt.frequencies(trace)
+    threshold = heavy_threshold(len(trace), HEAVY_HITTER_FRACTION)
+    correct = gt.heavy_hitters(truth, threshold)
+
+    def scored(sketch) -> float:
+        fill(sketch, trace)
+        return f1_score(set(sketch.heavy_hitters(threshold)), correct)
+
+    result = run_once(
+        run_sweep,
+        "heavy-hitter-extended",
+        "caida",
+        "F1",
+        {
+            "DaVinci": lambda kb: scored(build_davinci(kb, seed=BENCH_SEED + 1)),
+            "HeavyKeeper": lambda kb: scored(
+                HeavyKeeper.from_memory(kb * 1024, seed=BENCH_SEED + 3)
+            ),
+            "MV-Sketch": lambda kb: scored(
+                MVSketch.from_memory(kb * 1024, seed=BENCH_SEED + 4)
+            ),
+        },
+        BENCH_MEMORIES,
+    )
+    report("Extended: heavy hitters vs HeavyKeeper / MV-Sketch", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    assert result.series["DaVinci"][top] >= 0.9
+
+
+def test_heavy_changers_vs_mv_sketch(run_once):
+    trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
+    first, second = halves(trace)
+    freq_a, freq_b = gt.frequencies(first), gt.frequencies(second)
+    threshold = heavy_threshold(len(trace), 0.0005)
+    correct = gt.heavy_changers(freq_a, freq_b, threshold)
+
+    def davinci(kb: float) -> float:
+        from repro.core.tasks.heavy import heavy_changers
+
+        window_a = fill(build_davinci(kb, seed=BENCH_SEED + 1), first)
+        window_b = fill(build_davinci(kb, seed=BENCH_SEED + 1), second)
+        return f1_score(set(heavy_changers(window_a, window_b, threshold)), correct)
+
+    def mv(kb: float) -> float:
+        window_a = fill(MVSketch.from_memory(kb * 1024, seed=BENCH_SEED + 4), first)
+        window_b = fill(MVSketch.from_memory(kb * 1024, seed=BENCH_SEED + 4), second)
+        delta = window_a.subtract(window_b)
+        reported = set(delta.heavy_hitters(threshold))
+        return f1_score(reported, correct)
+
+    result = run_once(
+        run_sweep,
+        "heavy-changer-extended",
+        "caida",
+        "F1",
+        {"DaVinci": davinci, "MV-Sketch": mv},
+        BENCH_MEMORIES,
+    )
+    report("Extended: heavy changers vs MV-Sketch", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    assert result.series["DaVinci"][top] >= 0.85

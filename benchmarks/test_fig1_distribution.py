@@ -1,0 +1,24 @@
+"""Figure 1 — flow-size skew of the (synthetic stand-in) datasets.
+
+Regenerates the paper's motivation figure: the CDF of flow sizes for the
+CAIDA-, MAWI- and TPC-DS-like traces, showing the Pareto shape (most flows
+tiny, a few elephants carrying the bulk of packets).
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, report
+
+from repro.experiments import figure1_flow_distribution, render_distribution_curves
+
+
+def test_fig1_flow_size_cdf(run_once):
+    curves = run_once(figure1_flow_distribution, scale=BENCH_SCALE, seed=BENCH_SEED)
+    report("Figure 1: flow-size CDFs", render_distribution_curves(curves))
+
+    for dataset, curve in curves.items():
+        sizes = [size for size, _ in curve]
+        # Pareto shape: the largest flow dwarfs the smallest by orders of
+        # magnitude, and the CDF is a valid non-decreasing curve to 1.
+        assert max(sizes) >= 100 * min(sizes), dataset
+        cdf_values = [value for _, value in curve]
+        assert cdf_values == sorted(cdf_values)
+        assert abs(cdf_values[-1] - 1.0) < 1e-9

@@ -1,0 +1,33 @@
+"""Figures 4d / 5d / 6d — cardinality RE vs memory.
+
+Competitors: DaVinci, Elastic, FCM, UnivMon.  Reproduced claim: the
+linear-counting-based estimators (DaVinci/Elastic/FCM) sit in the
+few-percent band while UnivMon's G-sum estimate trails far behind.
+"""
+
+import pytest
+from conftest import (
+    BENCH_DATASETS,
+    BENCH_MEMORIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    report,
+)
+
+from repro.experiments import figure_cardinality, render_sweep
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_cardinality_panel(run_once, dataset):
+    result = run_once(
+        figure_cardinality,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        memories_kb=BENCH_MEMORIES,
+        seed=BENCH_SEED,
+    )
+    report(f"Figure 4d-analogue ({dataset}): cardinality RE vs memory", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    assert result.series["DaVinci"][top] < 0.1
+    assert result.series["DaVinci"][top] <= result.series["UnivMon"][top]

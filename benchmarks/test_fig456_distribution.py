@@ -1,0 +1,36 @@
+"""Figures 4e / 5e / 6e — flow-size distribution WMRE vs memory.
+
+Competitors: DaVinci, Elastic, FCM, MRAC.  Reproduced claim: DaVinci is
+comparable with Elastic (the two EM-over-small-counters designs) and
+clearly better than FCM and MRAC at the top of the range.
+"""
+
+import pytest
+from conftest import (
+    BENCH_DATASETS,
+    BENCH_MEMORIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    report,
+)
+
+from repro.experiments import figure_distribution, render_sweep
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_distribution_panel(run_once, dataset):
+    result = run_once(
+        figure_distribution,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        memories_kb=BENCH_MEMORIES,
+        seed=BENCH_SEED,
+    )
+    report(f"Figure 4e-analogue ({dataset}): distribution WMRE vs memory", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    if dataset != "tpcds":
+        assert result.series["DaVinci"][top] < result.series["MRAC"][top]
+        assert result.series["DaVinci"][top] < result.series["FCM"][top]
+        # "comparable accuracy with Elastic sketch" — within 2x
+        assert result.series["DaVinci"][top] < 2 * result.series["Elastic"][top]

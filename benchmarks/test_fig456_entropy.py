@@ -1,0 +1,35 @@
+"""Figures 4f / 5f / 6f — entropy RE vs memory.
+
+Competitors: DaVinci, Elastic, FCM, MRAC, UnivMon.  Reproduced claim:
+DaVinci has the lowest error at the top of the memory range, with UnivMon
+far behind.
+"""
+
+import pytest
+from conftest import (
+    BENCH_DATASETS,
+    BENCH_MEMORIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    report,
+)
+
+from repro.experiments import figure_entropy, render_sweep
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_entropy_panel(run_once, dataset):
+    result = run_once(
+        figure_entropy,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        memories_kb=BENCH_MEMORIES,
+        seed=BENCH_SEED,
+    )
+    report(f"Figure 4f-analogue ({dataset}): entropy RE vs memory", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    if dataset != "tpcds":
+        assert result.series["DaVinci"][top] < 0.05
+        assert result.series["DaVinci"][top] < result.series["UnivMon"][top]
+        assert result.series["DaVinci"][top] < result.series["MRAC"][top]

@@ -1,0 +1,36 @@
+"""Figures 4c / 5c / 6c — heavy-changer F1 between two time windows.
+
+Competitors: DaVinci (self-discovered candidates via the difference
+sketch), FCM / Elastic / UnivMon / CountHeap (evaluated by query
+differences over ground-truth candidates).  Reproduced claim: DaVinci
+reaches ~1.0 F1 at the top of the memory range.
+"""
+
+import pytest
+from conftest import (
+    BENCH_DATASETS,
+    BENCH_MEMORIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    report,
+)
+
+from repro.experiments import figure_heavy_changers, render_sweep
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_heavy_changer_panel(run_once, dataset):
+    result = run_once(
+        figure_heavy_changers,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        memories_kb=BENCH_MEMORIES,
+        seed=BENCH_SEED,
+    )
+    report(f"Figure 4c-analogue ({dataset}): heavy-changer F1 vs memory", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    if dataset != "tpcds":
+        assert result.series["DaVinci"][top] >= 0.85
+        assert result.series["DaVinci"][top] >= result.series["UnivMon"][top]
+        assert result.series["DaVinci"][top] >= result.series["CountHeap"][top]

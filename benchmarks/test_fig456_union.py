@@ -1,0 +1,36 @@
+"""Figures 4g / 5g / 6g — union of two sets: post-merge frequency ARE.
+
+Competitors: DaVinci (Algorithm 3 merge), Elastic (heavy/light merge),
+FermatSketch (field addition + decode).  Reproduced claim: DaVinci is the
+most accurate at the top of the range; Fermat collapses once the merged
+population exceeds its peeling capacity.
+"""
+
+import pytest
+from conftest import (
+    BENCH_DATASETS,
+    BENCH_MEMORIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    report,
+)
+
+from repro.experiments import figure_union, render_sweep
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_union_panel(run_once, dataset):
+    result = run_once(
+        figure_union,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        memories_kb=BENCH_MEMORIES,
+        seed=BENCH_SEED,
+    )
+    report(f"Figure 4g-analogue ({dataset}): union ARE vs memory", render_sweep(result))
+
+    top = max(BENCH_MEMORIES)
+    if dataset != "tpcds":
+        assert result.best_algorithm_at(top) == "DaVinci"
+        assert result.series["DaVinci"][top] < result.series["Fermat"][top]
+        assert result.series["DaVinci"][top] < result.series["Elastic"][top]

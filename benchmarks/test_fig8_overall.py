@@ -1,0 +1,43 @@
+"""Figure 8 — overall multi-task performance: DaVinci vs CSOA.
+
+CSOA = FCM + FermatSketch + JoinSketch, the smallest composite covering
+all nine tasks; its budget is grown until its frequency accuracy matches
+DaVinci's (the paper's accuracy-matched protocol).  Reproduced claims
+(directional — absolute Mpps are not comparable from pure Python):
+
+* Fig. 8a — DaVinci's average memory accesses per insertion are a
+  fraction of CSOA's (paper: 22.6% on average);
+* Fig. 8b — DaVinci's insertion throughput is a multiple of CSOA's
+  (paper: 23-112x on the C++ testbed);
+* Fig. 8c — DaVinci needs a fraction of CSOA's memory at matched
+  accuracy (paper: 7-41%).
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, report
+
+from repro.experiments import overall_performance, render_cases
+
+CASES_KB = (2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+def test_fig8_overall_performance(run_once):
+    results = run_once(
+        overall_performance,
+        scale=BENCH_SCALE,
+        cases_kb=CASES_KB,
+        seed=BENCH_SEED,
+    )
+    report("Figure 8: overall performance, DaVinci vs CSOA (9 cases)", render_cases(results))
+
+    for case in results:
+        assert case.davinci_ama < case.csoa_ama  # Fig. 8a
+        assert case.throughput_ratio > 1.0  # Fig. 8b (direction, per case)
+        assert case.memory_percentage <= 1.0  # Fig. 8c
+
+    # margins on the means (single-case timings jitter under system load)
+    mean_speedup = sum(c.throughput_ratio for c in results) / len(results)
+    assert mean_speedup > 1.5  # paper: 23-112x on the C++ testbed
+    mean_ama_pct = sum(c.ama_percentage for c in results) / len(results)
+    assert mean_ama_pct < 0.6  # paper: 22.6%; Python path overheads differ
+    mean_mem_pct = sum(c.memory_percentage for c in results) / len(results)
+    assert mean_mem_pct < 0.6  # paper: >59% memory savings

@@ -1,0 +1,49 @@
+"""Table II — dataset statistics (packets, flows, cardinality).
+
+Regenerates the paper's dataset table for the synthetic stand-ins at the
+benchmark scale, and verifies the full-scale specs match the paper's
+numbers exactly.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, report
+
+from repro.workloads import REGISTRY, load_trace, table2_statistics
+
+PAPER_TABLE2 = {
+    "caida": (2_472_727, 109_642),
+    "mawi": (2_000_000, 200_471),
+    "tpcds": (4_903_874, 1_834),
+}
+
+
+def test_table2_statistics(run_once):
+    def build():
+        rows = {}
+        for name in ("caida", "mawi", "tpcds"):
+            trace = load_trace(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+            rows[name] = table2_statistics(trace)
+        return rows
+
+    rows = run_once(build)
+    lines = [f"{'dataset':10s} {'packets':>12s} {'flows':>10s} {'cardinality':>12s}"]
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:10s} {stats['packets']:>12,d} {stats['flows']:>10,d} "
+            f"{stats['cardinality']:>12,d}"
+        )
+    report(
+        f"Table II: dataset statistics (scale={BENCH_SCALE})", "\n".join(lines)
+    )
+
+    # full-scale specs equal the paper's Table II
+    for name, (packets, flows) in PAPER_TABLE2.items():
+        spec = REGISTRY[name]
+        assert spec.packets == packets
+        assert spec.flows == flows
+
+    # scaled traces: cardinality equals flow count (as in the paper)
+    for name, stats in rows.items():
+        assert stats["cardinality"] == stats["flows"]
+        spec = REGISTRY[name].scaled(BENCH_SCALE)
+        assert stats["packets"] == spec.packets
+        assert stats["flows"] == spec.flows

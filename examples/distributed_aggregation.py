@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Distributed measurement: merge sketches from many vantage points.
+
+The paper's union operation (Algorithm 3) exists precisely for this:
+several measurement points each summarize their local traffic into a
+DaVinci Sketch, ship the fixed-size sketch (not the traffic!) to a
+collector, and the collector folds them into one network-wide view on
+which every task still works.  The difference operation then localizes
+*where* traffic was lost between two points on a path.
+
+Run:  python examples/distributed_aggregation.py
+"""
+
+import random
+from collections import Counter
+
+from repro import DaVinciConfig, DaVinciSketch
+from repro.workloads import zipf_trace
+
+
+def main() -> None:
+    config = DaVinciConfig.from_memory_kb(32, seed=9)
+    rng = random.Random(4)
+
+    # --- four vantage points see disjoint slices of the traffic --------- #
+    traffic = zipf_trace(num_packets=120_000, num_flows=9_000, skew=1.05, seed=1)
+    rng.shuffle(traffic)
+    quarter = len(traffic) // 4
+    slices = [traffic[i * quarter : (i + 1) * quarter] for i in range(4)]
+
+    monitors = []
+    for index, packets in enumerate(slices):
+        sketch = DaVinciSketch(config)
+        sketch.insert_all(packets)
+        monitors.append(sketch)
+        print(f"monitor {index}: {sketch.total_count:,} packets, "
+              f"sketch = {sketch.memory_bytes() / 1024:.0f} KB")
+
+    # --- collector folds them pairwise ---------------------------------- #
+    network_view = monitors[0]
+    for sketch in monitors[1:]:
+        network_view = network_view.union(sketch)
+
+    truth = Counter(traffic)
+    print(f"\nnetwork-wide view: {network_view.total_count:,} packets")
+    print(f"cardinality  true={len(truth):,}, "
+          f"estimated={network_view.cardinality():,.0f}")
+
+    top = truth.most_common(5)
+    print("top flows (true vs merged estimate):")
+    for key, count in top:
+        print(f"  flow {key}: {count:,} vs {network_view.query(key):,}")
+
+    heavy = network_view.heavy_hitters(max(1, len(traffic) // 1000))
+    print(f"network-wide heavy hitters: {len(heavy)}")
+
+    # --- packet-loss localization via difference ------------------------- #
+    # Upstream sees everything; downstream drops 1% of packets.
+    upstream, downstream = DaVinciSketch(config), DaVinciSketch(config)
+    upstream.insert_all(traffic)
+    kept = [packet for packet in traffic if rng.random() > 0.01]
+    downstream.insert_all(kept)
+    lost_truth = Counter(traffic)
+    lost_truth.subtract(Counter(kept))
+    lost_truth = +lost_truth  # drop zero entries
+
+    delta = upstream.difference(downstream)
+    candidates = delta.heavy_hitters(1)
+    detected = {key: value for key, value in candidates.items() if value > 0}
+    true_lost_packets = sum(lost_truth.values())
+    detected_packets = sum(detected.values())
+    print(f"\npacket loss: {true_lost_packets:,} packets across "
+          f"{len(lost_truth):,} flows")
+    print(f"difference sketch attributes {detected_packets:,} lost packets "
+          f"to {len(detected):,} flows")
+
+
+if __name__ == "__main__":
+    main()

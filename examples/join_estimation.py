@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Join-size estimation for query optimization (the TPC-DS-style use).
+
+A query optimizer choosing between join orders needs the *cardinality of
+the inner join* |R ⋈ S| = Σ_k f_R(k)·f_S(k) without scanning either
+table.  The paper's Section III-B2 decomposes the estimate across the
+sketch's three parts (nine components); this example compares DaVinci
+against exact ground truth and the classical Fast-AGMS baseline on two
+skewed join columns sharing a small key domain — the TPC-DS regime of
+Table II (1,834 distinct keys, millions of rows).
+
+Run:  python examples/join_estimation.py
+"""
+
+from collections import Counter
+
+from repro import DaVinciConfig, DaVinciSketch
+from repro.sketches import FastAGMS, JoinSketch
+from repro.workloads import correlated_pair
+
+
+def exact_join(left, right) -> int:
+    freq_left, freq_right = Counter(left), Counter(right)
+    return sum(count * freq_right[key] for key, count in freq_left.items())
+
+
+def main() -> None:
+    # two fact-table join columns over the same (small) dimension keys
+    fact_rows, dim_rows = correlated_pair("tpcds", scale=0.02, seed=11)
+    true_join = exact_join(fact_rows, dim_rows)
+    print(f"R: {len(fact_rows):,} rows, S: {len(dim_rows):,} rows, "
+          f"|keys| = {len(set(fact_rows)):,}")
+    print(f"exact |R ⋈ S| = {true_join:,}\n")
+
+    print(f"{'memory':>8s} {'DaVinci RE':>12s} {'JoinSketch RE':>14s} "
+          f"{'F-AGMS RE':>12s}")
+    for memory_kb in (4, 8, 16, 32):
+        config = DaVinciConfig.from_memory_kb(memory_kb, seed=2)
+        davinci_r = DaVinciSketch(config)
+        davinci_s = DaVinciSketch(config)
+        davinci_r.insert_all(fact_rows)
+        davinci_s.insert_all(dim_rows)
+        davinci_estimate = davinci_r.inner_join(davinci_s)
+
+        join_r = JoinSketch.from_memory(memory_kb * 1024, seed=3)
+        join_s = JoinSketch.from_memory(memory_kb * 1024, seed=3)
+        join_r.insert_all(fact_rows)
+        join_s.insert_all(dim_rows)
+        join_estimate = join_r.inner_product(join_s)
+
+        agms_r = FastAGMS.from_memory(memory_kb * 1024, seed=4)
+        agms_s = FastAGMS.from_memory(memory_kb * 1024, seed=4)
+        agms_r.insert_all(fact_rows)
+        agms_s.insert_all(dim_rows)
+        agms_estimate = agms_r.inner_product(agms_s)
+
+        def re(estimate: float) -> float:
+            return abs(estimate - true_join) / true_join
+
+        print(f"{memory_kb:>6d}KB {re(davinci_estimate):>12.5f} "
+              f"{re(join_estimate):>14.5f} {re(agms_estimate):>12.5f}")
+
+    print("\nNote: DaVinci matches the specialist JoinSketch while ALSO "
+          "answering the other eight tasks from the same structure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: one DaVinci Sketch, nine set measurements.
+
+Builds a 64 KB sketch, feeds it a skewed synthetic stream, and runs every
+measurement task the paper describes — frequency, heavy hitters,
+cardinality, distribution, entropy — plus the two-sketch operations
+(union, difference, heavy changers, inner join), comparing each estimate
+against exact ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from collections import Counter
+
+from repro import DaVinciConfig, DaVinciSketch
+from repro.workloads import zipf_trace
+
+
+def main() -> None:
+    # --- build a sketch from a memory budget --------------------------- #
+    config = DaVinciConfig.from_memory_kb(64, seed=42)
+    sketch = DaVinciSketch(config)
+    print(f"sketch: {sketch.memory_bytes() / 1024:.1f} KB "
+          f"(FP {config.fp_bytes() / 1024:.1f} / EF {config.ef_bytes() / 1024:.1f} "
+          f"/ IFP {config.ifp_bytes() / 1024:.1f})")
+
+    # --- feed a skewed multiset ----------------------------------------- #
+    stream = zipf_trace(num_packets=200_000, num_flows=20_000, skew=1.05, seed=7)
+    truth = Counter(stream)
+    sketch.insert_all(stream)
+    print(f"inserted {len(stream):,} items over {len(truth):,} distinct keys")
+
+    # --- task 1: element frequency -------------------------------------- #
+    heaviest = truth.most_common(3)
+    for key, count in heaviest:
+        print(f"frequency  key={key}: true={count}, estimated={sketch.query(key)}")
+
+    # --- task 2: heavy hitters ------------------------------------------ #
+    threshold = 200
+    reported = sketch.heavy_hitters(threshold)
+    correct = {key for key, count in truth.items() if count >= threshold}
+    print(f"heavy hitters (>= {threshold}): reported {len(reported)}, "
+          f"true {len(correct)}, overlap {len(set(reported) & correct)}")
+
+    # --- tasks 3-5: cardinality, distribution, entropy ------------------ #
+    print(f"cardinality  true={len(truth):,}, estimated={sketch.cardinality():,.0f}")
+    histogram = sketch.distribution()
+    print(f"distribution  size-1 flows: true={sum(1 for v in truth.values() if v == 1):,}, "
+          f"estimated={histogram.get(1, 0):,.0f}")
+    import math
+
+    total = len(stream)
+    true_entropy = -sum((v / total) * math.log(v / total) for v in truth.values())
+    print(f"entropy  true={true_entropy:.4f}, estimated={sketch.entropy():.4f}")
+
+    # --- tasks 6-9: two-sketch operations ------------------------------- #
+    half = len(stream) // 2
+    window_a, window_b = DaVinciSketch(config), DaVinciSketch(config)
+    window_a.insert_all(stream[:half])
+    window_b.insert_all(stream[half:])
+
+    union = window_a.union(window_b)
+    key = heaviest[0][0]
+    print(f"union  query({key}) = {union.query(key)} (true {truth[key]})")
+
+    delta = window_a.difference(window_b)
+    true_delta = Counter(stream[:half])
+    true_delta.subtract(Counter(stream[half:]))
+    print(f"difference  query({key}) = {delta.query(key)} (true {true_delta[key]})")
+
+    changers = window_a.heavy_hitters  # heavy changers live on the task API:
+    from repro.core.tasks.heavy import heavy_changers
+
+    changed = heavy_changers(window_a, window_b, threshold=100)
+    print(f"heavy changers (|Δ| >= 100): {len(changed)} keys")
+
+    join = window_a.inner_join(window_b)
+    freq_a, freq_b = Counter(stream[:half]), Counter(stream[half:])
+    true_join = sum(count * freq_b[key] for key, count in freq_a.items())
+    print(f"inner join  true={true_join:,}, estimated={join:,.0f} "
+          f"(RE {abs(join - true_join) / true_join:.4f})")
+
+
+if __name__ == "__main__":
+    main()

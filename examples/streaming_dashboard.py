@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A streaming measurement dashboard with rotating windows.
+
+Puts the operational pieces together: packets stream into a
+:class:`~repro.core.windowed.WindowedDaVinci` that rotates every epoch;
+after each rotation the "dashboard" reports the window's key statistics,
+flags heavy changers against the previous window, and keeps a merged
+long-horizon view.  Results are also exported to CSV for plotting and the
+final sketch state is serialized to JSON — the full produce/ship/consume
+cycle of a real deployment.
+
+Run:  python examples/streaming_dashboard.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import DaVinciConfig, DaVinciSketch
+from repro.core.windowed import WindowedDaVinci
+from repro.workloads import caida_like, write_trace
+
+
+def main() -> None:
+    config = DaVinciConfig.from_memory_kb(32, seed=21)
+    epoch = 12_000  # packets per window
+    ring = WindowedDaVinci(config, window_size=epoch, retain=4)
+
+    trace = caida_like(scale=0.02, seed=13)
+    print(f"streaming {len(trace):,} packets in epochs of {epoch:,}\n")
+    print(f"{'epoch':>5s} {'packets':>9s} {'flows':>8s} {'entropy':>8s} "
+          f"{'elephants':>9s} {'changers':>8s}")
+
+    threshold = max(1, epoch // 1000)
+    for index, key in enumerate(trace):
+        ring.insert(key)
+        if ring.windows_closed and (index + 1) % epoch == 0:
+            window = ring.latest()
+            changers = ring.heavy_changers(threshold)
+            print(
+                f"{ring.windows_closed:>5d} {window.total_count:>9,d} "
+                f"{window.cardinality():>8,.0f} {window.entropy():>8.3f} "
+                f"{len(window.heavy_hitters(threshold)):>9d} "
+                f"{len(changers):>8d}"
+            )
+
+    # long-horizon view across the retained windows
+    view = ring.merged_view()
+    print(f"\nmerged view over the last {len(ring.closed)} closed windows "
+          f"(+ live): {view.total_count:,} packets, "
+          f"{view.cardinality():,.0f} flows")
+    top = view.top_k(3)
+    for key, estimate in top:
+        print(f"  top flow {key}: ~{estimate:,} packets")
+
+    # ship the newest window somewhere else: serialize → wire → restore
+    workdir = Path(tempfile.mkdtemp(prefix="davinci-dashboard-"))
+    state_path = workdir / "window.json"
+    state_path.write_text(json.dumps(ring.latest().to_state()))
+    restored = DaVinciSketch.from_state(json.loads(state_path.read_text()))
+    key = top[0][0]
+    print(f"\nserialized newest window to {state_path} "
+          f"({state_path.stat().st_size / 1024:.0f} KB JSON)")
+    print(f"restored sketch agrees: query({key}) = {restored.query(key)} "
+          f"== {ring.latest().query(key)}")
+
+    # export a replayable trace sample for offline analysis
+    sample_path = workdir / "sample.trace"
+    write_trace(sample_path, trace[:1000])
+    print(f"wrote a replayable 1,000-packet sample to {sample_path}")
+
+
+if __name__ == "__main__":
+    main()

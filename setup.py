@@ -1,0 +1,5 @@
+"""Shim for environments without the `wheel` package (offline PEP-517
+builds cannot fetch it); `pip install -e . --no-use-pep517` uses this."""
+from setuptools import setup
+
+setup()

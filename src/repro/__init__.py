@@ -1,0 +1,43 @@
+"""DaVinci Sketch — a versatile sketch for comprehensive set measurements.
+
+A from-scratch Python reproduction of the ICDE 2025 paper, including the
+DaVinci sketch itself, the fifteen baseline algorithms it is evaluated
+against, synthetic workloads matched to the paper's datasets, and the
+experiment harness that regenerates every figure and table.
+
+Quickstart::
+
+    from repro import DaVinciConfig, DaVinciSketch
+
+    sketch = DaVinciSketch(DaVinciConfig.from_memory_kb(200))
+    for key in stream:
+        sketch.insert(key)
+    sketch.query(some_key)          # frequency
+    sketch.heavy_hitters(500)       # heavy hitters
+    sketch.cardinality()            # distinct count
+    sketch.entropy()                # stream entropy
+    merged = sketch.union(other)    # set algebra
+"""
+
+from repro.core import (
+    DaVinciConfig,
+    DaVinciSketch,
+    WindowedDaVinci,
+    difference,
+    from_state,
+    to_state,
+    union,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DaVinciConfig",
+    "DaVinciSketch",
+    "WindowedDaVinci",
+    "difference",
+    "union",
+    "from_state",
+    "to_state",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Shared infrastructure: hashing, prime fields, validation, errors."""
+
+from repro.common.errors import (
+    ConfigurationError,
+    DecodeError,
+    IncompatibleSketchError,
+    ReproError,
+)
+from repro.common.hashing import (
+    HashFamily,
+    SignFamily,
+    fingerprint,
+    hash64,
+    key_to_int,
+    mix64,
+    spread_seeds,
+)
+from repro.common.primes import (
+    DEFAULT_PRIME,
+    SMALL_PRIME,
+    from_field_signed,
+    is_prime,
+    mod_inverse,
+    to_field,
+    validate_prime,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "DecodeError",
+    "IncompatibleSketchError",
+    "ReproError",
+    "HashFamily",
+    "SignFamily",
+    "fingerprint",
+    "hash64",
+    "key_to_int",
+    "mix64",
+    "spread_seeds",
+    "DEFAULT_PRIME",
+    "SMALL_PRIME",
+    "from_field_signed",
+    "is_prime",
+    "mod_inverse",
+    "to_field",
+    "validate_prime",
+]

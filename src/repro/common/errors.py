@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything originating here with a single ``except`` clause while still
+being able to distinguish configuration mistakes from runtime decode issues.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A sketch or workload was configured with invalid parameters.
+
+    Raised eagerly at construction time: a zero-width array, a non-prime
+    field modulus, a memory budget too small to host the requested shape,
+    and similar mistakes all surface here rather than as corrupt results.
+    """
+
+
+class DecodeError(ReproError, RuntimeError):
+    """An invertible sketch could not be (fully) decoded.
+
+    Carries the partially decoded content so callers that can tolerate
+    partial results (e.g. the frequency-distribution estimator) may still
+    use it.
+    """
+
+    def __init__(self, message: str, partial: dict | None = None) -> None:
+        super().__init__(message)
+        self.partial: dict = partial if partial is not None else {}
+
+
+class IncompatibleSketchError(ReproError, ValueError):
+    """Two sketches with different shapes/seeds were combined.
+
+    Mergeable sketches (union, difference, heavy-changer subtraction)
+    require identical geometry and hash seeds; anything else would produce
+    silently meaningless counters, so we refuse loudly.
+    """

@@ -1,0 +1,163 @@
+"""Seeded 64-bit hash families.
+
+The paper's C++ prototype uses Bob Jenkins' hash; any family of fast,
+well-mixed, independently seeded hash functions is equivalent for the
+accuracy results (only uniformity and seed-independence matter).  We use a
+splitmix64-style finalizer, which passes the usual avalanche tests, is a
+handful of arithmetic operations in pure Python, and is deterministic
+across processes (unlike Python's builtin ``hash``).
+
+Three callables cover every need in the package:
+
+* :func:`hash64` — raw 64-bit hash of an integer key under a seed.
+* :class:`HashFamily` — ``d`` independent functions mapping keys to
+  ``[0, width)`` bucket indices.
+* :class:`SignFamily` — ``d`` independent ±1 sign functions (the ζ/φ
+  functions of the paper's Algorithm 2 and Lemma 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+# splitmix64 constants (Steele, Lea & Flood; also used by xoshiro seeding).
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def mix64(x: int) -> int:
+    """Finalize a 64-bit value with the splitmix64 avalanche function."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def hash64(key: int, seed: int = 0) -> int:
+    """Return a 64-bit hash of integer ``key`` under ``seed``.
+
+    Distinct seeds give (empirically) independent functions; the same
+    ``(key, seed)`` pair always hashes identically, which the invertible
+    sketches rely on for re-hash validation during decoding.
+    """
+    return mix64((key & _MASK64) ^ mix64(seed * _GAMMA + _GAMMA))
+
+
+def key_to_int(key) -> int:
+    """Canonicalize a sketch key to a non-negative integer.
+
+    Integers pass through (taken modulo 2^64 so negative IDs behave);
+    ``bytes``/``str`` keys are fingerprinted to 64 bits, mirroring the
+    paper's treatment of long variable-length keys ("we first hash the key
+    into a fixed-length fingerprint").
+    """
+    if isinstance(key, bool):  # bool is an int subclass; reject explicitly
+        raise ConfigurationError("boolean keys are ambiguous; use 0/1 ints")
+    if isinstance(key, int):
+        return key & _MASK64
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        acc = 0xCBF29CE484222325  # FNV offset basis as a start value
+        for byte in key:
+            acc = mix64(acc ^ byte)
+        return acc
+    raise ConfigurationError(f"unsupported key type: {type(key).__name__}")
+
+
+class HashFamily:
+    """``rows`` independent hash functions onto ``[0, width)``.
+
+    Each row may have its own width (the TowerSketch's levels differ in
+    length), supplied either as a single int or a per-row sequence.
+
+    The per-row seed mixing of :func:`hash64` is precomputed at
+    construction and the finalizer is inlined in :meth:`index` /
+    :meth:`indexes` — these run on every insertion of every sketch, so the
+    call overhead matters.  The produced indexes are identical to
+    ``hash64(key, seed_row) % width``.
+    """
+
+    __slots__ = ("rows", "widths", "_seeds", "_premixed")
+
+    def __init__(self, rows: int, width, seed: int = 1) -> None:
+        if rows <= 0:
+            raise ConfigurationError("hash family needs at least one row")
+        if isinstance(width, int):
+            widths: List[int] = [width] * rows
+        else:
+            widths = list(width)
+            if len(widths) != rows:
+                raise ConfigurationError(
+                    f"expected {rows} widths, got {len(widths)}"
+                )
+        if any(w <= 0 for w in widths):
+            raise ConfigurationError("all row widths must be positive")
+        self.rows = rows
+        self.widths = widths
+        # Decorrelate rows by hashing (seed, row) into per-row seeds.
+        self._seeds = [hash64(row + 1, seed) for row in range(rows)]
+        # hash64(key, s) == mix64(key ^ mix64(s·γ + γ)); cache the inner mix
+        self._premixed = [
+            mix64(s * _GAMMA + _GAMMA) for s in self._seeds
+        ]
+
+    def index(self, row: int, key: int) -> int:
+        """Bucket index of ``key`` in ``row``."""
+        x = (key & _MASK64) ^ self._premixed[row]
+        x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+        x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+        return (x ^ (x >> 31)) % self.widths[row]
+
+    def indexes(self, key: int) -> List[int]:
+        """Bucket index of ``key`` in every row."""
+        key &= _MASK64
+        out = []
+        for premixed, width in zip(self._premixed, self.widths):
+            x = key ^ premixed
+            x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+            out.append((x ^ (x >> 31)) % width)
+        return out
+
+
+class SignFamily:
+    """``rows`` independent ±1 sign functions (ζᵢ in the paper)."""
+
+    __slots__ = ("rows", "_seeds")
+
+    def __init__(self, rows: int, seed: int = 2) -> None:
+        if rows <= 0:
+            raise ConfigurationError("sign family needs at least one row")
+        self.rows = rows
+        self._seeds = [hash64(row + 1, seed ^ 0xA5A5A5A5) for row in range(rows)]
+
+    def sign(self, row: int, key: int) -> int:
+        """Return +1 or -1 for ``key`` in ``row``."""
+        return 1 if hash64(key, self._seeds[row]) & 1 else -1
+
+    def signs(self, key: int) -> List[int]:
+        """Signs of ``key`` for every row."""
+        return [1 if hash64(key, s) & 1 else -1 for s in self._seeds]
+
+
+def fingerprint(key: int, bits: int, seed: int = 77) -> int:
+    """A ``bits``-wide fingerprint of ``key`` (used by FlowRadar/HashPipe)."""
+    if not 1 <= bits <= 64:
+        raise ConfigurationError("fingerprint width must be in [1, 64]")
+    return hash64(key, seed) >> (64 - bits)
+
+
+def spread_seeds(seed: int, count: int) -> List[int]:
+    """Derive ``count`` decorrelated sub-seeds from one master seed.
+
+    Used when one sketch owns several internal structures (e.g. CSOA's three
+    constituent sketches, UnivMon's levels) that must not share hash
+    functions.
+    """
+    return [hash64(i + 1, seed ^ 0x5EED5EED) for i in range(count)]

@@ -1,0 +1,87 @@
+"""Prime-field arithmetic for the Fermat-encoded sketches.
+
+The infrequent part (and the standalone FermatSketch baseline) encode flow
+IDs as residues modulo a prime ``p`` and invert counters with Fermat's
+little theorem: for a prime ``p`` and ``a ≢ 0 (mod p)``,
+``a^(p-2) · a ≡ 1 (mod p)``.
+
+The default modulus is the Mersenne prime ``2^61 − 1``: large enough that
+64-bit fingerprints truncated into the field collide negligibly, and a
+Mersenne prime keeps Python's ``pow`` fast.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+#: Default field modulus — the Mersenne prime 2^61 − 1.
+DEFAULT_PRIME = (1 << 61) - 1
+
+#: A smaller prime (2^31 − 1) for tests that want tiny fields.
+SMALL_PRIME = (1 << 31) - 1
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for 64-bit-ish inputs.
+
+    The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is proven
+    sufficient for all n < 3.3·10^24, far beyond any modulus we use.
+    """
+    if n < 2:
+        return False
+    small = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for sp in small:
+        if n % sp == 0:
+            return n == sp
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in small:
+        x = pow(witness, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def validate_prime(p: int) -> int:
+    """Return ``p`` if it is a usable field modulus, else raise."""
+    if p < 5:
+        raise ConfigurationError("field modulus must be a prime >= 5")
+    if not is_prime(p):
+        raise ConfigurationError(f"{p} is not prime")
+    return p
+
+
+def mod_inverse(a: int, p: int) -> int:
+    """Multiplicative inverse of ``a`` modulo prime ``p`` (Fermat).
+
+    Raises :class:`ConfigurationError` when ``a ≡ 0 (mod p)``, which has no
+    inverse — callers treat that as "bucket not decodable".
+    """
+    a %= p
+    if a == 0:
+        raise ConfigurationError("zero has no modular inverse")
+    # Fermat's little theorem: a^(p-2) ≡ a^(-1) (mod p).
+    return pow(a, p - 2, p)
+
+
+def to_field(value: int, p: int) -> int:
+    """Map a (possibly negative) integer into ``[0, p)``."""
+    return value % p
+
+
+def from_field_signed(value: int, p: int) -> int:
+    """Interpret a field residue as a signed integer in ``(−p/2, p/2]``.
+
+    Difference sketches subtract counters in the field; small negative
+    totals wrap to values near ``p`` and this undoes that wrap.
+    """
+    value %= p
+    return value - p if value > p // 2 else value

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the DaVinci Sketch."""
+
+from repro.core.config import DaVinciConfig
+from repro.core.davinci import (
+    MODE_ADDITIVE,
+    MODE_SIGNED,
+    MODE_STANDARD,
+    DaVinciSketch,
+)
+from repro.core.element_filter import ElementFilter
+from repro.core.frequent_part import FPOutcome, FrequentPart
+from repro.core.infrequent_part import DecodeResult, InfrequentPart
+from repro.core.serialization import from_state, to_state
+from repro.core.setops import difference, union
+from repro.core.windowed import WindowedDaVinci
+
+__all__ = [
+    "DaVinciConfig",
+    "DaVinciSketch",
+    "MODE_ADDITIVE",
+    "MODE_SIGNED",
+    "MODE_STANDARD",
+    "ElementFilter",
+    "FPOutcome",
+    "FrequentPart",
+    "DecodeResult",
+    "InfrequentPart",
+    "difference",
+    "union",
+    "from_state",
+    "to_state",
+    "WindowedDaVinci",
+]

@@ -1,0 +1,134 @@
+"""Theoretical error bounds (paper Section IV) and their empirical checks.
+
+The paper proves four results about the frequency estimator; this module
+computes the bounds from a concrete configuration so that experiments (and
+the test suite) can verify the implementation actually satisfies them:
+
+* **Lemma 1** — the basic signed-counter structure is *unbiased*:
+  ``E[f̂_e] = f_e``.  :func:`empirical_bias` measures the mean signed
+  error of the infrequent part's fast query over a key population.
+* **Lemma 2** — its variance is ``‖F‖₂² / R`` for an array of length
+  ``R`` (``F`` excluding the queried element).
+  :func:`basic_structure_variance` computes the bound;
+  :func:`empirical_variance` the observed value.
+* **Lemma 3** — Chebyshev: ``Pr[|f̂_e − f_e| > √(k/R)·‖F‖₂] < 1/k``.
+  :func:`frequency_error_bound` gives the threshold for a tolerance
+  ``1/k``; :func:`exceed_fraction` the observed violation rate.
+* **Theorem 1** — the full DaVinci estimate satisfies
+  ``f − error₁ ≤ f̂ ≤ f + error₁ + (k/Πwᵢ)·‖F_EF‖₁`` where
+  ``error₁ = √(k/R_IFP)·‖F_IFP‖₂``.  :func:`davinci_error_bound`
+  assembles both sides from a loaded sketch and the ground truth split.
+
+The checks run in ``tests/properties/test_theory_bounds.py`` — the
+reproduction of the paper's *Theoretical Contribution* bullet.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.core.davinci import DaVinciSketch
+
+
+def l2_norm(frequencies: Iterable[int]) -> float:
+    """‖F‖₂ of a frequency collection."""
+    return math.sqrt(sum(float(value) ** 2 for value in frequencies))
+
+
+def l1_norm(frequencies: Iterable[int]) -> float:
+    """‖F‖₁ of a frequency collection."""
+    return float(sum(abs(value) for value in frequencies))
+
+
+def basic_structure_variance(frequencies: Iterable[int], width: int) -> float:
+    """Lemma 2: Var[f̂] = ‖F‖₂² / R for one signed counter array."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return l2_norm(frequencies) ** 2 / width
+
+
+def frequency_error_bound(
+    frequencies: Iterable[int], width: int, k: float
+) -> float:
+    """Lemma 3: the error threshold √(k/R)·‖F‖₂ exceeded w.p. < 1/k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return math.sqrt(k / width) * l2_norm(frequencies)
+
+
+def empirical_bias(
+    estimates: Mapping[int, float], truth: Mapping[int, int]
+) -> float:
+    """Mean signed error of an estimator over a key population (Lemma 1)."""
+    if not truth:
+        return 0.0
+    return sum(estimates[key] - truth[key] for key in truth) / len(truth)
+
+
+def empirical_variance(
+    estimates: Mapping[int, float], truth: Mapping[int, int]
+) -> float:
+    """Mean squared error of an estimator over a key population (Lemma 2)."""
+    if not truth:
+        return 0.0
+    return sum(
+        (estimates[key] - truth[key]) ** 2 for key in truth
+    ) / len(truth)
+
+
+def exceed_fraction(
+    estimates: Mapping[int, float], truth: Mapping[int, int], threshold: float
+) -> float:
+    """Fraction of keys whose |error| exceeds ``threshold`` (Lemma 3)."""
+    if not truth:
+        return 0.0
+    exceeded = sum(
+        1 for key in truth if abs(estimates[key] - truth[key]) > threshold
+    )
+    return exceeded / len(truth)
+
+
+def partition_truth_by_part(
+    sketch: DaVinciSketch, truth: Mapping[int, int]
+) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, int]]:
+    """Split the ground-truth mass by the part that holds it.
+
+    Returns ``(fp_mass, ef_mass, ifp_mass)`` per key: the FP holds its
+    stored count exactly; of the remainder, the first ``T`` units sit in
+    the element filter and the overflow in the infrequent part (the
+    promotion discipline of :meth:`ElementFilter.offer`).
+    """
+    threshold = sketch.ef.threshold
+    fp_mass: Dict[int, int] = {}
+    ef_mass: Dict[int, int] = {}
+    ifp_mass: Dict[int, int] = {}
+    for key, total in truth.items():
+        stored, _present, _flag = sketch.fp.lookup(key)
+        stored = min(stored, total)  # exact by construction, but be safe
+        fp_mass[key] = stored
+        rest = total - stored
+        ef_mass[key] = min(rest, threshold)
+        ifp_mass[key] = max(0, rest - threshold)
+    return fp_mass, ef_mass, ifp_mass
+
+
+def davinci_error_bound(
+    sketch: DaVinciSketch, truth: Mapping[int, int], k: float
+) -> Tuple[float, float]:
+    """Theorem 1's two-sided bound for a loaded sketch.
+
+    Returns ``(lower_slack, upper_slack)``: the estimate must satisfy
+    ``f − lower_slack ≤ f̂ ≤ f + upper_slack`` with probability ≥ 1 − 1/k
+    per side, where ``lower_slack = error₁`` and ``upper_slack = error₁ +
+    (k / Π wᵢ)·‖F_EF‖₁`` over the filter's level widths.
+    """
+    _fp, ef_mass, ifp_mass = partition_truth_by_part(sketch, truth)
+    error1 = frequency_error_bound(
+        ifp_mass.values(), sketch.ifp.width, k
+    )
+    width_product = 1.0
+    for width in sketch.ef.level_widths:
+        width_product *= width
+    ef_term = (k / width_product) * l1_norm(ef_mass.values())
+    return error1, error1 + ef_term

@@ -1,0 +1,191 @@
+"""Configuration and memory budgeting for :class:`~repro.core.davinci.DaVinciSketch`.
+
+The paper evaluates every algorithm at a fixed total memory (200–600 KB).
+:class:`DaVinciConfig` converts a byte budget into concrete shapes for the
+three parts using the paper's logical memory model:
+
+* **Frequent part** — ``k`` buckets × ``c`` entries, each entry a 4-byte key
+  plus a 4-byte counter; per bucket a 4-byte evict counter and a 1-bit flag.
+* **Element filter** — an ``m``-level TowerSketch; level ``i`` has ``lᵢ``
+  counters of ``δᵢ`` bits (lower levels: many small counters).
+* **Infrequent part** — ``d`` rows × ``w`` buckets of (iID, icnt); both
+  fields charged 4 bytes, matching the paper's 32-bit flow-key setting.
+
+Defaults follow the paper's stated test parameters (``c = 7``, ``m = 2``,
+``d = 3``) with an Elastic-style eviction ratio ``λ = 8``.  The default
+budget split (25% FP / 60% EF / 15% IFP) and the low promotion threshold
+``T = 16`` realize the design's key property: only genuine mice stay in the
+filter, while "larger infrequent" elements overflow into the invertible
+infrequent part where they decode *exactly* — empirically this is what
+makes DaVinci beat Elastic/FCM on frequency ARE at matched memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.primes import DEFAULT_PRIME, validate_prime
+from repro.common.validation import (
+    require_fraction,
+    require_positive,
+)
+
+#: Bytes charged per frequent-part entry (4-byte key + 4-byte counter).
+FP_ENTRY_BYTES = 8
+#: Bytes charged per frequent-part bucket on top of its entries
+#: (4-byte evict counter + 1-bit flag, rounded into half a byte).
+FP_BUCKET_OVERHEAD_BYTES = 4.5
+#: Bytes charged per infrequent-part bucket (4-byte iID + 4-byte icnt).
+IFP_BUCKET_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DaVinciConfig:
+    """Fully resolved shape of a DaVinci sketch.
+
+    Prefer :meth:`from_memory` which performs the budget split; direct
+    construction is for tests that want exact shapes.
+    """
+
+    fp_buckets: int
+    fp_entries: int = 7
+    ef_level_widths: Tuple[int, ...] = (2048, 512)
+    ef_level_bits: Tuple[int, ...] = (4, 8)
+    ifp_rows: int = 3
+    ifp_width: int = 128
+    lambda_evict: float = 8.0
+    filter_threshold: int = 16
+    prime: int = DEFAULT_PRIME
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive("fp_buckets", self.fp_buckets)
+        require_positive("fp_entries", self.fp_entries)
+        require_positive("ifp_rows", self.ifp_rows)
+        require_positive("ifp_width", self.ifp_width)
+        require_positive("filter_threshold", self.filter_threshold)
+        validate_prime(self.prime)
+        if self.lambda_evict <= 0:
+            raise ConfigurationError("lambda_evict must be positive")
+        if len(self.ef_level_widths) != len(self.ef_level_bits):
+            raise ConfigurationError(
+                "ef_level_widths and ef_level_bits must have equal length"
+            )
+        if not self.ef_level_widths:
+            raise ConfigurationError("element filter needs at least one level")
+        for width in self.ef_level_widths:
+            require_positive("ef level width", width)
+        for bits in self.ef_level_bits:
+            if bits not in (2, 4, 8, 16, 32):
+                raise ConfigurationError(
+                    f"ef counter bits must be one of 2/4/8/16/32, got {bits}"
+                )
+        # The filter threshold must be representable in the top (largest)
+        # counters, otherwise promoted elements could never reach it.
+        top_capacity = (1 << max(self.ef_level_bits)) - 1
+        if self.filter_threshold >= top_capacity:
+            raise ConfigurationError(
+                f"filter_threshold {self.filter_threshold} does not fit the "
+                f"largest EF counter (max {top_capacity - 1})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # memory model
+    # ------------------------------------------------------------------ #
+    def fp_bytes(self) -> float:
+        """Bytes charged to the frequent part."""
+        per_bucket = self.fp_entries * FP_ENTRY_BYTES + FP_BUCKET_OVERHEAD_BYTES
+        return self.fp_buckets * per_bucket
+
+    def ef_bytes(self) -> float:
+        """Bytes charged to the element filter."""
+        return sum(
+            width * bits / 8.0
+            for width, bits in zip(self.ef_level_widths, self.ef_level_bits)
+        )
+
+    def ifp_bytes(self) -> float:
+        """Bytes charged to the infrequent part."""
+        return self.ifp_rows * self.ifp_width * IFP_BUCKET_BYTES
+
+    def total_bytes(self) -> float:
+        """Total logical size of a sketch built from this config."""
+        return self.fp_bytes() + self.ef_bytes() + self.ifp_bytes()
+
+    # ------------------------------------------------------------------ #
+    # budgeting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        *,
+        fp_fraction: float = 0.25,
+        ef_fraction: float = 0.60,
+        fp_entries: int = 7,
+        ef_level_bits: Sequence[int] = (4, 8),
+        ef_level_ratio: Sequence[float] = (0.65, 0.35),
+        ifp_rows: int = 3,
+        lambda_evict: float = 8.0,
+        filter_threshold: int = 16,
+        prime: int = DEFAULT_PRIME,
+        seed: int = 1,
+    ) -> "DaVinciConfig":
+        """Split ``memory_bytes`` into the three parts.
+
+        ``fp_fraction`` and ``ef_fraction`` are the byte shares of the
+        frequent part and element filter; the infrequent part receives the
+        remainder.  ``ef_level_ratio`` splits the filter's bytes across its
+        levels (defaults favour the low, small-counter level, per the
+        TowerSketch principle that infrequent elements dominate counts).
+        """
+        if memory_bytes <= 0:
+            raise ConfigurationError("memory budget must be positive")
+        require_fraction("fp_fraction", fp_fraction)
+        require_fraction("ef_fraction", ef_fraction)
+        if fp_fraction + ef_fraction >= 1.0:
+            raise ConfigurationError(
+                "fp_fraction + ef_fraction must leave room for the "
+                "infrequent part"
+            )
+        if len(ef_level_ratio) != len(ef_level_bits):
+            raise ConfigurationError(
+                "ef_level_ratio must match ef_level_bits in length"
+            )
+        if not math.isclose(sum(ef_level_ratio), 1.0, rel_tol=1e-6):
+            raise ConfigurationError("ef_level_ratio must sum to 1")
+
+        fp_budget = memory_bytes * fp_fraction
+        ef_budget = memory_bytes * ef_fraction
+        ifp_budget = memory_bytes - fp_budget - ef_budget
+
+        per_bucket = fp_entries * FP_ENTRY_BYTES + FP_BUCKET_OVERHEAD_BYTES
+        fp_buckets = max(1, int(fp_budget / per_bucket))
+
+        level_widths: List[int] = []
+        for share, bits in zip(ef_level_ratio, ef_level_bits):
+            width = int(ef_budget * share * 8 / bits)
+            level_widths.append(max(8, width))
+
+        ifp_width = max(4, int(ifp_budget / (ifp_rows * IFP_BUCKET_BYTES)))
+
+        return cls(
+            fp_buckets=fp_buckets,
+            fp_entries=fp_entries,
+            ef_level_widths=tuple(level_widths),
+            ef_level_bits=tuple(int(b) for b in ef_level_bits),
+            ifp_rows=ifp_rows,
+            ifp_width=ifp_width,
+            lambda_evict=lambda_evict,
+            filter_threshold=filter_threshold,
+            prime=prime,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_memory_kb(cls, memory_kb: float, **kwargs) -> "DaVinciConfig":
+        """Convenience wrapper: budget expressed in kilobytes."""
+        return cls.from_memory(memory_kb * 1024.0, **kwargs)

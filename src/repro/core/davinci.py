@@ -1,0 +1,326 @@
+"""The DaVinci Sketch: one structure, nine set-measurement tasks.
+
+:class:`DaVinciSketch` glues the three parts together:
+
+* insertions go to the **frequent part** first (Algorithm 1); demoted
+  elements fall into the **element filter**, and filter overflow beyond the
+  threshold ``T`` lands in the **infrequent part** (Algorithm 2);
+* frequency queries follow Algorithm 4, consulting the decoded infrequent
+  part (Algorithm 5) with the element filter as cross-validation;
+* the set operations (:func:`repro.core.setops.union` /
+  :func:`~repro.core.setops.difference`) return new DaVinci sketches, and
+  the remaining tasks (heavy hitters/changers, cardinality, distribution,
+  entropy, inner join) live in :mod:`repro.core.tasks` and are exposed here
+  as methods.
+
+A sketch is in one of three *query modes*:
+
+``standard``
+    A sketch built by direct insertion.  Queries use Algorithm 4's
+    branching, exploiting the invariant that the filter holds exactly the
+    first ``T`` units of every promoted element.
+``additive``
+    The result of a union.  The per-element filter content is no longer
+    capped at ``T`` (two inputs may each contribute up to ``T``), so the
+    query simply sums the three parts — which is exact up to filter
+    collision noise.
+``signed``
+    The result of a difference.  All parts carry signed deltas; queries sum
+    the parts using the minimum-absolute-value filter read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.common.errors import IncompatibleSketchError
+from repro.core.config import DaVinciConfig
+from repro.core.element_filter import ElementFilter
+from repro.core.frequent_part import FrequentPart
+from repro.core.infrequent_part import DecodeResult, InfrequentPart
+from repro.sketches.base import Sketch
+
+MODE_STANDARD = "standard"
+MODE_ADDITIVE = "additive"
+MODE_SIGNED = "signed"
+
+
+class DaVinciSketch(Sketch):
+    """The versatile sketch of the paper, ready for all nine tasks."""
+
+    def __init__(self, config: DaVinciConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.fp = FrequentPart(
+            buckets=config.fp_buckets,
+            entries_per_bucket=config.fp_entries,
+            lambda_evict=config.lambda_evict,
+            seed=config.seed,
+        )
+        self.ef = ElementFilter(
+            level_widths=config.ef_level_widths,
+            level_bits=config.ef_level_bits,
+            threshold=config.filter_threshold,
+            seed=config.seed + 1,
+        )
+        self.ifp = InfrequentPart(
+            rows=config.ifp_rows,
+            width=config.ifp_width,
+            prime=config.prime,
+            seed=config.seed + 2,
+        )
+        #: exact total of inserted counts (one 8-byte scalar; used by
+        #: entropy and the distribution estimator)
+        self.total_count: int = 0
+        self.mode: str = MODE_STANDARD
+        self._decode_cache: Optional[DecodeResult] = None
+
+    # ------------------------------------------------------------------ #
+    # memory model
+    # ------------------------------------------------------------------ #
+    def memory_bytes(self) -> float:
+        """Logical size under the paper's memory model."""
+        return self.config.total_bytes()
+
+    # ------------------------------------------------------------------ #
+    # key canonicalization
+    # ------------------------------------------------------------------ #
+    def canonical_key(self, key) -> int:
+        """Map any key into the sketch's decodable domain.
+
+        Integer keys already in ``[1, 2^32)`` pass through unchanged.
+        Anything else — strings, bytes, zero, negative or oversized ints —
+        is deterministically fingerprinted into the domain, mirroring the
+        paper's handling of variable-length keys ("we first hash the key
+        into a fixed-length fingerprint").  Queries apply the same mapping,
+        so callers never see the fingerprints.
+        """
+        from repro.common.hashing import hash64, key_to_int
+
+        domain = self.ifp.max_key
+        if isinstance(key, int) and not isinstance(key, bool) and 1 <= key < domain:
+            return key
+        return hash64(key_to_int(key), 0x5EEDF00D) % (domain - 1) + 1
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, key, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key`` (Algorithms 1 + 2)."""
+        key = self.canonical_key(key)
+        self.insertions += 1
+        self.total_count += count
+        self._decode_cache = None
+
+        outcome = self.fp.insert(key, count)
+        self.memory_accesses += outcome.accesses
+        if outcome.demoted is None:
+            return
+        demoted_key, demoted_count = outcome.demoted
+        self._push_to_filter(demoted_key, demoted_count)
+
+    def insert_all(self, keys: Iterable[int]) -> None:
+        """Insert a stream of single occurrences."""
+        for key in keys:
+            self.insert(key)
+
+    def _push_to_filter(self, key: int, count: int) -> None:
+        """Route a demoted element through the EF, overflow to the IFP."""
+        self.memory_accesses += self.ef.num_levels
+        overflow = self.ef.offer(key, count)
+        if overflow > 0:
+            self.memory_accesses += self.ifp.rows
+            self.ifp.insert(key, overflow)
+
+    # ------------------------------------------------------------------ #
+    # decoding (Algorithm 5, cached)
+    # ------------------------------------------------------------------ #
+    def decode_result(self) -> DecodeResult:
+        """Decode the infrequent part (cached until the next insertion).
+
+        In standard mode, decoding cross-validates each candidate against
+        the element filter: a genuinely promoted element must read at least
+        ``T`` in the filter (the paper's ``canDecode``).  Merged and signed
+        sketches no longer satisfy that invariant, so they rely on the
+        (stronger in our 61-bit field) residue-consistency check alone.
+        """
+        if self._decode_cache is None:
+            validator: Optional[Callable[[int], bool]] = None
+            if self.mode == MODE_STANDARD:
+                threshold = self.ef.threshold
+                validator = lambda e: self.ef.query(e) >= threshold  # noqa: E731
+            self._decode_cache = self.ifp.decode(validator)
+        return self._decode_cache
+
+    def decode_counts(self) -> Dict[int, int]:
+        """The decoded ``{key: infrequent-part count}`` map."""
+        return self.decode_result().counts
+
+    # ------------------------------------------------------------------ #
+    # frequency query (Algorithm 4)
+    # ------------------------------------------------------------------ #
+    def query(self, key) -> int:
+        """Estimated (signed, for difference sketches) frequency of ``key``."""
+        key = self.canonical_key(key)
+        if self.mode == MODE_SIGNED:
+            return self._query_signed(key)
+        if self.mode == MODE_ADDITIVE:
+            return self._query_additive(key)
+        return self._query_standard(key)
+
+    def _query_standard(self, key: int) -> int:
+        fp_count, present, flag = self.fp.lookup(key)
+        if present and not flag:
+            return fp_count
+        base = fp_count  # 0 when absent (Algorithm 4, lines 5-8)
+
+        decoded = self.decode_counts()
+        if key in decoded:
+            # Promoted and decoded: the filter holds exactly T of its mass.
+            return base + decoded[key] + self.ef.threshold
+
+        ef_estimate = self.ef.query(key)
+        if ef_estimate >= self.ef.threshold:
+            # Promoted but not decodable: fall back to the unbiased fast
+            # query of the infrequent part (Algorithm 4, lines 16-20).
+            return base + max(0, self.ifp.fast_query(key)) + self.ef.threshold
+        return base + ef_estimate
+
+    def _query_additive(self, key: int) -> int:
+        fp_count, _, _ = self.fp.lookup(key)
+        decoded = self.decode_counts()
+        ifp_part = decoded.get(key)
+        if ifp_part is None:
+            ifp_part = 0
+            if not self.decode_result().complete and self.ef.is_promoted(key):
+                ifp_part = max(0, self.ifp.fast_query(key))
+        return fp_count + self.ef.query(key) + ifp_part
+
+    def _query_signed(self, key: int) -> int:
+        # Signed parts simply add (see the class docstring).  No fast-query
+        # fallback here: when the subtracted infrequent part fails to peel,
+        # its Count-Sketch-style estimate is noise of the *absolute* counts
+        # while difference deltas are small — adding it would swamp every
+        # small delta.  Undecoded promoted keys lose their (bounded)
+        # infrequent share instead.
+        fp_count, _, _ = self.fp.lookup(key)
+        ifp_part = self.decode_counts().get(key, 0)
+        ef_part = self.ef.query_signed(key)
+        return fp_count + ef_part + ifp_part
+
+    # ------------------------------------------------------------------ #
+    # task facade — implementations live in repro.core.tasks
+    # ------------------------------------------------------------------ #
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        """Elements whose estimated |frequency| is at least ``threshold``."""
+        from repro.core.tasks.heavy import heavy_hitters
+
+        return heavy_hitters(self, threshold)
+
+    def top_k(self, k: int) -> list:
+        """The ``k`` elements with the largest estimated |frequency|.
+
+        The second heavy-hitter formulation of the paper's Table I
+        (``{e_i | f_i ∈ Top k}``): candidates are the exactly-tracked keys,
+        ranked by their full Algorithm-4 estimates.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ranked = sorted(
+            self.known_keys().items(), key=lambda kv: (-abs(kv[1]), kv[0])
+        )
+        return ranked[:k]
+
+    def to_state(self) -> Dict:
+        """Serialize to JSON-compatible state (see repro.core.serialization)."""
+        from repro.core.serialization import to_state
+
+        return to_state(self)
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "DaVinciSketch":
+        """Rebuild a sketch from :meth:`to_state` output."""
+        from repro.core.serialization import from_state
+
+        return from_state(state)
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct elements."""
+        from repro.core.tasks.cardinality import cardinality
+
+        return cardinality(self)
+
+    def distribution(
+        self, max_size: Optional[int] = None, em_level: int = 0
+    ) -> Dict[int, float]:
+        """Estimated flow-size distribution ``{size: #elements}``."""
+        from repro.core.tasks.distribution import distribution
+
+        return distribution(self, max_size=max_size, em_level=em_level)
+
+    def entropy(self) -> float:
+        """Estimated (natural-log) entropy of the multiset."""
+        from repro.core.tasks.entropy import entropy
+
+        return entropy(self)
+
+    def inner_join(self, other: "DaVinciSketch") -> float:
+        """Estimated join size Σ_e f(e)·g(e) against ``other``."""
+        from repro.core.tasks.innerjoin import inner_join
+
+        return inner_join(self, other)
+
+    def second_moment(self) -> float:
+        """Estimated second frequency moment F₂ = Σ_e f(e)².
+
+        The self-join size (paper Table I's inner join with ``G = F``) —
+        the classical AGMS quantity, free from the same structure.
+        """
+        from repro.core.tasks.innerjoin import inner_join
+
+        return inner_join(self, self)
+
+    def union(self, other: "DaVinciSketch") -> "DaVinciSketch":
+        """The union sketch (Algorithm 3)."""
+        from repro.core.setops import union
+
+        return union(self, other)
+
+    def difference(self, other: "DaVinciSketch") -> "DaVinciSketch":
+        """The signed difference sketch (self − other)."""
+        from repro.core.setops import difference
+
+        return difference(self, other)
+
+    # ------------------------------------------------------------------ #
+    # plumbing for the set operations
+    # ------------------------------------------------------------------ #
+    def check_compatible(self, other: "DaVinciSketch") -> None:
+        """Raise unless ``other`` was built from the identical config."""
+        if self.config != other.config:
+            raise IncompatibleSketchError(
+                "DaVinci sketches must share an identical DaVinciConfig "
+                "(shape, threshold, prime and seed) to be combined"
+            )
+
+    def empty_like(self) -> "DaVinciSketch":
+        """A fresh sketch with the same config (for set-op results)."""
+        return DaVinciSketch(self.config)
+
+    def known_keys(self) -> Dict[int, int]:
+        """Exactly-tracked keys: FP residents plus decoded IFP elements.
+
+        Values are full frequency estimates via :meth:`query`.  Used by the
+        heavy-hitter scan and the inner-join decomposition.
+        """
+        keys = set(self.fp.as_dict())
+        keys.update(self.decode_counts())
+        return {key: self.query(key) for key in keys}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DaVinciSketch(mode={self.mode}, "
+            f"memory={self.memory_bytes() / 1024:.1f}KB, "
+            f"fp={len(self.fp)}/{self.fp.capacity}, "
+            f"total={self.total_count})"
+        )

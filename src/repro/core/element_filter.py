@@ -1,0 +1,221 @@
+"""The element filter (EF): a TowerSketch with a promotion threshold.
+
+The EF has two jobs in the DaVinci design:
+
+1. **Filter** — absorb the mass of infrequent elements so they never touch
+   the (expensive, invertible) infrequent part.  It is an ``m``-level
+   TowerSketch: level 0 has many small counters, higher levels fewer but
+   larger ones, exploiting that set frequencies are skewed.
+2. **Gate** — once an element's filter estimate reaches the threshold
+   ``T``, its *overflow* is promoted to the infrequent part while the first
+   ``T`` units stay here.  This discipline makes Algorithm 4's ``+T`` query
+   correction exact: a promoted element always has exactly ``T`` units of
+   its mass resident in the filter.
+
+Counters update CM-style (every level gets the increment) and saturate at
+their level's capacity; a saturated counter is ignored by queries (treated
+as "no information", i.e. +inf for the min).
+
+The structure is linear, so union/difference of two sketches reduce to
+counter-wise add/subtract; after a difference, counters may be negative and
+:meth:`ElementFilter.query_signed` returns the minimum-absolute-value
+counter (the signed generalization of the CM minimum).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError, IncompatibleSketchError
+from repro.common.hashing import HashFamily
+from repro.common.validation import require_positive
+
+
+class ElementFilter:
+    """An ``m``-level TowerSketch with promotion threshold ``T``."""
+
+    def __init__(
+        self,
+        level_widths: Sequence[int],
+        level_bits: Sequence[int],
+        threshold: int,
+        seed: int = 1,
+    ) -> None:
+        if len(level_widths) != len(level_bits) or not level_widths:
+            raise ConfigurationError("level widths/bits must match and be non-empty")
+        require_positive("threshold", threshold)
+        self.level_widths: Tuple[int, ...] = tuple(int(w) for w in level_widths)
+        self.level_bits: Tuple[int, ...] = tuple(int(b) for b in level_bits)
+        #: saturation value of each level's counters
+        self.level_caps: Tuple[int, ...] = tuple(
+            (1 << bits) - 1 for bits in self.level_bits
+        )
+        self.threshold = int(threshold)
+        if self.threshold >= max(self.level_caps):
+            raise ConfigurationError(
+                "threshold must be below the largest level's saturation value"
+            )
+        self.num_levels = len(self.level_widths)
+        self._hashes = HashFamily(self.num_levels, self.level_widths, seed=seed)
+        self.levels: List[List[int]] = [[0] * width for width in self.level_widths]
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    # raw tower operations
+    # ------------------------------------------------------------------ #
+    def add(self, key: int, count: int) -> None:
+        """CM-style update: add ``count`` at every level, saturating."""
+        for level, counters in enumerate(self.levels):
+            cap = self.level_caps[level]
+            j = self._hashes.index(level, key)
+            value = counters[j]
+            if value >= cap:
+                continue  # saturated counters stay saturated
+            counters[j] = min(value + count, cap)
+
+    def query(self, key: int) -> int:
+        """Minimum over unsaturated mapped counters (saturated => +inf).
+
+        When every mapped counter is saturated the element's frequency
+        exceeds every level's range; we return the largest saturation value
+        as the best available lower bound.
+        """
+        best = None
+        for level, counters in enumerate(self.levels):
+            value = counters[self._hashes.index(level, key)]
+            if value >= self.level_caps[level]:
+                continue
+            if best is None or value < best:
+                best = value
+        if best is None:
+            return max(self.level_caps)
+        return best
+
+    def query_signed(self, key: int) -> int:
+        """Minimum-absolute-value mapped counter (for difference sketches)."""
+        best = None
+        for level, counters in enumerate(self.levels):
+            value = counters[self._hashes.index(level, key)]
+            if abs(value) >= self.level_caps[level]:
+                continue
+            if best is None or abs(value) < abs(best):
+                best = value
+        if best is None:
+            return max(self.level_caps)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # filtering with the promotion threshold
+    # ------------------------------------------------------------------ #
+    def offer(self, key: int, count: int) -> int:
+        """Insert ``count`` of ``key``; return the overflow to promote.
+
+        Keeps the invariant that the filter retains at most the first ``T``
+        units of any element's mass:
+
+        * estimate already >= ``T`` — the element was promoted earlier; the
+          whole ``count`` overflows.
+        * estimate + count <= ``T`` — fully absorbed, no overflow.
+        * otherwise — absorb up to ``T`` and overflow the rest.
+
+        This is the insertion hot path, so the mapped positions are hashed
+        once and shared between the estimate and the update.
+        """
+        positions = self._hashes.indexes(key)
+        current = None
+        for level, j in enumerate(positions):
+            value = self.levels[level][j]
+            if value >= self.level_caps[level]:
+                continue
+            if current is None or value < current:
+                current = value
+        if current is None:
+            current = max(self.level_caps)
+        if current >= self.threshold:
+            return count
+        absorbed = min(count, self.threshold - current)
+        for level, j in enumerate(positions):
+            cap = self.level_caps[level]
+            counters = self.levels[level]
+            if counters[j] >= cap:
+                continue
+            counters[j] = min(counters[j] + absorbed, cap)
+        return count - absorbed
+
+    def is_promoted(self, key: int) -> bool:
+        """Whether the filter estimate says ``key`` crossed the threshold."""
+        return self.query(key) >= self.threshold
+
+    # ------------------------------------------------------------------ #
+    # linearity (union / difference)
+    # ------------------------------------------------------------------ #
+    def check_compatible(self, other: "ElementFilter") -> None:
+        """Raise unless ``other`` has identical geometry/threshold/seed."""
+        same = (
+            self.level_widths == other.level_widths
+            and self.level_bits == other.level_bits
+            and self.threshold == other.threshold
+            and self._seed == other._seed
+        )
+        if not same:
+            raise IncompatibleSketchError(
+                "element filters differ in shape, threshold or seed"
+            )
+
+    def merged(self, other: "ElementFilter") -> "ElementFilter":
+        """Counter-wise saturating sum (the union of filters)."""
+        self.check_compatible(other)
+        result = self.empty_like()
+        for level in range(self.num_levels):
+            cap = self.level_caps[level]
+            mine, theirs, out = (
+                self.levels[level],
+                other.levels[level],
+                result.levels[level],
+            )
+            for j in range(len(out)):
+                out[j] = min(mine[j] + theirs[j], cap)
+        return result
+
+    def subtracted(self, other: "ElementFilter") -> "ElementFilter":
+        """Counter-wise signed difference (may go negative)."""
+        self.check_compatible(other)
+        result = self.empty_like()
+        for level in range(self.num_levels):
+            mine, theirs, out = (
+                self.levels[level],
+                other.levels[level],
+                result.levels[level],
+            )
+            for j in range(len(out)):
+                out[j] = mine[j] - theirs[j]
+        return result
+
+    def empty_like(self) -> "ElementFilter":
+        """A fresh filter with identical shape, threshold and seed."""
+        return ElementFilter(
+            self.level_widths, self.level_bits, self.threshold, seed=self._seed
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection used by the task estimators
+    # ------------------------------------------------------------------ #
+    def base_level(self) -> List[int]:
+        """Level-0 counters (used by linear counting and the EM estimator)."""
+        return self.levels[0]
+
+    def base_index(self, key: int) -> int:
+        """Level-0 bucket index of ``key``."""
+        return self._hashes.index(0, key)
+
+    def zero_fraction(self) -> float:
+        """Fraction of level-0 counters that are exactly zero."""
+        counters = self.levels[0]
+        return sum(1 for value in counters if value == 0) / len(counters)
+
+    def memory_bytes(self) -> float:
+        """Logical size: Σ widthᵢ × bitsᵢ / 8."""
+        return sum(
+            width * bits / 8.0
+            for width, bits in zip(self.level_widths, self.level_bits)
+        )

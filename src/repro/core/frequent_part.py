@@ -1,0 +1,207 @@
+"""The frequent part (FP): an exact hash table for the heaviest elements.
+
+Implements the paper's Algorithm 1.  The FP is ``k`` buckets of ``c``
+entries; each entry holds ``(eID, fcnt)`` exactly.  A per-bucket evict
+counter ``ecnt`` implements the Elastic-Sketch-style probabilistic
+replacement: once ``ecnt`` exceeds ``λ ×`` the bucket's smallest ``fcnt``,
+that smallest entry is deemed infrequent and evicted downwards, making room
+for the (presumed growing) newcomer.
+
+The FP never talks to the other parts directly; :meth:`FrequentPart.insert`
+returns an :class:`FPOutcome` describing what, if anything, must be pushed
+down into the element filter.  This keeps the part unit-testable in
+isolation and lets the set operations reuse the same bucket mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import IncompatibleSketchError
+from repro.common.hashing import hash64
+from repro.common.validation import require_positive
+
+
+@dataclass
+class FPOutcome:
+    """Result of one FP insertion.
+
+    ``demoted`` is the ``(key, count)`` pair the caller must insert into the
+    element filter: in case 3 it is the evicted resident, in case 4 the
+    incoming element itself.  ``None`` means the FP absorbed the insertion
+    (cases 1 and 2).  ``case`` records which Algorithm-1 branch ran, which
+    the tests assert on directly.  ``accesses`` is the number of logical
+    memory words the insertion touched (entry slots scanned, plus the evict
+    counter and flag when the bucket was full) — the AMA numerator.
+    """
+
+    case: int
+    demoted: Optional[Tuple[int, int]] = None
+    accesses: int = 0
+
+
+class Bucket:
+    """One FP bucket: up to ``c`` exact entries plus eviction bookkeeping.
+
+    Each entry is ``[key, count, flag]``.  The flag marks entries installed
+    by a case-3 replacement: the newcomer may have earlier mass in the
+    lower parts, so its queries must consult them (the paper defines one
+    flag per bucket; we keep it per entry — the granularity Elastic Sketch
+    uses — because an entry that has lived in the bucket since a case-2
+    insertion is provably exact, and charging it the filter's collision
+    noise would scatter the distribution/entropy estimates).  ``flag`` on
+    the bucket remains as "any entry was ever evicted", which the set
+    operations and Algorithm 3 use.
+    """
+
+    __slots__ = ("entries", "ecnt", "flag")
+
+    def __init__(self) -> None:
+        #: list of [key, count, flag] triples, at most ``c`` of them
+        self.entries: List[list] = []
+        #: evictions attempted against this bucket since the last eviction
+        self.ecnt: int = 0
+        #: True once any entry was evicted from this bucket
+        self.flag: bool = False
+
+    def find(self, key: int) -> Optional[list]:
+        """The entry holding ``key``, or None."""
+        for entry in self.entries:
+            if entry[0] == key:
+                return entry
+        return None
+
+    def min_entry(self) -> list:
+        """The entry with the smallest count (eviction candidate)."""
+        return min(self.entries, key=lambda entry: entry[1])
+
+
+class FrequentPart:
+    """The FP hash table (Algorithm 1)."""
+
+    def __init__(
+        self,
+        buckets: int,
+        entries_per_bucket: int,
+        lambda_evict: float,
+        seed: int = 1,
+    ) -> None:
+        require_positive("buckets", buckets)
+        require_positive("entries_per_bucket", entries_per_bucket)
+        self.num_buckets = buckets
+        self.entries_per_bucket = entries_per_bucket
+        self.lambda_evict = float(lambda_evict)
+        self._seed = hash64(0xF9, seed)
+        self.buckets: List[Bucket] = [Bucket() for _ in range(buckets)]
+
+    # ------------------------------------------------------------------ #
+    # hashing
+    # ------------------------------------------------------------------ #
+    def bucket_index(self, key: int) -> int:
+        """H(e): the bucket a key maps to."""
+        return hash64(key, self._seed) % self.num_buckets
+
+    # ------------------------------------------------------------------ #
+    # insertion (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def insert(self, key: int, count: int = 1) -> FPOutcome:
+        """Insert ``count`` occurrences of ``key``; maybe demote something.
+
+        Returns which of the four Algorithm-1 cases ran and the pair to push
+        into the element filter, if any.  The caller is responsible for the
+        AMA accounting and for actually routing the demoted pair.
+        """
+        bucket = self.buckets[self.bucket_index(key)]
+
+        for position, entry in enumerate(bucket.entries):
+            if entry[0] == key:  # case 1: already resident
+                entry[1] += count
+                return FPOutcome(case=1, accesses=position + 1)
+
+        if len(bucket.entries) < self.entries_per_bucket:  # case 2: room
+            scanned = len(bucket.entries) + 1
+            bucket.entries.append([key, count, False])
+            return FPOutcome(case=2, accesses=scanned)
+
+        full_scan = self.entries_per_bucket + 2  # entries + ecnt + flag
+        bucket.ecnt += 1
+        victim = bucket.min_entry()
+        if bucket.ecnt > self.lambda_evict * victim[1]:  # case 3: evict
+            demoted = (victim[0], victim[1])
+            victim[0] = key
+            victim[1] = count
+            victim[2] = True  # the newcomer may have prior mass below
+            bucket.flag = True
+            bucket.ecnt = 0
+            return FPOutcome(case=3, demoted=demoted, accesses=full_scan)
+
+        # case 4: the newcomer itself is deemed infrequent
+        return FPOutcome(case=4, demoted=(key, count), accesses=full_scan)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: int) -> Tuple[int, bool, bool]:
+        """Return ``(count, present, flag)`` for ``key``.
+
+        ``count`` is 0 when absent.  The flag tells the caller whether
+        Algorithm 4 must also consult the lower parts: for a resident it is
+        the entry's own flag, for an absent key trivially True (the lower
+        parts are the only place it can live).
+        """
+        bucket = self.buckets[self.bucket_index(key)]
+        entry = bucket.find(key)
+        if entry is None:
+            return 0, False, True
+        return entry[1], True, entry[2]
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All resident ``(key, count)`` pairs."""
+        for bucket in self.buckets:
+            for key, count, _flag in bucket.entries:
+                yield key, count
+
+    def flagged_items(self) -> Iterator[Tuple[int, int]]:
+        """Resident ``(key, count)`` pairs that may have mass below."""
+        for bucket in self.buckets:
+            for key, count, flag in bucket.entries:
+                if flag:
+                    yield key, count
+
+    def as_dict(self) -> Dict[int, int]:
+        """Resident entries as ``{key: count}``."""
+        return dict(self.items())
+
+    def __len__(self) -> int:
+        return sum(len(bucket.entries) for bucket in self.buckets)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident entries."""
+        return self.num_buckets * self.entries_per_bucket
+
+    # ------------------------------------------------------------------ #
+    # structure checks / construction helpers for set operations
+    # ------------------------------------------------------------------ #
+    def check_compatible(self, other: "FrequentPart") -> None:
+        """Raise unless ``other`` has identical geometry and hash seed."""
+        same = (
+            self.num_buckets == other.num_buckets
+            and self.entries_per_bucket == other.entries_per_bucket
+            and self._seed == other._seed
+        )
+        if not same:
+            raise IncompatibleSketchError(
+                "frequent parts differ in shape or hash seed"
+            )
+
+    def empty_like(self) -> "FrequentPart":
+        """A fresh FP with the same geometry and seed (for set-op results)."""
+        clone = FrequentPart.__new__(FrequentPart)
+        clone.num_buckets = self.num_buckets
+        clone.entries_per_bucket = self.entries_per_bucket
+        clone.lambda_evict = self.lambda_evict
+        clone._seed = self._seed
+        clone.buckets = [Bucket() for _ in range(self.num_buckets)]
+        return clone

@@ -1,0 +1,122 @@
+"""Serialization of DaVinci sketches to plain JSON-compatible state.
+
+The distributed-aggregation use case (paper Algorithm 3) ships sketches
+between measurement points and a collector; this module provides the wire
+format: a nested dict of ints/lists/strings that round-trips through
+``json`` (or msgpack, etc.) without loss.
+
+The state embeds the full :class:`~repro.core.config.DaVinciConfig`, so a
+deserialized sketch is merge-compatible with the original — same shapes,
+same hash seeds.
+
+    state = sketch.to_state()          # or serialization.to_state(sketch)
+    wire  = json.dumps(state)
+    twin  = DaVinciSketch.from_state(json.loads(wire))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import DaVinciConfig
+from repro.core.davinci import DaVinciSketch
+
+#: bumped when the wire format changes incompatibly
+STATE_VERSION = 1
+
+
+def to_state(sketch: DaVinciSketch) -> Dict[str, Any]:
+    """Capture a sketch's complete state as JSON-compatible data."""
+    config = sketch.config
+    return {
+        "version": STATE_VERSION,
+        "config": {
+            "fp_buckets": config.fp_buckets,
+            "fp_entries": config.fp_entries,
+            "ef_level_widths": list(config.ef_level_widths),
+            "ef_level_bits": list(config.ef_level_bits),
+            "ifp_rows": config.ifp_rows,
+            "ifp_width": config.ifp_width,
+            "lambda_evict": config.lambda_evict,
+            "filter_threshold": config.filter_threshold,
+            "prime": config.prime,
+            "seed": config.seed,
+        },
+        "mode": sketch.mode,
+        "total_count": sketch.total_count,
+        "frequent_part": [
+            {
+                "entries": [list(entry) for entry in bucket.entries],
+                "ecnt": bucket.ecnt,
+                "flag": bucket.flag,
+            }
+            for bucket in sketch.fp.buckets
+        ],
+        "element_filter": [list(level) for level in sketch.ef.levels],
+        "infrequent_part": {
+            "ids": [list(row) for row in sketch.ifp.ids],
+            "counts": [list(row) for row in sketch.ifp.counts],
+        },
+    }
+
+
+def from_state(state: Dict[str, Any]) -> DaVinciSketch:
+    """Rebuild a sketch from :func:`to_state` output."""
+    if not isinstance(state, dict) or "config" not in state:
+        raise ConfigurationError("not a DaVinci sketch state")
+    if state.get("version") != STATE_VERSION:
+        raise ConfigurationError(
+            f"unsupported state version {state.get('version')!r} "
+            f"(this build reads version {STATE_VERSION})"
+        )
+
+    raw = state["config"]
+    config = DaVinciConfig(
+        fp_buckets=raw["fp_buckets"],
+        fp_entries=raw["fp_entries"],
+        ef_level_widths=tuple(raw["ef_level_widths"]),
+        ef_level_bits=tuple(raw["ef_level_bits"]),
+        ifp_rows=raw["ifp_rows"],
+        ifp_width=raw["ifp_width"],
+        lambda_evict=raw["lambda_evict"],
+        filter_threshold=raw["filter_threshold"],
+        prime=raw["prime"],
+        seed=raw["seed"],
+    )
+    sketch = DaVinciSketch(config)
+    sketch.mode = state["mode"]
+    sketch.total_count = state["total_count"]
+
+    buckets_state = state["frequent_part"]
+    if len(buckets_state) != config.fp_buckets:
+        raise ConfigurationError("frequent-part state does not match config")
+    for bucket, bucket_state in zip(sketch.fp.buckets, buckets_state):
+        entries = [list(entry) for entry in bucket_state["entries"]]
+        if len(entries) > config.fp_entries:
+            raise ConfigurationError("bucket state exceeds entry capacity")
+        for entry in entries:
+            if len(entry) != 3:
+                raise ConfigurationError("FP entries must be [key, count, flag]")
+        bucket.entries = entries
+        bucket.ecnt = bucket_state["ecnt"]
+        bucket.flag = bool(bucket_state["flag"])
+
+    levels_state = state["element_filter"]
+    if [len(level) for level in levels_state] != list(config.ef_level_widths):
+        raise ConfigurationError("element-filter state does not match config")
+    sketch.ef.levels = [list(level) for level in levels_state]
+
+    ifp_state = state["infrequent_part"]
+    ids = [list(row) for row in ifp_state["ids"]]
+    counts = [list(row) for row in ifp_state["counts"]]
+    expected_shape = [config.ifp_width] * config.ifp_rows
+    if [len(row) for row in ids] != expected_shape or [
+        len(row) for row in counts
+    ] != expected_shape:
+        raise ConfigurationError("infrequent-part state does not match config")
+    sketch.ifp.ids = ids
+    sketch.ifp.counts = counts
+
+    sketch._decode_cache = None
+    return sketch

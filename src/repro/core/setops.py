@@ -1,0 +1,113 @@
+"""Set operations between DaVinci sketches (paper Algorithm 3).
+
+Both operations require the two inputs to share an identical
+:class:`~repro.core.config.DaVinciConfig` (same shapes, threshold, prime and
+hash seeds) — the element filter and infrequent part are combined
+counter-wise, which is only meaningful for identically-hashed structures.
+
+**Union.**  Per FP bucket, entries of both inputs are merged by key (counts
+summed); the top-``c`` merged entries stay in the result's frequent part and
+the leftovers are demoted through the result's filter pipeline.  The element
+filter is a saturating counter-wise sum and the infrequent part a field
+sum.  The result uses the *additive* query mode: after a merge an element
+may hold up to ``2T`` in the filter, so Algorithm 4's ``+T`` shortcut no
+longer applies and summing the three parts is the faithful query.
+
+**Difference.**  All three parts subtract, producing signed content.  Per
+FP bucket the merged signed deltas are ranked by magnitude; the top-``c``
+stay and leftovers are encoded directly into the (signed-capable)
+infrequent part — the filter's threshold pipeline is meaningless for
+negative counts.  Elements with equal counts in both inputs cancel
+everywhere, which is exactly the paper's ``A − B = {a, −b, d, −c}``
+semantics: positive deltas are "more in A", negative "more in B".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.davinci import (
+    MODE_ADDITIVE,
+    MODE_SIGNED,
+    MODE_STANDARD,
+    DaVinciSketch,
+)
+
+
+def _merged_bucket_entries(
+    a: DaVinciSketch, b: DaVinciSketch, bucket_index: int, signed: bool
+) -> List[Tuple[int, int]]:
+    """Key-merged entries of one bucket pair, largest magnitude first."""
+    merged: Dict[int, int] = {}
+    for key, count, _flag in a.fp.buckets[bucket_index].entries:
+        merged[key] = merged.get(key, 0) + count
+    sign = -1 if signed else 1
+    for key, count, _flag in b.fp.buckets[bucket_index].entries:
+        merged[key] = merged.get(key, 0) + sign * count
+    entries = [(key, count) for key, count in merged.items() if count != 0]
+    entries.sort(key=lambda kv: (-abs(kv[1]), kv[0]))
+    return entries
+
+
+def union(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
+    """Return a DaVinci sketch summarizing the multiset union (Alg. 3)."""
+    a.check_compatible(b)
+    result = a.empty_like()
+    result.mode = MODE_ADDITIVE
+    result.total_count = a.total_count + b.total_count
+
+    # Lower parts first, so that FP leftovers demoted below land on top of
+    # the already-merged filter content (Alg. 3, lines 12-17).
+    result.ef = a.ef.merged(b.ef)
+    result.ifp = a.ifp.merged(b.ifp)
+
+    capacity = result.fp.entries_per_bucket
+    for i in range(result.fp.num_buckets):
+        entries = _merged_bucket_entries(a, b, i, signed=False)
+        keep, leftovers = entries[:capacity], entries[capacity:]
+        bucket = result.fp.buckets[i]
+        # Merged entries are conservatively flagged: either input may hold
+        # more of the key's mass in its lower parts (additive queries add
+        # the lower parts regardless, so the flag only matters for
+        # bookkeeping and re-export).
+        bucket.entries = [[key, count, True] for key, count in keep]
+        bucket.ecnt = a.fp.buckets[i].ecnt + b.fp.buckets[i].ecnt
+        evicted_any = bool(leftovers)
+        bucket.flag = a.fp.buckets[i].flag or b.fp.buckets[i].flag or evicted_any
+        for key, count in leftovers:
+            overflow = result.ef.offer(key, count)
+            if overflow > 0:
+                result.ifp.insert(key, overflow)
+    result._decode_cache = None
+    return result
+
+
+def difference(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
+    """Return the signed difference sketch ``a − b``.
+
+    Supports arbitrary overlap (neither input needs to contain the other):
+    querying the result for a key yields ``f_a(key) − f_b(key)``, positive
+    when the key is heavier in ``a``.
+    """
+    a.check_compatible(b)
+    result = a.empty_like()
+    result.mode = MODE_SIGNED
+    result.total_count = a.total_count - b.total_count
+
+    result.ef = a.ef.subtracted(b.ef)
+    result.ifp = a.ifp.subtracted(b.ifp)
+
+    capacity = result.fp.entries_per_bucket
+    for i in range(result.fp.num_buckets):
+        entries = _merged_bucket_entries(a, b, i, signed=True)
+        keep, leftovers = entries[:capacity], entries[capacity:]
+        bucket = result.fp.buckets[i]
+        bucket.entries = [[key, count, True] for key, count in keep]
+        bucket.ecnt = a.fp.buckets[i].ecnt + b.fp.buckets[i].ecnt
+        bucket.flag = a.fp.buckets[i].flag or b.fp.buckets[i].flag or bool(leftovers)
+        for key, count in leftovers:
+            # Signed counts bypass the filter's (unsigned) threshold
+            # pipeline and are encoded exactly into the infrequent part.
+            result.ifp.insert(key, count)
+    result._decode_cache = None
+    return result

@@ -1,0 +1,25 @@
+"""Query-task implementations layered on the DaVinci structure.
+
+Each module implements one of the paper's measurement tasks on top of the
+three-part sketch; :class:`~repro.core.davinci.DaVinciSketch` exposes them
+as methods.  The EM machinery in :mod:`repro.core.tasks.distribution` is
+also reused by the MRAC, Elastic and FCM baselines.
+"""
+
+from repro.core.tasks.cardinality import cardinality, linear_counting_estimate
+from repro.core.tasks.distribution import CounterArrayEM, distribution
+from repro.core.tasks.entropy import entropy, entropy_of_distribution
+from repro.core.tasks.heavy import heavy_changers, heavy_hitters
+from repro.core.tasks.innerjoin import inner_join
+
+__all__ = [
+    "cardinality",
+    "linear_counting_estimate",
+    "CounterArrayEM",
+    "distribution",
+    "entropy",
+    "entropy_of_distribution",
+    "heavy_changers",
+    "heavy_hitters",
+    "inner_join",
+]

@@ -1,0 +1,203 @@
+"""Flow-size distribution estimation (paper: MRAC-style EM refinement).
+
+The estimate combines three sources:
+
+1. **Exact keys** — frequent-part residents and decoded infrequent-part
+   elements are queried individually and histogrammed.
+2. **Filter residents** — elements that still live (entirely) in the
+   element filter are invisible as keys; their size distribution is
+   recovered from the filter's level-0 counter *values* with the
+   expectation-maximization deconvolution of Kumar et al. [47], the same
+   machinery behind the MRAC baseline (which is why
+   :class:`CounterArrayEM` lives here and is imported by
+   :mod:`repro.sketches.mrac`, :mod:`repro.sketches.elastic` and
+   :mod:`repro.sketches.fcm`).
+3. **Cleaning** — a promoted element deposits (up to) ``T`` units in the
+   filter before overflowing; that mass would masquerade as a size-``T``
+   flow, so the counters of decoded elements are debited before the EM
+   pass.
+
+The EM model: counters receive a Poisson(λ) number of flows (λ = load
+factor from linear counting); a counter of value ``v`` is explained as one
+flow of size ``v`` or a pair ``(a, v−a)``.  Pair explanations dominate
+residual collisions at the sub-1 load factors sketches operate at;
+higher-order collisions are folded into the pair term (a documented
+simplification of the full partition enumeration, which is exponential).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.tasks.cardinality import linear_counting_over
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.davinci import DaVinciSketch
+
+
+class CounterArrayEM:
+    """EM deconvolution of a counter array into a flow-size distribution.
+
+    Parameters
+    ----------
+    iterations:
+        EM rounds; the estimate typically stabilizes within 5-10.
+    max_value:
+        Counter values above this are excluded (saturated counters carry no
+        size information; their flows are accounted for elsewhere).
+    """
+
+    def __init__(self, iterations: int = 8, max_value: Optional[int] = None) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        self.max_value = max_value
+
+    def estimate(self, counters: Sequence[int]) -> Dict[int, float]:
+        """Expected number of flows of each size hidden in ``counters``."""
+        num_counters = len(counters)
+        if num_counters == 0:
+            return {}
+
+        value_hist: Dict[int, int] = {}
+        for value in counters:
+            if value <= 0:
+                continue
+            if self.max_value is not None and value > self.max_value:
+                continue
+            value_hist[value] = value_hist.get(value, 0) + 1
+        if not value_hist:
+            return {}
+
+        load = linear_counting_over(counters) / num_counters
+        # Poisson weights for 1 vs 2 flows in a counter, conditioned on the
+        # counter being non-empty.  p2/p1 = λ/2.
+        pair_prior = max(1e-12, load / 2.0)
+
+        max_size = max(value_hist)
+        phi = self._initial_phi(value_hist, max_size)
+
+        for _ in range(self.iterations):
+            expected = [0.0] * (max_size + 1)
+            for value, multiplicity in value_hist.items():
+                weights: List[float] = []
+                splits: List[Optional[int]] = []
+                weights.append(phi[value])
+                splits.append(None)  # single-flow explanation
+                for a in range(1, value // 2 + 1):
+                    b = value - a
+                    symmetry = 1.0 if a == b else 2.0
+                    weights.append(pair_prior * symmetry * phi[a] * phi[b])
+                    splits.append(a)
+                total = sum(weights)
+                if total <= 0.0:
+                    expected[value] += multiplicity
+                    continue
+                scale = multiplicity / total
+                for weight, split in zip(weights, splits):
+                    share = weight * scale
+                    if split is None:
+                        expected[value] += share
+                    else:
+                        expected[split] += share
+                        expected[value - split] += share
+            total_flows = sum(expected)
+            if total_flows <= 0.0:
+                break
+            phi = [count / total_flows for count in expected]
+
+        return {
+            size: count
+            for size, count in enumerate(expected)
+            if size >= 1 and count > 1e-9
+        }
+
+    @staticmethod
+    def _initial_phi(value_hist: Dict[int, int], max_size: int) -> List[float]:
+        """Collision-free initialization: φ_v ∝ observed counter values."""
+        phi = [0.0] * (max_size + 1)
+        total = sum(value_hist.values())
+        for value, count in value_hist.items():
+            phi[value] = count / total
+        # A tiny floor lets EM discover sizes absent from the raw counters
+        # (e.g. a size only present inside collided counters).
+        floor = 1e-6
+        phi = [max(p, floor) for p in phi]
+        norm = sum(phi[1:])
+        return [0.0] + [p / norm for p in phi[1:]]
+
+
+def distribution(
+    sketch: "DaVinciSketch",
+    max_size: Optional[int] = None,
+    em_level: int = 0,
+) -> Dict[int, float]:
+    """Estimated flow-size distribution ``{size: #flows}`` of the sketch.
+
+    ``em_level`` selects which filter level feeds the EM deconvolution.
+    Level 0 (many small counters) resolves the per-size histogram best and
+    is the default; the top level (larger counters, no truncation at the
+    4-bit cap) preserves total mass better, which is what the entropy task
+    cares about — :func:`repro.core.tasks.entropy.entropy` passes the top
+    level explicitly.
+    """
+    histogram: Dict[int, float] = {}
+
+    fp_keys = sketch.fp.as_dict()
+    for key in fp_keys:
+        estimate = sketch.query(key)
+        if estimate > 0:
+            histogram[estimate] = histogram.get(estimate, 0.0) + 1.0
+
+    decoded = sketch.decode_counts()
+    for key in decoded:
+        if key in fp_keys:
+            continue  # already queried above (its IFP share included)
+        estimate = sketch.query(key)
+        if estimate > 0:
+            histogram[estimate] = histogram.get(estimate, 0.0) + 1.0
+
+    em_histogram = _filter_resident_distribution(
+        sketch, decoded, fp_keys, level=em_level
+    )
+    for size, count in em_histogram.items():
+        histogram[size] = histogram.get(size, 0.0) + count
+
+    if max_size is not None:
+        histogram = {s: c for s, c in histogram.items() if s <= max_size}
+    return histogram
+
+
+def _filter_resident_distribution(
+    sketch: "DaVinciSketch",
+    decoded: Dict[int, int],
+    fp_keys: Dict[int, int],
+    level: int = 0,
+) -> Dict[int, float]:
+    """EM over one filter level's counters, after debiting known mass."""
+    level = level % sketch.ef.num_levels
+    base = list(sketch.ef.levels[level])
+    threshold = sketch.ef.threshold
+    cap = sketch.ef.level_caps[level]
+
+    def index_of(key: int) -> int:
+        return sketch.ef._hashes.index(level, key)
+
+    # Debit the <= T units every promoted (decoded) element left behind.
+    for key in decoded:
+        j = index_of(key)
+        base[j] = max(0, base[j] - threshold)
+
+    # Debit filter mass of frequent-part alumni (flagged entries only —
+    # unflagged entries never visited the filter).
+    for key, _count in sketch.fp.flagged_items():
+        if key in decoded:
+            continue
+        residue = sketch.ef.query(key)
+        if 0 < residue < cap:
+            j = index_of(key)
+            base[j] = max(0, base[j] - min(residue, threshold))
+
+    em = CounterArrayEM(max_value=cap - 1)
+    return em.estimate(base)

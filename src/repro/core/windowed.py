@@ -1,0 +1,123 @@
+"""Windowed measurement: rotating DaVinci sketches over a stream.
+
+The heavy-changer task (and most operational monitoring) is defined over
+*time windows*: compare the current epoch against the previous one.  This
+utility owns the window lifecycle so applications don't have to:
+
+* :meth:`WindowedDaVinci.insert` feeds the current window and rotates it
+  automatically every ``window_size`` items (or on explicit
+  :meth:`rotate`, e.g. from a timer);
+* :meth:`heavy_changers` compares the two most recent *closed* windows;
+* :meth:`merged_view` folds all retained windows into one union sketch
+  for long-horizon queries;
+* per-window sketches remain accessible for any other task.
+
+All windows share one :class:`~repro.core.config.DaVinciConfig`, so every
+pairwise operation (difference for changers, union for the merged view)
+is well-defined.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import DaVinciConfig
+from repro.core.davinci import DaVinciSketch
+from repro.core.tasks.heavy import heavy_changers
+
+
+class WindowedDaVinci:
+    """A ring of DaVinci sketches over consecutive stream windows."""
+
+    def __init__(
+        self,
+        config: DaVinciConfig,
+        window_size: int,
+        retain: int = 2,
+    ) -> None:
+        if window_size <= 0:
+            raise ConfigurationError("window_size must be positive")
+        if retain < 1:
+            raise ConfigurationError("must retain at least one closed window")
+        self.config = config
+        self.window_size = window_size
+        self.retain = retain
+        self.current: DaVinciSketch = DaVinciSketch(config)
+        self._in_current: int = 0
+        #: most recent closed windows, newest last
+        self.closed: Deque[DaVinciSketch] = deque(maxlen=retain)
+        #: total windows closed since construction
+        self.windows_closed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # stream side
+    # ------------------------------------------------------------------ #
+    def insert(self, key, count: int = 1) -> None:
+        """Feed the current window; rotate when it reaches window_size."""
+        self.current.insert(key, count)
+        self._in_current += 1
+        if self._in_current >= self.window_size:
+            self.rotate()
+
+    def insert_all(self, keys) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def rotate(self) -> DaVinciSketch:
+        """Close the current window and start a fresh one.
+
+        Returns the closed window (also retained in :attr:`closed`).
+        Rotating an empty window is a no-op returning the newest closed
+        window (or the empty current one if nothing was ever closed).
+        """
+        if self._in_current == 0:
+            return self.closed[-1] if self.closed else self.current
+        closed = self.current
+        self.closed.append(closed)
+        self.windows_closed += 1
+        self.current = DaVinciSketch(self.config)
+        self._in_current = 0
+        return closed
+
+    # ------------------------------------------------------------------ #
+    # query side
+    # ------------------------------------------------------------------ #
+    def latest(self) -> Optional[DaVinciSketch]:
+        """The newest closed window (None before the first rotation)."""
+        return self.closed[-1] if self.closed else None
+
+    def previous(self) -> Optional[DaVinciSketch]:
+        """The window before the newest closed one."""
+        return self.closed[-2] if len(self.closed) >= 2 else None
+
+    def heavy_changers(self, threshold: int) -> Dict[int, int]:
+        """Keys whose count changed by >= ``threshold`` across the two most
+        recent closed windows (positive = grew)."""
+        newest, older = self.latest(), self.previous()
+        if newest is None or older is None:
+            return {}
+        return heavy_changers(newest, older, threshold)
+
+    def merged_view(self) -> DaVinciSketch:
+        """Union of every retained closed window plus the live one.
+
+        Gives a long-horizon sketch for frequency/HH/cardinality queries
+        spanning the retention period.
+        """
+        view = DaVinciSketch(self.config)
+        for window in list(self.closed) + [self.current]:
+            if window.total_count == 0:
+                continue
+            # always union (even with the empty seed) so the returned view
+            # is a fresh sketch, never an alias of a live window
+            view = view.union(window)
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowedDaVinci(window_size={self.window_size}, "
+            f"closed={len(self.closed)}/{self.retain}, "
+            f"in_current={self._in_current})"
+        )

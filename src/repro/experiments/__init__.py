@@ -1,0 +1,83 @@
+"""Experiment harness reproducing every figure and table of the paper."""
+
+from repro.experiments.export import (
+    cases_to_csv,
+    sweep_to_csv,
+    sweep_to_dict,
+    sweep_to_json,
+    table_to_csv,
+)
+from repro.experiments.figures import (
+    PANEL_RUNNERS,
+    figure1_flow_distribution,
+    figure_cardinality,
+    figure_difference,
+    figure_distribution,
+    figure_entropy,
+    figure_frequency,
+    figure_heavy_changers,
+    figure_heavy_hitters,
+    figure_inner_join,
+    figure_union,
+)
+from repro.experiments.harness import (
+    DEFAULT_MEMORIES_KB,
+    SweepResult,
+    build_davinci,
+    fill,
+    heavy_threshold,
+    run_sweep,
+)
+from repro.experiments.overall import (
+    DEFAULT_CASES_KB,
+    CaseResult,
+    overall_performance,
+    table3_accuracy,
+)
+from repro.experiments.suite import (
+    FULL_PANEL_ORDER,
+    davinci_wins,
+    run_full_evaluation,
+)
+from repro.experiments.report import (
+    render_cases,
+    render_distribution_curves,
+    render_sweep,
+    render_table3,
+)
+
+__all__ = [
+    "PANEL_RUNNERS",
+    "figure1_flow_distribution",
+    "figure_frequency",
+    "figure_heavy_hitters",
+    "figure_heavy_changers",
+    "figure_cardinality",
+    "figure_distribution",
+    "figure_entropy",
+    "figure_union",
+    "figure_difference",
+    "figure_inner_join",
+    "DEFAULT_MEMORIES_KB",
+    "SweepResult",
+    "build_davinci",
+    "fill",
+    "heavy_threshold",
+    "run_sweep",
+    "DEFAULT_CASES_KB",
+    "CaseResult",
+    "overall_performance",
+    "table3_accuracy",
+    "render_sweep",
+    "render_cases",
+    "render_table3",
+    "render_distribution_curves",
+    "cases_to_csv",
+    "sweep_to_csv",
+    "sweep_to_dict",
+    "sweep_to_json",
+    "table_to_csv",
+    "FULL_PANEL_ORDER",
+    "davinci_wins",
+    "run_full_evaluation",
+]

@@ -1,0 +1,135 @@
+"""Command-line runner for the paper's experiments.
+
+Usage (any panel, any dataset, any scale, from a shell)::
+
+    python -m repro.experiments figure frequency --dataset caida
+    python -m repro.experiments figure difference --mode inclusion
+    python -m repro.experiments figure1
+    python -m repro.experiments overall --cases 2,4,8,16
+    python -m repro.experiments table3 --scale 0.02
+
+The output is the same text rendering the benchmark suite prints, so a
+shell user can regenerate a single figure without invoking pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.figures import PANEL_RUNNERS, figure1_flow_distribution
+from repro.experiments.overall import (
+    DEFAULT_CASES_KB,
+    overall_performance,
+    table3_accuracy,
+)
+from repro.experiments.report import (
+    render_cases,
+    render_distribution_curves,
+    render_sweep,
+    render_table3,
+)
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(item) for item in text.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the DaVinci Sketch paper's figures/tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser("figure", help="one Figure 4/5/6 panel")
+    figure.add_argument("panel", choices=sorted(PANEL_RUNNERS))
+    figure.add_argument("--dataset", default="caida")
+    figure.add_argument("--scale", type=float, default=0.01)
+    figure.add_argument("--memories", type=_float_list, default=[2, 4, 6, 8])
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument(
+        "--mode",
+        default="overlap",
+        choices=["overlap", "inclusion"],
+        help="difference panel only",
+    )
+    figure.add_argument(
+        "--metric",
+        default="are",
+        choices=["are", "aae"],
+        help="frequency panel only (Fig. 7c uses aae)",
+    )
+
+    fig1 = subparsers.add_parser("figure1", help="flow-size CDFs (Fig. 1)")
+    fig1.add_argument("--scale", type=float, default=0.01)
+    fig1.add_argument("--seed", type=int, default=0)
+
+    overall = subparsers.add_parser("overall", help="Fig. 8 (AMA/throughput/memory)")
+    overall.add_argument("--scale", type=float, default=0.01)
+    overall.add_argument(
+        "--cases", type=_float_list, default=list(DEFAULT_CASES_KB)
+    )
+    overall.add_argument("--seed", type=int, default=0)
+    overall.add_argument("--dataset", default="caida")
+
+    table3 = subparsers.add_parser("table3", help="Table III (9 tasks × cases)")
+    table3.add_argument("--scale", type=float, default=0.01)
+    table3.add_argument(
+        "--cases", type=_float_list, default=list(DEFAULT_CASES_KB)
+    )
+    table3.add_argument("--seed", type=int, default=0)
+    table3.add_argument("--dataset", default="caida")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "figure":
+        runner = PANEL_RUNNERS[args.panel]
+        kwargs = dict(
+            dataset=args.dataset,
+            scale=args.scale,
+            memories_kb=tuple(args.memories),
+            seed=args.seed,
+        )
+        if args.panel == "difference":
+            kwargs["mode"] = args.mode
+        if args.panel == "frequency":
+            kwargs["metric"] = args.metric
+        print(render_sweep(runner(**kwargs)))
+        return 0
+
+    if args.command == "figure1":
+        curves = figure1_flow_distribution(scale=args.scale, seed=args.seed)
+        print(render_distribution_curves(curves))
+        return 0
+
+    if args.command == "overall":
+        results = overall_performance(
+            scale=args.scale,
+            cases_kb=tuple(args.cases),
+            seed=args.seed,
+            dataset=args.dataset,
+        )
+        print(render_cases(results))
+        return 0
+
+    if args.command == "table3":
+        rows = table3_accuracy(
+            scale=args.scale,
+            cases_kb=tuple(args.cases),
+            seed=args.seed,
+            dataset=args.dataset,
+        )
+        print(render_table3(rows))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

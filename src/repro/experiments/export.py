@@ -1,0 +1,116 @@
+"""Export experiment results to CSV / JSON for plotting.
+
+The text renderer in :mod:`repro.experiments.report` targets terminals;
+this module targets downstream tooling (pandas, gnuplot, spreadsheets):
+
+    result = figure_frequency(...)
+    export.sweep_to_csv(result, "fig4a.csv")
+    export.sweep_to_dict(result)         # JSON-ready
+
+    cases = overall_performance(...)
+    export.cases_to_csv(cases, "fig8.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.overall import CaseResult
+
+PathLike = Union[str, os.PathLike]
+
+
+def sweep_to_dict(result: SweepResult) -> Dict[str, Any]:
+    """A JSON-ready representation of one memory sweep."""
+    return {
+        "experiment": result.experiment,
+        "dataset": result.dataset,
+        "metric": result.metric,
+        "memories_kb": result.memories(),
+        "series": {
+            algorithm: {str(memory): value for memory, value in values.items()}
+            for algorithm, values in result.series.items()
+        },
+    }
+
+
+def sweep_to_csv(result: SweepResult, path: PathLike) -> int:
+    """Write a sweep as CSV (one row per algorithm); returns rows written."""
+    memories = result.memories()
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["experiment", "dataset", "metric", "algorithm"]
+            + [f"{memory:g}KB" for memory in memories]
+        )
+        rows = 0
+        for algorithm in result.algorithms():
+            values = result.series[algorithm]
+            writer.writerow(
+                [result.experiment, result.dataset, result.metric, algorithm]
+                + [values.get(memory, "") for memory in memories]
+            )
+            rows += 1
+    return rows
+
+
+def sweep_to_json(result: SweepResult, path: PathLike) -> None:
+    """Write a sweep as a JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_to_dict(result), handle, indent=2)
+
+
+def cases_to_csv(cases: Sequence[CaseResult], path: PathLike) -> int:
+    """Write Figure-8 case results as CSV; returns rows written."""
+    columns = [
+        "case",
+        "davinci_kb",
+        "csoa_kb",
+        "memory_percentage",
+        "davinci_ama",
+        "csoa_ama",
+        "ama_percentage",
+        "davinci_mops",
+        "csoa_mops",
+        "throughput_ratio",
+    ]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for case in cases:
+            writer.writerow(
+                [
+                    case.case,
+                    case.davinci_kb,
+                    case.csoa_kb,
+                    case.memory_percentage,
+                    case.davinci_ama,
+                    case.csoa_ama,
+                    case.ama_percentage,
+                    case.davinci_mops,
+                    case.csoa_mops,
+                    case.throughput_ratio,
+                ]
+            )
+    return len(cases)
+
+
+def table_to_csv(
+    rows: Sequence[Mapping[str, float]], path: PathLike
+) -> int:
+    """Write Table-III-style rows (dicts sharing keys) as CSV."""
+    if not rows:
+        with open(path, "w", encoding="utf-8"):
+            pass
+        return 0
+    columns: List[str] = list(rows[0])
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return len(rows)

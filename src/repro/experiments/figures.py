@@ -1,0 +1,491 @@
+"""Per-panel experiment runners for the paper's Figures 1 and 4-7.
+
+Each ``figure_*`` function reproduces one panel type for one dataset:
+build every competitor at each memory budget, feed the same trace, and
+score with the panel's metric.  Figures 4, 5 and 6 are the same ten panels
+over the CAIDA-, MAWI- and TPC-DS-like traces (pass ``dataset=``);
+Figure 7c is the frequency panel scored with AAE.
+
+Evaluation conventions (matching the literature's, and noted in
+EXPERIMENTS.md):
+
+* keyless sketches (CM/CU/FCM/MRAC) cannot enumerate heavy candidates, so
+  heavy-hitter/-changer panels query them over the ground-truth key set —
+  a *generous* treatment of those baselines;
+* key-storing algorithms (DaVinci, Elastic, HashPipe, Coco, UnivMon,
+  CountHeap) report only keys they actually track.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.harness import (
+    DEFAULT_MEMORIES_KB,
+    HEAVY_CHANGER_FRACTION,
+    HEAVY_HITTER_FRACTION,
+    SweepResult,
+    build_davinci,
+    fill,
+    heavy_threshold,
+    run_sweep,
+)
+from repro.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    relative_error,
+    weighted_mean_relative_error,
+)
+from repro.sketches import (
+    MRAC,
+    CocoSketch,
+    CountHeap,
+    CountMinSketch,
+    CUSketch,
+    ElasticSketch,
+    FastAGMS,
+    FCMSketch,
+    FermatSketch,
+    FlowRadar,
+    HashPipe,
+    JoinSketch,
+    LossRadar,
+    SkimmedSketch,
+    UnivMon,
+)
+from repro.workloads import (
+    correlated_pair,
+    halves,
+    inclusion_split,
+    load_trace,
+    overlap_thirds,
+)
+from repro.workloads import groundtruth as gt
+
+#: default trace scale (the paper's multi-million-packet traces ÷ 50)
+DEFAULT_SCALE = 0.02
+
+
+# --------------------------------------------------------------------- #
+# Figure 1 — flow-size skew of the datasets
+# --------------------------------------------------------------------- #
+def figure1_flow_distribution(
+    scale: float = DEFAULT_SCALE, seed: int = 0
+) -> Dict[str, List[Tuple[int, float]]]:
+    """CDF of flow sizes per dataset: ``[(size, fraction of flows ≤ size)]``.
+
+    Reproduces the paper's motivation figure: a handful of elephants and a
+    long mouse tail in every dataset.
+    """
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for dataset in ("caida", "mawi", "tpcds"):
+        trace = load_trace(dataset, scale=scale, seed=seed)
+        sizes = sorted(gt.frequencies(trace).values())
+        total = len(sizes)
+        curve: List[Tuple[int, float]] = []
+        seen = 0
+        previous = None
+        for size in sizes:
+            seen += 1
+            if size != previous:
+                curve.append((size, seen / total))
+                previous = size
+            else:
+                curve[-1] = (size, seen / total)
+        curves[dataset] = curve
+    return curves
+
+
+# --------------------------------------------------------------------- #
+# Figures 4a/5a/6a (+7c) — element frequency
+# --------------------------------------------------------------------- #
+def figure_frequency(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+    metric: str = "are",
+) -> SweepResult:
+    """Frequency estimation error vs memory (ARE, or AAE for Fig. 7c)."""
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    truth = gt.frequencies(trace)
+    score = (
+        average_relative_error if metric == "are" else average_absolute_error
+    )
+
+    def scored(sketch) -> float:
+        return score(truth, fill(sketch, trace).query)
+
+    algorithms = {
+        "DaVinci": lambda kb: scored(build_davinci(kb, seed=seed + 1)),
+        "CM": lambda kb: scored(CountMinSketch.from_memory(kb * 1024, seed=seed + 2)),
+        "CU": lambda kb: scored(CUSketch.from_memory(kb * 1024, seed=seed + 3)),
+        "Elastic": lambda kb: scored(ElasticSketch.from_memory(kb * 1024, seed=seed + 4)),
+        "FCM": lambda kb: scored(FCMSketch.from_memory(kb * 1024, seed=seed + 5)),
+    }
+    return run_sweep(
+        f"frequency-{metric}", dataset, metric.upper(), algorithms, memories_kb
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figures 4b/5b/6b — heavy hitters
+# --------------------------------------------------------------------- #
+def figure_heavy_hitters(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Heavy-hitter F1 vs memory (threshold ≈ 0.02% of packets)."""
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    truth = gt.frequencies(trace)
+    threshold = heavy_threshold(len(trace), HEAVY_HITTER_FRACTION)
+    correct = gt.heavy_hitters(truth, threshold)
+    candidates = list(truth)  # for keyless sketches only
+
+    def f1_of(reported) -> float:
+        return f1_score(set(reported), correct)
+
+    def keyless_f1(sketch) -> float:
+        fill(sketch, trace)
+        return f1_of(k for k in candidates if sketch.query(k) >= threshold)
+
+    algorithms = {
+        "DaVinci": lambda kb: f1_of(
+            fill(build_davinci(kb, seed=seed + 1), trace).heavy_hitters(threshold)
+        ),
+        "Elastic": lambda kb: f1_of(
+            fill(ElasticSketch.from_memory(kb * 1024, seed=seed + 4), trace)
+            .heavy_hitters(threshold)
+        ),
+        "HashPipe": lambda kb: f1_of(
+            fill(HashPipe.from_memory(kb * 1024, seed=seed + 6), trace)
+            .heavy_hitters(threshold)
+        ),
+        "Coco": lambda kb: f1_of(
+            fill(CocoSketch.from_memory(kb * 1024, seed=seed + 7), trace)
+            .heavy_hitters(threshold)
+        ),
+        "UnivMon": lambda kb: f1_of(
+            fill(UnivMon.from_memory(kb * 1024, seed=seed + 8), trace)
+            .heavy_hitters(threshold)
+        ),
+        "CountHeap": lambda kb: f1_of(
+            fill(CountHeap.from_memory(kb * 1024, seed=seed + 9), trace)
+            .heavy_hitters(threshold)
+        ),
+        "FCM": lambda kb: keyless_f1(FCMSketch.from_memory(kb * 1024, seed=seed + 5)),
+    }
+    return run_sweep("heavy-hitter", dataset, "F1", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4c/5c/6c — heavy changers
+# --------------------------------------------------------------------- #
+def figure_heavy_changers(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Heavy-changer F1 between the trace's two halves."""
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    first, second = halves(trace)
+    freq_a, freq_b = gt.frequencies(first), gt.frequencies(second)
+    threshold = heavy_threshold(len(trace), HEAVY_CHANGER_FRACTION)
+    correct = gt.heavy_changers(freq_a, freq_b, threshold)
+    candidates = list(set(freq_a) | set(freq_b))
+
+    def f1_of(reported) -> float:
+        return f1_score(set(reported), correct)
+
+    def davinci(kb: float) -> float:
+        from repro.core.tasks.heavy import heavy_changers
+
+        sketch_a = fill(build_davinci(kb, seed=seed + 1), first)
+        sketch_b = fill(build_davinci(kb, seed=seed + 1), second)
+        return f1_of(heavy_changers(sketch_a, sketch_b, threshold))
+
+    def by_query_diff(make) -> float:
+        sketch_a, sketch_b = make(), make()
+        fill(sketch_a, first)
+        fill(sketch_b, second)
+        return f1_of(
+            k
+            for k in candidates
+            if abs(sketch_a.query(k) - sketch_b.query(k)) >= threshold
+        )
+
+    algorithms = {
+        "DaVinci": davinci,
+        "FCM": lambda kb: by_query_diff(
+            lambda: FCMSketch.from_memory(kb * 1024, seed=seed + 5)
+        ),
+        "Elastic": lambda kb: by_query_diff(
+            lambda: ElasticSketch.from_memory(kb * 1024, seed=seed + 4)
+        ),
+        "UnivMon": lambda kb: by_query_diff(
+            lambda: UnivMon.from_memory(kb * 1024, seed=seed + 8)
+        ),
+        "CountHeap": lambda kb: by_query_diff(
+            lambda: CountHeap.from_memory(kb * 1024, seed=seed + 9)
+        ),
+    }
+    return run_sweep("heavy-changer", dataset, "F1", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4d/5d/6d — cardinality
+# --------------------------------------------------------------------- #
+def figure_cardinality(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Cardinality relative error vs memory."""
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    true_card = float(gt.cardinality(trace))
+
+    def scored(sketch) -> float:
+        return relative_error(true_card, fill(sketch, trace).cardinality())
+
+    algorithms = {
+        "DaVinci": lambda kb: scored(build_davinci(kb, seed=seed + 1)),
+        "Elastic": lambda kb: scored(
+            ElasticSketch.from_memory(kb * 1024, seed=seed + 4)
+        ),
+        "FCM": lambda kb: scored(FCMSketch.from_memory(kb * 1024, seed=seed + 5)),
+        "UnivMon": lambda kb: scored(UnivMon.from_memory(kb * 1024, seed=seed + 8)),
+    }
+    return run_sweep("cardinality", dataset, "RE", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4e/5e/6e — flow-size distribution
+# --------------------------------------------------------------------- #
+def figure_distribution(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Distribution WMRE vs memory."""
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    true_hist = gt.size_distribution(gt.frequencies(trace))
+
+    def scored(histogram) -> float:
+        return weighted_mean_relative_error(true_hist, histogram)
+
+    algorithms = {
+        "DaVinci": lambda kb: scored(
+            fill(build_davinci(kb, seed=seed + 1), trace).distribution()
+        ),
+        "Elastic": lambda kb: scored(
+            fill(ElasticSketch.from_memory(kb * 1024, seed=seed + 4), trace)
+            .distribution()
+        ),
+        "FCM": lambda kb: scored(
+            fill(FCMSketch.from_memory(kb * 1024, seed=seed + 5), trace)
+            .distribution()
+        ),
+        "MRAC": lambda kb: scored(
+            fill(MRAC.from_memory(kb * 1024, seed=seed + 10), trace).distribution()
+        ),
+    }
+    return run_sweep("distribution", dataset, "WMRE", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4f/5f/6f — entropy
+# --------------------------------------------------------------------- #
+def figure_entropy(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Entropy relative error vs memory."""
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    true_entropy = gt.entropy(gt.frequencies(trace))
+    total = float(len(trace))
+
+    algorithms = {
+        "DaVinci": lambda kb: relative_error(
+            true_entropy, fill(build_davinci(kb, seed=seed + 1), trace).entropy()
+        ),
+        "Elastic": lambda kb: relative_error(
+            true_entropy,
+            fill(ElasticSketch.from_memory(kb * 1024, seed=seed + 4), trace)
+            .entropy(total),
+        ),
+        "FCM": lambda kb: relative_error(
+            true_entropy,
+            fill(FCMSketch.from_memory(kb * 1024, seed=seed + 5), trace)
+            .entropy(total),
+        ),
+        "MRAC": lambda kb: relative_error(
+            true_entropy,
+            fill(MRAC.from_memory(kb * 1024, seed=seed + 10), trace).entropy(total),
+        ),
+        "UnivMon": lambda kb: relative_error(
+            true_entropy,
+            fill(UnivMon.from_memory(kb * 1024, seed=seed + 8), trace)
+            .entropy(total),
+        ),
+    }
+    return run_sweep("entropy", dataset, "RE", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4g/5g/6g — union of two sets
+# --------------------------------------------------------------------- #
+def figure_union(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Frequency ARE measured on the union of the trace's two halves.
+
+    Every sketch is built per half with identical seeds, merged, and
+    queried against the exact union frequencies (the paper's protocol:
+    "first compute the union and then calculate the frequency").
+    """
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    first, second = halves(trace)
+    truth = gt.multiset_union(gt.frequencies(first), gt.frequencies(second))
+
+    def merged_error(make, combine) -> float:
+        sketch_a, sketch_b = make(), make()
+        fill(sketch_a, first)
+        fill(sketch_b, second)
+        merged = combine(sketch_a, sketch_b)
+        return average_relative_error(truth, merged.query)
+
+    algorithms = {
+        "DaVinci": lambda kb: merged_error(
+            lambda: build_davinci(kb, seed=seed + 1), lambda a, b: a.union(b)
+        ),
+        "Elastic": lambda kb: merged_error(
+            lambda: ElasticSketch.from_memory(kb * 1024, seed=seed + 4),
+            lambda a, b: a.merge(b),
+        ),
+        "Fermat": lambda kb: merged_error(
+            lambda: FermatSketch.from_memory(kb * 1024, seed=seed + 11),
+            lambda a, b: a.merge(b),
+        ),
+    }
+    return run_sweep("union", dataset, "ARE", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4h,i/5h,i/6h,i — difference of two sets
+# --------------------------------------------------------------------- #
+def figure_difference(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+    mode: str = "overlap",
+) -> SweepResult:
+    """Signed-difference frequency ARE vs memory.
+
+    ``mode='overlap'`` subtracts the last two-thirds from the first
+    two-thirds (operands overlap but neither contains the other);
+    ``mode='inclusion'`` subtracts the first half from the whole trace
+    (B ⊂ A, the packet-loss scenario).
+    """
+    trace = load_trace(dataset, scale=scale, seed=seed)
+    if mode == "overlap":
+        left, right = overlap_thirds(trace)
+    elif mode == "inclusion":
+        left, right = inclusion_split(trace)
+    else:
+        raise ValueError("mode must be 'overlap' or 'inclusion'")
+    truth = gt.multiset_difference(gt.frequencies(left), gt.frequencies(right))
+
+    def davinci(kb: float) -> float:
+        sketch_a = fill(build_davinci(kb, seed=seed + 1), left)
+        sketch_b = fill(build_davinci(kb, seed=seed + 1), right)
+        delta = sketch_a.difference(sketch_b)
+        return average_relative_error(truth, delta.query)
+
+    def decoder(make) -> float:
+        sketch_a, sketch_b = make(), make()
+        fill(sketch_a, left)
+        fill(sketch_b, right)
+        decoded = sketch_a.subtract(sketch_b).decode()
+        return average_relative_error(truth, lambda k: decoded.get(k, 0))
+
+    algorithms = {
+        "DaVinci": davinci,
+        "LossRadar": lambda kb: decoder(
+            lambda: LossRadar.from_memory(kb * 1024, seed=seed + 12)
+        ),
+        "FlowRadar": lambda kb: decoder(
+            lambda: FlowRadar.from_memory(kb * 1024, seed=seed + 13)
+        ),
+        "Fermat": lambda kb: decoder(
+            lambda: FermatSketch.from_memory(kb * 1024, seed=seed + 11)
+        ),
+    }
+    return run_sweep(f"difference-{mode}", dataset, "ARE", algorithms, memories_kb)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4j/5j/6j — cardinality of the inner join
+# --------------------------------------------------------------------- #
+def figure_inner_join(
+    dataset: str = "caida",
+    scale: float = DEFAULT_SCALE,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+) -> SweepResult:
+    """Join-size relative error between two correlated traces."""
+    left, right = correlated_pair(dataset, scale=scale, seed=seed)
+    true_join = float(
+        gt.inner_product(gt.frequencies(left), gt.frequencies(right))
+    )
+
+    def paired(make, estimate) -> float:
+        sketch_a, sketch_b = make(), make()
+        fill(sketch_a, left)
+        fill(sketch_b, right)
+        return relative_error(true_join, estimate(sketch_a, sketch_b))
+
+    algorithms = {
+        "DaVinci": lambda kb: paired(
+            lambda: build_davinci(kb, seed=seed + 1),
+            lambda a, b: a.inner_join(b),
+        ),
+        "JoinSketch": lambda kb: paired(
+            lambda: JoinSketch.from_memory(kb * 1024, seed=seed + 14),
+            lambda a, b: a.inner_product(b),
+        ),
+        "F-AGMS": lambda kb: paired(
+            lambda: FastAGMS.from_memory(kb * 1024, seed=seed + 15),
+            lambda a, b: a.inner_product(b),
+        ),
+        "Skimmed": lambda kb: paired(
+            lambda: SkimmedSketch.from_memory(kb * 1024, seed=seed + 16),
+            lambda a, b: a.inner_product(b),
+        ),
+    }
+    return run_sweep("inner-join", dataset, "RE", algorithms, memories_kb)
+
+
+#: every per-panel runner, keyed as in DESIGN.md's experiment index
+PANEL_RUNNERS = {
+    "frequency": figure_frequency,
+    "heavy-hitter": figure_heavy_hitters,
+    "heavy-changer": figure_heavy_changers,
+    "cardinality": figure_cardinality,
+    "distribution": figure_distribution,
+    "entropy": figure_entropy,
+    "union": figure_union,
+    "difference": figure_difference,
+    "inner-join": figure_inner_join,
+}

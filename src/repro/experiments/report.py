@@ -1,0 +1,137 @@
+"""Plain-text rendering of experiment results.
+
+The benches print these tables into the pytest-benchmark output so a run's
+stdout *is* the reproduced figure: one row per algorithm, one column per
+memory point, mirroring the paper's line charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.overall import CaseResult
+
+
+def format_value(value: float) -> str:
+    """Compact numeric formatting across the magnitudes our metrics span."""
+    if value != value:  # NaN
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    if abs(value) >= 0.01:
+        return f"{value:.3f}"
+    return f"{value:.2e}"
+
+
+def render_sweep(result: SweepResult) -> str:
+    """One figure panel as an aligned text table."""
+    memories = result.memories()
+    header = [f"{result.experiment} [{result.metric}] on {result.dataset}"]
+    columns = ["algorithm"] + [f"{memory:g}KB" for memory in memories]
+    rows: List[List[str]] = [columns]
+    for algorithm in result.algorithms():
+        row = [algorithm]
+        for memory in memories:
+            value = result.series[algorithm].get(memory)
+            row.append("-" if value is None else format_value(value))
+        rows.append(row)
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(columns))
+    ]
+    lines = header + [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def render_cases(results: Sequence[CaseResult]) -> str:
+    """Figure 8 (AMA / throughput / memory) as a text table."""
+    columns = [
+        "case",
+        "DV KB",
+        "CSOA KB",
+        "mem%",
+        "DV AMA",
+        "CSOA AMA",
+        "AMA%",
+        "DV Mops",
+        "CSOA Mops",
+        "speedup",
+    ]
+    rows = [columns]
+    for case in results:
+        rows.append(
+            [
+                str(case.case),
+                format_value(case.davinci_kb),
+                format_value(case.csoa_kb),
+                f"{100 * case.memory_percentage:.1f}%",
+                format_value(case.davinci_ama),
+                format_value(case.csoa_ama),
+                f"{100 * case.ama_percentage:.1f}%",
+                format_value(case.davinci_mops),
+                format_value(case.csoa_mops),
+                f"{case.throughput_ratio:.1f}x",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(columns))]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join(["overall performance (Fig. 8)"] + lines)
+
+
+_TABLE3_COLUMNS = (
+    ("case", "case"),
+    ("memory_kb", "KB"),
+    ("frequency", "Freq ARE"),
+    ("heavy_hitter", "HH F1"),
+    ("heavy_changer", "HC F1"),
+    ("cardinality", "Card RE"),
+    ("distribution", "Dist WMRE"),
+    ("entropy", "Entr RE"),
+    ("union", "Union ARE"),
+    ("difference", "Diff ARE"),
+    ("inner_join", "Join RE"),
+)
+
+
+def render_table3(rows: Sequence[Mapping[str, float]]) -> str:
+    """Table III (accuracy under different cases) as a text table."""
+    table = [[label for _, label in _TABLE3_COLUMNS]]
+    for row in rows:
+        table.append(
+            [format_value(float(row[key])) for key, _ in _TABLE3_COLUMNS]
+        )
+    widths = [max(len(line[i]) for line in table) for i in range(len(table[0]))]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        for line in table
+    ]
+    return "\n".join(["accuracy under different cases (Table III)"] + lines)
+
+
+def render_distribution_curves(
+    curves: Mapping[str, Sequence[tuple]], points: int = 8
+) -> str:
+    """Figure 1's CDF curves, down-sampled to a few anchor points."""
+    lines = ["flow-size CDFs (Fig. 1)"]
+    for dataset, curve in curves.items():
+        if not curve:
+            continue
+        step = max(1, len(curve) // points)
+        sampled = list(curve[::step])
+        if sampled[-1] != curve[-1]:
+            sampled.append(curve[-1])
+        text = ", ".join(f"size<={size}: {cdf:.2f}" for size, cdf in sampled)
+        lines.append(f"  {dataset}: {text}")
+    return "\n".join(lines)

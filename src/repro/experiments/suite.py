@@ -1,0 +1,125 @@
+"""One-call evaluation suites.
+
+:func:`run_full_evaluation` regenerates every Figure-4/5/6 panel for one
+dataset and returns the results keyed as in DESIGN.md's experiment index —
+the programmatic equivalent of running the whole benchmark directory, for
+notebook/analysis use:
+
+    results = run_full_evaluation("caida", scale=0.01)
+    print(render_sweep(results["frequency"]))
+    sweep_to_csv(results["inner-join"], "join.csv")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments.figures import (
+    figure_cardinality,
+    figure_difference,
+    figure_distribution,
+    figure_entropy,
+    figure_frequency,
+    figure_heavy_changers,
+    figure_heavy_hitters,
+    figure_inner_join,
+    figure_union,
+)
+from repro.experiments.harness import DEFAULT_MEMORIES_KB, SweepResult
+
+#: the full panel set of Figures 4/5/6, in the paper's order
+FULL_PANEL_ORDER = (
+    "frequency",
+    "heavy-hitter",
+    "heavy-changer",
+    "cardinality",
+    "distribution",
+    "entropy",
+    "union",
+    "difference-overlap",
+    "difference-inclusion",
+    "inner-join",
+)
+
+
+def run_full_evaluation(
+    dataset: str = "caida",
+    scale: float = 0.01,
+    memories_kb: Sequence[float] = DEFAULT_MEMORIES_KB,
+    seed: int = 0,
+    panels: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, SweepResult]:
+    """Run every panel (or a chosen subset) for one dataset.
+
+    ``progress`` is called with each panel name before it runs (hook for
+    logging/spinners).  Returns ``{panel name: SweepResult}``.
+    """
+    runners: Dict[str, Callable[[], SweepResult]] = {
+        "frequency": lambda: figure_frequency(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "heavy-hitter": lambda: figure_heavy_hitters(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "heavy-changer": lambda: figure_heavy_changers(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "cardinality": lambda: figure_cardinality(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "distribution": lambda: figure_distribution(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "entropy": lambda: figure_entropy(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "union": lambda: figure_union(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+        "difference-overlap": lambda: figure_difference(
+            dataset=dataset,
+            scale=scale,
+            memories_kb=memories_kb,
+            seed=seed,
+            mode="overlap",
+        ),
+        "difference-inclusion": lambda: figure_difference(
+            dataset=dataset,
+            scale=scale,
+            memories_kb=memories_kb,
+            seed=seed,
+            mode="inclusion",
+        ),
+        "inner-join": lambda: figure_inner_join(
+            dataset=dataset, scale=scale, memories_kb=memories_kb, seed=seed
+        ),
+    }
+    selected = panels if panels is not None else FULL_PANEL_ORDER
+    unknown = [name for name in selected if name not in runners]
+    if unknown:
+        raise ValueError(f"unknown panels: {unknown}; choose from {FULL_PANEL_ORDER}")
+
+    results: Dict[str, SweepResult] = {}
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        results[name] = runners[name]()
+    return results
+
+
+def davinci_wins(results: Dict[str, SweepResult]) -> Dict[str, bool]:
+    """For each panel, whether DaVinci is the best algorithm at the top
+    memory point (F1 panels are higher-is-better, error panels lower)."""
+    verdicts: Dict[str, bool] = {}
+    for name, result in results.items():
+        memories = result.memories()
+        if not memories:
+            verdicts[name] = False
+            continue
+        higher_is_better = result.metric.upper() == "F1"
+        best = result.best_algorithm_at(
+            max(memories), lower_is_better=not higher_is_better
+        )
+        verdicts[name] = best == "DaVinci"
+    return verdicts

@@ -1,0 +1,37 @@
+"""Evaluation metrics: accuracy, memory/AMA, throughput."""
+
+from repro.metrics.accuracy import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    precision_recall,
+    relative_error,
+    weighted_mean_relative_error,
+)
+from repro.metrics.memory import (
+    MemoryComparison,
+    combined_ama,
+    kb,
+    memory_comparison,
+)
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_insert_throughput,
+    speedup,
+)
+
+__all__ = [
+    "average_absolute_error",
+    "average_relative_error",
+    "f1_score",
+    "precision_recall",
+    "relative_error",
+    "weighted_mean_relative_error",
+    "MemoryComparison",
+    "combined_ama",
+    "kb",
+    "memory_comparison",
+    "ThroughputResult",
+    "measure_insert_throughput",
+    "speedup",
+]

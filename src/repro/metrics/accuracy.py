@@ -1,0 +1,86 @@
+"""Accuracy metrics exactly as defined in the paper's Metrics paragraph.
+
+* ARE — Average Relative Error over a key set.
+* AAE — Average Absolute Error over a key set.
+* F1  — harmonic mean of precision and recall of a reported key set.
+* RE  — relative error of a scalar statistic.
+* WMRE — Weighted Mean Relative Error between two size histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Set, Tuple
+
+
+def average_relative_error(
+    truth: Mapping[int, int], estimate: Callable[[int], float]
+) -> float:
+    """ARE = (1/|Ω|) Σ |v − v̂| / |v| over the keys of ``truth``.
+
+    Keys with true value 0 are excluded (the paper's Ω only contains
+    elements of the set; a 0 denominator is undefined).
+    """
+    total = 0.0
+    count = 0
+    for key, value in truth.items():
+        if value == 0:
+            continue
+        total += abs(value - estimate(key)) / abs(value)
+        count += 1
+    return total / count if count else 0.0
+
+
+def average_absolute_error(
+    truth: Mapping[int, int], estimate: Callable[[int], float]
+) -> float:
+    """AAE = (1/|Ω|) Σ |v − v̂| over the keys of ``truth``."""
+    if not truth:
+        return 0.0
+    total = sum(abs(value - estimate(key)) for key, value in truth.items())
+    return total / len(truth)
+
+
+def precision_recall(
+    reported: Set[int], correct: Set[int]
+) -> Tuple[float, float]:
+    """(precision, recall) of a reported key set vs the correct one."""
+    if not reported:
+        return (1.0 if not correct else 0.0, 0.0 if correct else 1.0)
+    hits = len(reported & correct)
+    precision = hits / len(reported)
+    recall = hits / len(correct) if correct else 1.0
+    return precision, recall
+
+
+def f1_score(reported: Set[int], correct: Set[int]) -> float:
+    """F1 = 2·PR·RR / (PR + RR); 1.0 when both sets are empty."""
+    if not reported and not correct:
+        return 1.0
+    precision, recall = precision_recall(reported, correct)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def relative_error(truth: float, estimate: float) -> float:
+    """RE = |Tru − Est| / Tru (0 truth with 0 estimate gives 0)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(truth - estimate) / abs(truth)
+
+
+def weighted_mean_relative_error(
+    truth_hist: Mapping[int, float], estimate_hist: Mapping[int, float]
+) -> float:
+    """WMRE = Σ|nᵢ − n̂ᵢ| / Σ((nᵢ + n̂ᵢ)/2), summed over all sizes."""
+    sizes = set(truth_hist) | set(estimate_hist)
+    numerator = 0.0
+    denominator = 0.0
+    for size in sizes:
+        true_count = float(truth_hist.get(size, 0.0))
+        est_count = float(estimate_hist.get(size, 0.0))
+        numerator += abs(true_count - est_count)
+        denominator += (true_count + est_count) / 2.0
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,62 @@
+"""Memory and memory-access accounting (paper Figures 8a and 8c).
+
+Average Memory Access (AMA) is "the total number of memory accesses
+divided by the total number of insertions" (paper footnote 5); every
+sketch tracks its own access counter (see
+:class:`repro.sketches.base.Sketch`), and this module aggregates and
+compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.sketches.base import Sketch
+
+
+@dataclass(frozen=True)
+class MemoryComparison:
+    """Memory consumption of DaVinci vs a composite baseline for one case."""
+
+    davinci_bytes: float
+    baseline_bytes: float
+
+    @property
+    def savings_bytes(self) -> float:
+        """Bytes saved by the unified structure."""
+        return self.baseline_bytes - self.davinci_bytes
+
+    @property
+    def percentage(self) -> float:
+        """DaVinci's memory as a fraction of the baseline's (Fig. 8c)."""
+        if self.baseline_bytes <= 0:
+            return 0.0
+        return self.davinci_bytes / self.baseline_bytes
+
+
+def combined_ama(sketches: Sequence[Sketch]) -> float:
+    """AMA of a composite algorithm that feeds every insert to all parts.
+
+    The insertion count of a composite is the number of *stream* items, not
+    the sum over parts — each part sees every item, so the per-item access
+    cost is the sum of the parts' per-item costs.
+    """
+    if not sketches:
+        return 0.0
+    return sum(sketch.average_memory_access() for sketch in sketches)
+
+
+def memory_comparison(
+    davinci: Sketch, baseline_parts: Sequence[Sketch]
+) -> MemoryComparison:
+    """Compare one DaVinci sketch with a multi-structure baseline."""
+    return MemoryComparison(
+        davinci_bytes=davinci.memory_bytes(),
+        baseline_bytes=sum(part.memory_bytes() for part in baseline_parts),
+    )
+
+
+def kb(num_bytes: float) -> float:
+    """Bytes → kilobytes (the unit used throughout the paper's figures)."""
+    return num_bytes / 1024.0

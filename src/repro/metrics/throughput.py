@@ -1,0 +1,55 @@
+"""Throughput measurement (paper Figure 8b).
+
+The paper reports Mpps on a C++/-O3 testbed; a pure-Python build cannot
+match the absolute numbers, so — per the paper's actual claim, which is
+*relative* (DaVinci ≥ 23× the composite baseline) — the harness reports
+both raw Mops and the ratio between algorithms measured under identical
+conditions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Insertions per second for one measured run."""
+
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.operations / self.seconds
+
+    @property
+    def mops(self) -> float:
+        """Million operations per second (the paper's Mpps analogue)."""
+        return self.ops_per_second / 1e6
+
+
+def measure_insert_throughput(
+    insert: Callable[[int], None], trace: List[int], repeats: int = 1
+) -> ThroughputResult:
+    """Time ``insert`` over ``trace`` (optionally repeated) with a
+    monotonic high-resolution clock."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for key in trace:
+            insert(key)
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(operations=len(trace) * repeats, seconds=elapsed)
+
+
+def speedup(fast: ThroughputResult, slow: ThroughputResult) -> float:
+    """How many times faster ``fast`` is than ``slow``."""
+    if slow.ops_per_second == 0:
+        return float("inf")
+    return fast.ops_per_second / slow.ops_per_second

@@ -1,0 +1,73 @@
+"""Baseline sketches and substrates — the paper's fifteen comparators.
+
+Every algorithm named in the paper's Setup paragraph is implemented from
+scratch here, plus the substrates (TowerSketch, linear counting) and the
+CSOA composite used in the overall-performance evaluation.
+"""
+
+from repro.sketches.agms import FastAGMS
+from repro.sketches.base import (
+    CardinalitySketch,
+    FrequencySketch,
+    HeavyHitterSketch,
+    InnerProductSketch,
+    InvertibleSketch,
+    MemoryModel,
+    MergeableSketch,
+    Sketch,
+    top_k,
+)
+from repro.sketches.cm import CountMinSketch
+from repro.sketches.coco import CocoSketch
+from repro.sketches.count_sketch import CountHeap, CountSketch
+from repro.sketches.csoa import CSOA
+from repro.sketches.cu import CUSketch
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.fcm import FCMSketch
+from repro.sketches.fermat import FermatSketch
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.heavykeeper import HeavyKeeper
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.joinsketch import JoinSketch
+from repro.sketches.linear_counting import LinearCounter
+from repro.sketches.lossradar import LossRadar
+from repro.sketches.mrac import MRAC
+from repro.sketches.mv_sketch import MVSketch
+from repro.sketches.skimmed import SkimmedSketch
+from repro.sketches.tower import TowerSketch
+from repro.sketches.univmon import UnivMon
+
+__all__ = [
+    "CardinalitySketch",
+    "FrequencySketch",
+    "HeavyHitterSketch",
+    "InnerProductSketch",
+    "InvertibleSketch",
+    "MemoryModel",
+    "MergeableSketch",
+    "Sketch",
+    "top_k",
+    "CountMinSketch",
+    "CUSketch",
+    "CountSketch",
+    "CountHeap",
+    "TowerSketch",
+    "ElasticSketch",
+    "FCMSketch",
+    "HashPipe",
+    "CocoSketch",
+    "UnivMon",
+    "MRAC",
+    "FlowRadar",
+    "LossRadar",
+    "FermatSketch",
+    "JoinSketch",
+    "FastAGMS",
+    "SkimmedSketch",
+    "LinearCounter",
+    "CSOA",
+    "HeavyKeeper",
+    "HyperLogLog",
+    "MVSketch",
+]

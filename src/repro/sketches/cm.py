@@ -1,0 +1,50 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan) — the classical frequency
+sketch baseline.
+
+``d`` rows of ``w`` counters; inserts increment one counter per row,
+queries return the row minimum.  Estimates are biased upward (collisions
+only add), which is the paper's motivating type-(b) error: an infrequent
+element sharing a counter with a frequent one inherits its mass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import require_positive
+from repro.sketches.base import FrequencySketch, MemoryModel
+
+
+class CountMinSketch(FrequencySketch):
+    """The plain CM sketch with ``rows × width`` 32-bit counters."""
+
+    def __init__(self, rows: int, width: int, seed: int = 1) -> None:
+        super().__init__()
+        require_positive("rows", rows)
+        require_positive("width", width)
+        self.rows = rows
+        self.width = width
+        self._hashes = HashFamily(rows, width, seed=seed)
+        self.counters: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, rows: int = 3, seed: int = 1):
+        """Size the sketch to a byte budget (32-bit counters)."""
+        width = max(1, int(memory_bytes / (rows * MemoryModel.COUNTER_BYTES)))
+        return cls(rows=rows, width=width, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self.rows
+        for row in range(self.rows):
+            self.counters[row][self._hashes.index(row, key)] += count
+
+    def query(self, key: int) -> int:
+        return min(
+            self.counters[row][self._hashes.index(row, key)]
+            for row in range(self.rows)
+        )
+
+    def memory_bytes(self) -> float:
+        return self.rows * self.width * MemoryModel.COUNTER_BYTES

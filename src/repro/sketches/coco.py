@@ -1,0 +1,82 @@
+"""CocoSketch (Zhang et al., SIGCOMM'21) — unbiased randomized replacement.
+
+One (or a few) arrays of ``(key, count)`` slots.  Every insertion
+increments its slot's counter unconditionally; the stored key is replaced
+by the incoming one with probability ``count_increment / counter``.  The
+expected count attributed to the resident key is unbiased, which lets
+CocoSketch track arbitrary partial keys; here it serves as the paper's
+heavy-hitter baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.common.hashing import hash64, spread_seeds
+from repro.common.validation import require_positive
+from repro.sketches.base import HeavyHitterSketch, MemoryModel
+
+
+class CocoSketch(HeavyHitterSketch):
+    """``rows`` arrays of randomized-replacement slots."""
+
+    SLOT_BYTES = MemoryModel.KEY_BYTES + MemoryModel.COUNTER_BYTES
+
+    def __init__(
+        self, rows: int, width: int, seed: int = 1, rng: Optional[random.Random] = None
+    ) -> None:
+        super().__init__()
+        require_positive("rows", rows)
+        require_positive("width", width)
+        self.rows = rows
+        self.width = width
+        self._seeds = spread_seeds(seed, rows)
+        self.keys: List[List[Optional[int]]] = [
+            [None] * width for _ in range(rows)
+        ]
+        self.counts: List[List[int]] = [[0] * width for _ in range(rows)]
+        self._rng = rng if rng is not None else random.Random(seed ^ 0xC0C0)
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, rows: int = 2, seed: int = 1):
+        """Size the arrays to a byte budget."""
+        width = max(1, int(memory_bytes / (rows * cls.SLOT_BYTES)))
+        return cls(rows=rows, width=width, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self.rows
+        for row in range(self.rows):
+            slot = hash64(key, self._seeds[row]) % self.width
+            self.counts[row][slot] += count
+            if self.keys[row][slot] == key:
+                continue
+            # Replace the resident with probability count / counter — the
+            # unbiased sampling rule of CocoSketch.
+            if self._rng.random() < count / self.counts[row][slot]:
+                self.keys[row][slot] = key
+
+    def query(self, key: int) -> int:
+        """Largest slot count currently attributed to ``key`` (0 if lost)."""
+        best = 0
+        for row in range(self.rows):
+            slot = hash64(key, self._seeds[row]) % self.width
+            if self.keys[row][slot] == key:
+                best = max(best, self.counts[row][slot])
+        return best
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        result: Dict[int, int] = {}
+        for row in range(self.rows):
+            for slot in range(self.width):
+                key = self.keys[row][slot]
+                if key is None:
+                    continue
+                count = self.counts[row][slot]
+                if count >= threshold:
+                    result[key] = max(result.get(key, 0), count)
+        return result
+
+    def memory_bytes(self) -> float:
+        return self.rows * self.width * self.SLOT_BYTES

@@ -1,0 +1,169 @@
+"""Count Sketch (Charikar, Chen & Farach-Colton) and its CountHeap variant.
+
+Count Sketch pairs each row with a ±1 sign function; queries take the
+median of sign-corrected counters, making the estimator *unbiased* (the
+property the paper's Lemma 1 re-derives for the infrequent part's fast
+query).  The variance is ``‖f‖₂²/w`` per row (Lemma 2).
+
+``CountHeap`` is the paper's "CountHeap [73]" heavy-hitter baseline: a
+Count Sketch plus a top-``k`` candidate heap maintained online — the
+standard construction from the original paper for finding frequent items.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.common.hashing import HashFamily, SignFamily
+from repro.common.validation import require_positive
+from repro.sketches.base import (
+    HeavyHitterSketch,
+    InnerProductSketch,
+    MemoryModel,
+)
+
+
+class CountSketch(InnerProductSketch):
+    """The basic ±1-signed sketch with median queries."""
+
+    def __init__(self, rows: int, width: int, seed: int = 1) -> None:
+        super().__init__()
+        require_positive("rows", rows)
+        require_positive("width", width)
+        self.rows = rows
+        self.width = width
+        self._hashes = HashFamily(rows, width, seed=seed)
+        self._signs = SignFamily(rows, seed=seed + 101)
+        self.counters: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, rows: int = 3, seed: int = 1):
+        """Size the sketch to a byte budget (32-bit counters)."""
+        width = max(1, int(memory_bytes / (rows * MemoryModel.COUNTER_BYTES)))
+        return cls(rows=rows, width=width, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self.rows
+        for row in range(self.rows):
+            j = self._hashes.index(row, key)
+            self.counters[row][j] += self._signs.sign(row, key) * count
+
+    def query(self, key: int) -> int:
+        estimates = sorted(
+            self._signs.sign(row, key)
+            * self.counters[row][self._hashes.index(row, key)]
+            for row in range(self.rows)
+        )
+        mid = len(estimates) // 2
+        if len(estimates) % 2 == 1:
+            return estimates[mid]
+        return (estimates[mid - 1] + estimates[mid]) // 2
+
+    def inner_product(self, other: "CountSketch") -> float:
+        """Median over rows of the row dot products (unbiased, F-AGMS)."""
+        if (
+            self.rows != other.rows
+            or self.width != other.width
+        ):
+            raise ValueError("inner products need identically shaped sketches")
+        dots = sorted(
+            float(
+                sum(
+                    x * y
+                    for x, y in zip(self.counters[row], other.counters[row])
+                )
+            )
+            for row in range(self.rows)
+        )
+        mid = len(dots) // 2
+        if len(dots) % 2 == 1:
+            return dots[mid]
+        return (dots[mid - 1] + dots[mid]) / 2.0
+
+    def memory_bytes(self) -> float:
+        return self.rows * self.width * MemoryModel.COUNTER_BYTES
+
+
+class CountHeap(HeavyHitterSketch):
+    """Count Sketch + top-``k`` heap: the classical frequent-items finder.
+
+    After each insertion the inserted key is re-estimated; if it beats the
+    heap's minimum it enters (or updates) the candidate set.  Queries fall
+    through to the underlying sketch.
+    """
+
+    #: bytes charged per heap slot: key + cached estimate
+    HEAP_SLOT_BYTES = MemoryModel.KEY_BYTES + MemoryModel.COUNTER_BYTES
+
+    def __init__(
+        self, rows: int, width: int, heap_size: int, seed: int = 1
+    ) -> None:
+        super().__init__()
+        require_positive("heap_size", heap_size)
+        self.sketch = CountSketch(rows, width, seed=seed)
+        self.heap_size = heap_size
+        self._heap: List[Tuple[int, int]] = []  # (estimate, key)
+        self._members: Dict[int, int] = {}  # key -> latest estimate
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        rows: int = 3,
+        heap_fraction: float = 0.25,
+        seed: int = 1,
+    ):
+        """Split the budget between the heap and the sketch arrays."""
+        heap_bytes = memory_bytes * heap_fraction
+        heap_size = max(8, int(heap_bytes / cls.HEAP_SLOT_BYTES))
+        sketch_bytes = memory_bytes - heap_size * cls.HEAP_SLOT_BYTES
+        width = max(1, int(sketch_bytes / (rows * MemoryModel.COUNTER_BYTES)))
+        return cls(rows=rows, width=width, heap_size=heap_size, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.sketch.insert(key, count)
+        self.memory_accesses += self.sketch.rows + 1
+        estimate = self.sketch.query(key)
+        if key in self._members:
+            self._members[key] = estimate
+            return
+        if len(self._members) < self.heap_size:
+            self._members[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            return
+        self._compact()
+        if self._heap and estimate > self._heap[0][0]:
+            _, evicted = heapq.heappop(self._heap)
+            self._members.pop(evicted, None)
+            self._members[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+
+    def _compact(self) -> None:
+        """Drop stale heap entries (lazy deletion after estimate updates)."""
+        while self._heap:
+            estimate, key = self._heap[0]
+            current = self._members.get(key)
+            if current is None or current != estimate:
+                heapq.heappop(self._heap)
+                if current is not None:
+                    heapq.heappush(self._heap, (current, key))
+            else:
+                break
+
+    def query(self, key: int) -> int:
+        return self.sketch.query(key)
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {
+            key: self.sketch.query(key)
+            for key in self._members
+            if self.sketch.query(key) >= threshold
+        }
+
+    def memory_bytes(self) -> float:
+        return (
+            self.sketch.memory_bytes() + self.heap_size * self.HEAP_SLOT_BYTES
+        )

@@ -1,0 +1,132 @@
+"""CSOA — the Composite Set Operations Algorithm of the paper's Section V-B.
+
+To match DaVinci's nine tasks, the paper assembles the smallest set of
+state-of-the-art specialists that covers them all:
+
+* **FCM-Sketch** — frequency, heavy hitters, heavy changers, cardinality,
+  distribution, entropy;
+* **FermatSketch** — set union and difference;
+* **JoinSketch** — the cardinality of the inner join.
+
+Every stream item is inserted into all three structures, so CSOA's
+memory is the sum of the parts' and its per-item memory-access/throughput
+cost stacks — which is precisely what Figure 8 measures against the
+unified DaVinci structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.hashing import spread_seeds
+from repro.core.tasks.entropy import entropy_of_distribution
+from repro.sketches.base import Sketch
+from repro.sketches.fcm import FCMSketch
+from repro.sketches.fermat import FermatSketch
+from repro.sketches.joinsketch import JoinSketch
+
+
+class CSOA(Sketch):
+    """FCM + FermatSketch + JoinSketch run side by side."""
+
+    def __init__(
+        self, fcm: FCMSketch, fermat: FermatSketch, join: JoinSketch
+    ) -> None:
+        super().__init__()
+        self.fcm = fcm
+        self.fermat = fermat
+        self.join = join
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        fcm_fraction: float = 0.4,
+        fermat_fraction: float = 0.35,
+        seed: int = 1,
+    ) -> "CSOA":
+        """Split a total budget across the three constituents.
+
+        The default split gives the multi-task FCM the largest share and
+        leaves the remainder to JoinSketch, roughly mirroring the paper's
+        per-task accuracy-matched allocations.
+        """
+        seeds = spread_seeds(seed, 3)
+        fcm = FCMSketch.from_memory(memory_bytes * fcm_fraction, seed=seeds[0])
+        fermat = FermatSketch.from_memory(
+            memory_bytes * fermat_fraction, seed=seeds[1]
+        )
+        join = JoinSketch.from_memory(
+            memory_bytes * (1.0 - fcm_fraction - fermat_fraction), seed=seeds[2]
+        )
+        return cls(fcm, fermat, join)
+
+    # ------------------------------------------------------------------ #
+    # stream operations — every item feeds all three structures
+    # ------------------------------------------------------------------ #
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.fcm.insert(key, count)
+        self.fermat.insert(key, count)
+        self.join.insert(key, count)
+        # The composite's access cost is the sum of its parts' costs.
+        self.memory_accesses = (
+            self.fcm.memory_accesses
+            + self.fermat.memory_accesses
+            + self.join.memory_accesses
+        )
+
+    def insert_all(self, keys) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def reset_access_counters(self) -> None:
+        """Zero the composite's and every constituent's instrumentation."""
+        super().reset_access_counters()
+        self.fcm.reset_access_counters()
+        self.fermat.reset_access_counters()
+        self.join.reset_access_counters()
+
+    # ------------------------------------------------------------------ #
+    # task dispatch
+    # ------------------------------------------------------------------ #
+    def query(self, key: int) -> int:
+        """Frequency via FCM."""
+        return self.fcm.query(key)
+
+    def heavy_hitters(self, threshold: int, candidates) -> Dict[int, int]:
+        """FCM stores no keys; candidates must be supplied (harness note)."""
+        result = {}
+        for key in candidates:
+            estimate = self.fcm.query(key)
+            if estimate >= threshold:
+                result[key] = estimate
+        return result
+
+    def cardinality(self) -> float:
+        return self.fcm.cardinality()
+
+    def distribution(self) -> Dict[int, float]:
+        return self.fcm.distribution()
+
+    def entropy(self, total: float) -> float:
+        return entropy_of_distribution(self.fcm.distribution(), total)
+
+    def union_with(self, other: "CSOA") -> FermatSketch:
+        """Set union via the Fermat constituents."""
+        return self.fermat.merge(other.fermat)
+
+    def difference_with(self, other: "CSOA") -> FermatSketch:
+        """Set difference via the Fermat constituents."""
+        return self.fermat.subtract(other.fermat)
+
+    def inner_product(self, other: "CSOA") -> float:
+        """Join size via the JoinSketch constituents."""
+        return self.join.inner_product(other.join)
+
+    def memory_bytes(self) -> float:
+        return (
+            self.fcm.memory_bytes()
+            + self.fermat.memory_bytes()
+            + self.join.memory_bytes()
+        )

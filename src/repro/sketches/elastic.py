@@ -1,0 +1,204 @@
+"""Elastic Sketch (Yang et al., SIGCOMM'18) — heavy part + light part.
+
+The closest architectural ancestor of the DaVinci frequent part: a bucketed
+hash table (heavy part) votes out "mouse" flows with the
+``negative votes > λ × positive votes`` rule, demoting them into a single
+8-bit CM array (light part).  Because Elastic separates elephants from
+mice it supports most single-set tasks and linear union, and the paper
+evaluates it on frequency, heavy hitters/changers, cardinality,
+distribution, entropy and union.
+
+Differences from DaVinci that the experiments surface:
+
+* the light part is a single-level 8-bit array — mid-size flows saturate
+  it and lose accuracy, where DaVinci's tower + invertible part keeps them;
+* nothing in Elastic is invertible, so set difference and join estimation
+  are out of scope for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import IncompatibleSketchError
+from repro.common.hashing import HashFamily, hash64
+from repro.common.validation import require_positive
+from repro.core.tasks.cardinality import linear_counting_over
+from repro.core.tasks.distribution import CounterArrayEM
+from repro.core.tasks.entropy import entropy_of_distribution
+from repro.sketches.base import (
+    CardinalitySketch,
+    HeavyHitterSketch,
+    MemoryModel,
+)
+
+_LIGHT_CAP = 255  # 8-bit light-part counters
+
+
+class _HeavyBucket:
+    """One heavy-part bucket: a keyed counter plus the negative-vote box."""
+
+    __slots__ = ("key", "positive", "negative", "flag")
+
+    def __init__(self) -> None:
+        self.key: Optional[int] = None
+        self.positive: int = 0  # packets of the resident flow
+        self.negative: int = 0  # packets of other flows since residency
+        self.flag: bool = False  # resident may have mass in the light part
+
+
+class ElasticSketch(HeavyHitterSketch, CardinalitySketch):
+    """The basic (single-slot-bucket) Elastic sketch."""
+
+    #: bytes per heavy bucket: key + positive + negative votes + flag bit
+    HEAVY_BUCKET_BYTES = MemoryModel.KEY_BYTES + 2 * MemoryModel.COUNTER_BYTES + 0.125
+
+    def __init__(
+        self,
+        heavy_buckets: int,
+        light_width: int,
+        lambda_evict: float = 8.0,
+        seed: int = 1,
+    ) -> None:
+        super().__init__()
+        require_positive("heavy_buckets", heavy_buckets)
+        require_positive("light_width", light_width)
+        self.lambda_evict = float(lambda_evict)
+        self.heavy: List[_HeavyBucket] = [
+            _HeavyBucket() for _ in range(heavy_buckets)
+        ]
+        self.light: List[int] = [0] * light_width
+        self._heavy_seed = hash64(0xE1, seed)
+        self._light_hash = HashFamily(1, light_width, seed=seed + 7)
+        self._config = (heavy_buckets, light_width, float(lambda_evict), seed)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        heavy_fraction: float = 0.25,
+        lambda_evict: float = 8.0,
+        seed: int = 1,
+    ):
+        """Elastic's recommended split: ~25% heavy part, 75% light part."""
+        heavy_bytes = memory_bytes * heavy_fraction
+        heavy_buckets = max(1, int(heavy_bytes / cls.HEAVY_BUCKET_BYTES))
+        light_width = max(8, int(memory_bytes - heavy_bytes))  # 1 byte each
+        return cls(heavy_buckets, light_width, lambda_evict, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # stream operations
+    # ------------------------------------------------------------------ #
+    def _light_insert(self, key: int, count: int) -> None:
+        j = self._light_hash.index(0, key)
+        self.light[j] = min(self.light[j] + count, _LIGHT_CAP)
+
+    def _light_query(self, key: int) -> int:
+        return self.light[self._light_hash.index(0, key)]
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += 2  # heavy bucket read + one write
+        bucket = self.heavy[hash64(key, self._heavy_seed) % len(self.heavy)]
+        if bucket.key is None:
+            bucket.key = key
+            bucket.positive = count
+            return
+        if bucket.key == key:
+            bucket.positive += count
+            return
+        bucket.negative += count
+        if bucket.negative > self.lambda_evict * bucket.positive:
+            # Evict the resident into the light part; newcomer takes over.
+            self.memory_accesses += 1
+            self._light_insert(bucket.key, bucket.positive)
+            bucket.key = key
+            bucket.positive = count
+            bucket.negative = 0  # paper resets votes after an eviction
+            bucket.flag = True
+        else:
+            self.memory_accesses += 1
+            self._light_insert(key, count)
+
+    def query(self, key: int) -> int:
+        bucket = self.heavy[hash64(key, self._heavy_seed) % len(self.heavy)]
+        if bucket.key == key:
+            if bucket.flag:
+                return bucket.positive + self._light_query(key)
+            return bucket.positive
+        return self._light_query(key)
+
+    # ------------------------------------------------------------------ #
+    # tasks
+    # ------------------------------------------------------------------ #
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        result: Dict[int, int] = {}
+        for bucket in self.heavy:
+            if bucket.key is None:
+                continue
+            estimate = self.query(bucket.key)
+            if estimate >= threshold:
+                result[bucket.key] = estimate
+        return result
+
+    def cardinality(self) -> float:
+        light_estimate = linear_counting_over(self.light)
+        heavy_only = sum(
+            1
+            for bucket in self.heavy
+            if bucket.key is not None and self._light_query(bucket.key) == 0
+        )
+        return light_estimate + heavy_only
+
+    def distribution(self) -> Dict[int, float]:
+        """Heavy histogram + EM deconvolution of the light part."""
+        histogram: Dict[int, float] = {}
+        for bucket in self.heavy:
+            if bucket.key is None:
+                continue
+            estimate = self.query(bucket.key)
+            if estimate > 0:
+                histogram[estimate] = histogram.get(estimate, 0.0) + 1.0
+        em = CounterArrayEM(max_value=_LIGHT_CAP - 1)
+        for size, count in em.estimate(self.light).items():
+            histogram[size] = histogram.get(size, 0.0) + count
+        return histogram
+
+    def entropy(self, total: float) -> float:
+        """Entropy from the estimated distribution (stream size given)."""
+        return entropy_of_distribution(self.distribution(), total)
+
+    # ------------------------------------------------------------------ #
+    # union (Elastic supports merging measurements)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ElasticSketch") -> "ElasticSketch":
+        """Union of two Elastic sketches over the same configuration."""
+        if self._config != other._config:
+            raise IncompatibleSketchError("elastic sketches differ in shape")
+        result = ElasticSketch(*self._config[:2], self._config[2], self._config[3])
+        for j, (mine, theirs) in enumerate(zip(self.light, other.light)):
+            result.light[j] = min(mine + theirs, _LIGHT_CAP)
+        for i, (a, b) in enumerate(zip(self.heavy, other.heavy)):
+            out = result.heavy[i]
+            if a.key is not None and a.key == b.key:
+                out.key, out.positive = a.key, a.positive + b.positive
+                out.flag = a.flag or b.flag
+            elif a.key is None and b.key is None:
+                continue
+            else:
+                # Keep the larger resident; demote the other to the light
+                # part (mirrors Elastic's merge procedure).
+                keep, demote = (a, b) if a.positive >= b.positive else (b, a)
+                if b.key is None:
+                    keep, demote = a, None
+                elif a.key is None:
+                    keep, demote = b, None
+                out.key, out.positive, out.flag = keep.key, keep.positive, keep.flag
+                if demote is not None and demote.key is not None:
+                    result._light_insert(demote.key, demote.positive)
+                    out.flag = True
+            out.negative = a.negative + b.negative
+        return result
+
+    def memory_bytes(self) -> float:
+        return len(self.heavy) * self.HEAVY_BUCKET_BYTES + len(self.light)

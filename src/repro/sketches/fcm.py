@@ -1,0 +1,158 @@
+"""FCM-Sketch (Song et al., SIGMETRICS'21) — a multi-level overflow tree.
+
+Each of ``d`` independent trees is a pyramid of counter stages: stage 1
+has many 8-bit counters, stage 2 one-eighth as many 16-bit counters, stage
+3 again one-eighth as many 32-bit counters.  Eight adjacent stage-``i``
+counters share one stage-``i+1`` parent; when a counter saturates, the
+overflow continues in its parent, so a flow's estimate is the sum along
+its saturated chain.  Queries take the minimum over trees.
+
+FCM is the paper's workhorse comparison (it appears in six of the ten
+panels) and the frequency/HH/HC/cardinality/distribution/entropy member of
+the CSOA composite.  Like CM it stores no keys, so key-enumeration tasks
+are evaluated by querying candidate keys (see the harness notes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import HashFamily
+from repro.core.tasks.cardinality import linear_counting_over
+from repro.core.tasks.distribution import CounterArrayEM
+from repro.core.tasks.entropy import entropy_of_distribution
+from repro.sketches.base import CardinalitySketch, FrequencySketch
+
+#: counters per parent at the next stage
+_FANOUT = 8
+_STAGE_BITS = (8, 16, 32)
+
+
+class _Tree:
+    """One FCM tree: stage arrays linked by integer division."""
+
+    __slots__ = ("stages", "caps")
+
+    def __init__(self, base_width: int) -> None:
+        widths = [
+            max(1, base_width // (_FANOUT ** level))
+            for level in range(len(_STAGE_BITS))
+        ]
+        self.stages: List[List[int]] = [[0] * width for width in widths]
+        self.caps = [(1 << bits) - 1 for bits in _STAGE_BITS]
+
+    def add(self, index: int, count: int) -> int:
+        """Add ``count`` at leaf ``index``; return stages touched."""
+        touched = 0
+        for level, stage in enumerate(self.stages):
+            touched += 1
+            cap = self.caps[level]
+            slot = index // (_FANOUT ** level)
+            slot = min(slot, len(stage) - 1)
+            value = stage[slot]
+            if value + count <= cap:
+                stage[slot] = value + count
+                return touched
+            # Fill this stage to its cap; overflow continues above.
+            overflow = value + count - cap
+            stage[slot] = cap
+            count = overflow
+        return touched
+
+    def estimate(self, index: int) -> int:
+        """Sum along the saturated chain starting at leaf ``index``."""
+        total = 0
+        for level, stage in enumerate(self.stages):
+            cap = self.caps[level]
+            slot = min(index // (_FANOUT ** level), len(stage) - 1)
+            value = stage[slot]
+            total += value
+            if value < cap:
+                return total
+        return total
+
+
+class FCMSketch(FrequencySketch, CardinalitySketch):
+    """``d`` overflow trees with min-combining."""
+
+    def __init__(self, trees: int, base_width: int, seed: int = 1) -> None:
+        super().__init__()
+        if trees < 1 or base_width < 1:
+            raise ConfigurationError("trees and base_width must be positive")
+        self.num_trees = trees
+        self.base_width = base_width
+        self._hashes = HashFamily(trees, base_width, seed=seed)
+        self.trees = [_Tree(base_width) for _ in range(trees)]
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, trees: int = 2, seed: int = 1):
+        """Size the trees to a byte budget.
+
+        Per tree, one leaf plus its ancestor share costs
+        ``1 + 2/8 + 4/64`` bytes ≈ 1.3125 B.
+        """
+        per_leaf = sum(
+            (bits / 8.0) / (_FANOUT ** level)
+            for level, bits in enumerate(_STAGE_BITS)
+        )
+        base_width = max(_FANOUT ** 2, int(memory_bytes / (trees * per_leaf)))
+        return cls(trees=trees, base_width=base_width, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        for tree_index, tree in enumerate(self.trees):
+            leaf = self._hashes.index(tree_index, key)
+            self.memory_accesses += tree.add(leaf, count)
+
+    def query(self, key: int) -> int:
+        return min(
+            tree.estimate(self._hashes.index(tree_index, key))
+            for tree_index, tree in enumerate(self.trees)
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived tasks (as in the FCM paper)
+    # ------------------------------------------------------------------ #
+    def cardinality(self) -> float:
+        """Linear counting over the first tree's leaf stage."""
+        return linear_counting_over(self.trees[0].stages[0])
+
+    def distribution(self) -> Dict[int, float]:
+        """EM over the first tree's leaf counters.
+
+        Saturated leaves (flows > 254) are resolved exactly by walking
+        their overflow chains, since a saturated leaf is almost always a
+        single large flow.
+        """
+        leaf_stage = self.trees[0].stages[0]
+        cap = self.trees[0].caps[0]
+        histogram: Dict[int, float] = {}
+        for index, value in enumerate(leaf_stage):
+            if value >= cap:
+                size = self.trees[0].estimate(index)
+                histogram[size] = histogram.get(size, 0.0) + 1.0
+        em = CounterArrayEM(max_value=cap - 1)
+        for size, count in em.estimate(leaf_stage).items():
+            histogram[size] = histogram.get(size, 0.0) + count
+        return histogram
+
+    def entropy(self, total: float) -> float:
+        """Entropy from the estimated distribution."""
+        return entropy_of_distribution(self.distribution(), total)
+
+    def subtract_query(self, other: "FCMSketch", key: int) -> int:
+        """Estimated change of ``key`` between two FCM snapshots.
+
+        FCM arrays are not linear once overflow chains engage, so — as in
+        practice — the change is estimated as the difference of the two
+        (min-combined) point queries.
+        """
+        return self.query(key) - other.query(key)
+
+    def memory_bytes(self) -> float:
+        per_tree = sum(
+            len(stage) * bits / 8.0
+            for stage, bits in zip(self.trees[0].stages, _STAGE_BITS)
+        )
+        return self.num_trees * per_tree

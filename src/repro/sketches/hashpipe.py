@@ -1,0 +1,100 @@
+"""HashPipe (Sivaraman et al., SOSR'17) — pipelined heavy-hitter tables.
+
+``s`` stages of (key, count) slots, designed for programmable switch
+pipelines.  A new key always claims its stage-1 slot, evicting the
+resident, which is carried down the pipeline; at later stages the carried
+entry keeps the slot only if its count exceeds the resident's, otherwise
+the smaller entry continues.  After the last stage the smallest entry is
+dropped — HashPipe deliberately trades tail accuracy for line-rate
+insertion, which is why it is only a heavy-hitter baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.hashing import hash64, spread_seeds
+from repro.common.validation import require_positive
+from repro.sketches.base import HeavyHitterSketch, MemoryModel
+
+
+class HashPipe(HeavyHitterSketch):
+    """The ``s``-stage sample-and-hold pipeline."""
+
+    SLOT_BYTES = MemoryModel.KEY_BYTES + MemoryModel.COUNTER_BYTES
+
+    def __init__(self, stages: int, slots_per_stage: int, seed: int = 1) -> None:
+        super().__init__()
+        require_positive("stages", stages)
+        require_positive("slots_per_stage", slots_per_stage)
+        self.num_stages = stages
+        self.slots_per_stage = slots_per_stage
+        self._seeds = spread_seeds(seed, stages)
+        # Each slot: None or (key, count)
+        self.tables: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * slots_per_stage for _ in range(stages)
+        ]
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, stages: int = 6, seed: int = 1):
+        """Size the pipeline to a byte budget."""
+        slots = max(1, int(memory_bytes / (stages * cls.SLOT_BYTES)))
+        return cls(stages=stages, slots_per_stage=slots, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        carried: Optional[Tuple[int, int]] = (key, count)
+
+        # Stage 1: always insert, evicting any non-matching resident.
+        table = self.tables[0]
+        slot = hash64(key, self._seeds[0]) % self.slots_per_stage
+        self.memory_accesses += 1
+        resident = table[slot]
+        if resident is not None and resident[0] == key:
+            table[slot] = (key, resident[1] + count)
+            return
+        table[slot] = carried
+        carried = resident
+
+        # Later stages: keep the larger of (carried, resident).
+        for stage in range(1, self.num_stages):
+            if carried is None:
+                return
+            table = self.tables[stage]
+            slot = hash64(carried[0], self._seeds[stage]) % self.slots_per_stage
+            self.memory_accesses += 1
+            resident = table[slot]
+            if resident is None:
+                table[slot] = carried
+                return
+            if resident[0] == carried[0]:
+                table[slot] = (carried[0], resident[1] + carried[1])
+                return
+            if carried[1] > resident[1]:
+                table[slot] = carried
+                carried = resident
+        # carried falls off the end of the pipeline: dropped by design.
+
+    def query(self, key: int) -> int:
+        """Sum of the key's counts across stages (it may be split)."""
+        total = 0
+        for stage in range(self.num_stages):
+            slot = hash64(key, self._seeds[stage]) % self.slots_per_stage
+            entry = self.tables[stage][slot]
+            if entry is not None and entry[0] == key:
+                total += entry[1]
+        return total
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        totals: Dict[int, int] = {}
+        for table in self.tables:
+            for entry in table:
+                if entry is None:
+                    continue
+                totals[entry[0]] = totals.get(entry[0], 0) + entry[1]
+        return {
+            key: count for key, count in totals.items() if count >= threshold
+        }
+
+    def memory_bytes(self) -> float:
+        return self.num_stages * self.slots_per_stage * self.SLOT_BYTES

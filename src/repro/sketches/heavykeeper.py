@@ -1,0 +1,144 @@
+"""HeavyKeeper (Yang et al., ToN'19) — count-with-exponential-decay top-k.
+
+The dedicated heavy-hitter specialist the paper's introduction singles out
+("Heavykeeper emphasizes the measurement of heavy-hitter").  Not in the
+paper's evaluated set; included as an extension for the heavy-hitter
+panel.
+
+``d`` arrays of ``(fingerprint, count)`` buckets.  A matching fingerprint
+increments; a mismatch decays the resident with probability ``b^-count``
+(exponential in the resident's count), replacing it when the count hits
+zero.  Elephants are nearly immune to decay, mice die fast — "count with
+exponential decay".  A small min-heap of (key, estimate) candidates rides
+on top to enumerate the top-k, as in the original design.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.hashing import fingerprint, hash64, spread_seeds
+from repro.common.validation import require_positive
+from repro.sketches.base import HeavyHitterSketch, MemoryModel
+
+_FINGERPRINT_BITS = 16
+_DECAY_BASE = 1.08
+
+
+class HeavyKeeper(HeavyHitterSketch):
+    """The count-with-exponential-decay sketch plus a candidate heap."""
+
+    #: bucket = 16-bit fingerprint + 4-byte counter
+    BUCKET_BYTES = _FINGERPRINT_BITS / 8 + MemoryModel.COUNTER_BYTES
+    HEAP_SLOT_BYTES = MemoryModel.KEY_BYTES + MemoryModel.COUNTER_BYTES
+
+    def __init__(
+        self,
+        rows: int,
+        width: int,
+        heap_size: int = 64,
+        seed: int = 1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__()
+        require_positive("rows", rows)
+        require_positive("width", width)
+        require_positive("heap_size", heap_size)
+        self.rows = rows
+        self.width = width
+        self.heap_size = heap_size
+        self._seeds = spread_seeds(seed, rows)
+        self._fp_seed = seed ^ 0x4B
+        self.fingerprints: List[List[int]] = [
+            [0] * width for _ in range(rows)
+        ]
+        self.counts: List[List[int]] = [[0] * width for _ in range(rows)]
+        self._candidates: Dict[int, int] = {}
+        self._rng = rng if rng is not None else random.Random(seed ^ 0x4B4B)
+
+    @classmethod
+    def from_memory(
+        cls, memory_bytes: float, rows: int = 2, heap_fraction: float = 0.15, seed: int = 1
+    ):
+        """Split the budget between the arrays and the candidate heap."""
+        heap_bytes = memory_bytes * heap_fraction
+        heap_size = max(8, int(heap_bytes / cls.HEAP_SLOT_BYTES))
+        array_bytes = memory_bytes - heap_size * cls.HEAP_SLOT_BYTES
+        width = max(1, int(array_bytes / (rows * cls.BUCKET_BYTES)))
+        return cls(rows=rows, width=width, heap_size=heap_size, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # stream operations
+    # ------------------------------------------------------------------ #
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self.rows
+        mark = fingerprint(key, _FINGERPRINT_BITS, seed=self._fp_seed)
+        best = 0
+        for row in range(self.rows):
+            slot = hash64(key, self._seeds[row]) % self.width
+            for _ in range(count):
+                if self.counts[row][slot] == 0:
+                    self.fingerprints[row][slot] = mark
+                    self.counts[row][slot] = 1
+                elif self.fingerprints[row][slot] == mark:
+                    self.counts[row][slot] += 1
+                else:
+                    # exponential decay of the resident
+                    if self._rng.random() < _DECAY_BASE ** (
+                        -self.counts[row][slot]
+                    ):
+                        self.counts[row][slot] -= 1
+                        if self.counts[row][slot] == 0:
+                            self.fingerprints[row][slot] = mark
+                            self.counts[row][slot] = 1
+            if self.fingerprints[row][slot] == mark:
+                best = max(best, self.counts[row][slot])
+        if best > 0:
+            self._offer_candidate(key, best)
+
+    def _offer_candidate(self, key: int, estimate: int) -> None:
+        if key in self._candidates:
+            self._candidates[key] = max(self._candidates[key], estimate)
+            return
+        if len(self._candidates) < self.heap_size:
+            self._candidates[key] = estimate
+            return
+        weakest = min(self._candidates, key=self._candidates.get)
+        if estimate > self._candidates[weakest]:
+            del self._candidates[weakest]
+            self._candidates[key] = estimate
+
+    def query(self, key: int) -> int:
+        """Max matching-fingerprint count across rows (0 if decayed out)."""
+        mark = fingerprint(key, _FINGERPRINT_BITS, seed=self._fp_seed)
+        best = 0
+        for row in range(self.rows):
+            slot = hash64(key, self._seeds[row]) % self.width
+            if self.fingerprints[row][slot] == mark:
+                best = max(best, self.counts[row][slot])
+        return best
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {
+            key: estimate
+            for key, estimate in (
+                (key, self.query(key)) for key in self._candidates
+            )
+            if estimate >= threshold
+        }
+
+    def top_k(self, k: int) -> List[Tuple[int, int]]:
+        """The k strongest candidates by current estimate."""
+        ranked = sorted(
+            ((key, self.query(key)) for key in self._candidates),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return ranked[:k]
+
+    def memory_bytes(self) -> float:
+        return (
+            self.rows * self.width * self.BUCKET_BYTES
+            + self.heap_size * self.HEAP_SLOT_BYTES
+        )

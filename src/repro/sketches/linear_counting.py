@@ -1,0 +1,45 @@
+"""Linear counting (Whang, Vander-Zanden & Taylor, TODS'90).
+
+The cardinality substrate the paper cites for the DaVinci cardinality
+task: a bitmap of ``m`` bits; each key sets one bit, and the number of
+distinct keys is estimated as ``n̂ = −m·ln(z/m)`` from the fraction of
+bits still zero.  Accurate while the bitmap is not saturated (load up to
+a few times ``m``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import require_positive
+from repro.sketches.base import CardinalitySketch
+from repro.core.tasks.cardinality import linear_counting_estimate
+
+
+class LinearCounter(CardinalitySketch):
+    """The classic bitmap distinct counter."""
+
+    def __init__(self, bits: int, seed: int = 1) -> None:
+        super().__init__()
+        require_positive("bits", bits)
+        self.bits = bits
+        self._hash = HashFamily(1, bits, seed=seed)
+        self.bitmap: List[bool] = [False] * bits
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, seed: int = 1):
+        """Size the bitmap to a byte budget (8 bits per byte)."""
+        return cls(bits=max(8, int(memory_bytes * 8)), seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += 1
+        self.bitmap[self._hash.index(0, key)] = True
+
+    def cardinality(self) -> float:
+        zero = sum(1 for bit in self.bitmap if not bit)
+        return linear_counting_estimate(self.bits, zero)
+
+    def memory_bytes(self) -> float:
+        return self.bits / 8.0

@@ -1,0 +1,61 @@
+"""MRAC (Kumar et al., SIGMETRICS'04) — counter array + EM deconvolution.
+
+The original flow-size-distribution estimator: hash every packet into one
+shared counter array, then recover the size distribution offline with
+expectation maximization over the counter values.  Reuses the package's
+:class:`~repro.core.tasks.distribution.CounterArrayEM` (the same machinery
+the DaVinci distribution task applies to its element filter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import require_positive
+from repro.core.tasks.cardinality import linear_counting_over
+from repro.core.tasks.distribution import CounterArrayEM
+from repro.core.tasks.entropy import entropy_of_distribution
+from repro.sketches.base import CardinalitySketch, FrequencySketch, MemoryModel
+
+
+class MRAC(FrequencySketch, CardinalitySketch):
+    """A single 32-bit counter array with EM-based distribution recovery."""
+
+    def __init__(self, width: int, seed: int = 1, em_iterations: int = 8) -> None:
+        super().__init__()
+        require_positive("width", width)
+        self.width = width
+        self._hash = HashFamily(1, width, seed=seed)
+        self.counters: List[int] = [0] * width
+        self.em_iterations = em_iterations
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, seed: int = 1):
+        """Size the array to a byte budget (32-bit counters)."""
+        width = max(1, int(memory_bytes / MemoryModel.COUNTER_BYTES))
+        return cls(width=width, seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += 1
+        self.counters[self._hash.index(0, key)] += count
+
+    def query(self, key: int) -> int:
+        """MRAC's counter read — collision-inflated, single array."""
+        return self.counters[self._hash.index(0, key)]
+
+    def cardinality(self) -> float:
+        return linear_counting_over(self.counters)
+
+    def distribution(self) -> Dict[int, float]:
+        """The EM-recovered flow-size histogram."""
+        em = CounterArrayEM(iterations=self.em_iterations)
+        return em.estimate(self.counters)
+
+    def entropy(self, total: float) -> float:
+        """Entropy from the EM distribution (stream size supplied)."""
+        return entropy_of_distribution(self.distribution(), total)
+
+    def memory_bytes(self) -> float:
+        return self.width * MemoryModel.COUNTER_BYTES

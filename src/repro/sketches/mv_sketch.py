@@ -1,0 +1,140 @@
+"""MV-Sketch (Tang, Huang & Lee, INFOCOM'19) — invertible majority voting.
+
+The heavy-key detection baseline from the paper's change-detection related
+work ("MV-sketch [59]").  Included as an extension for the heavy-hitter /
+heavy-changer panels.
+
+Each of ``d × w`` buckets tracks ``(V, K, C)``: the total value ``V``
+hashed there, a candidate heavy key ``K``, and a Boyer–Moore majority
+counter ``C``.  A matching key increments ``C``; a mismatch decrements it,
+taking over the slot when it drops below zero.  A key's estimate is the
+minimum over rows of ``(V + C)/2`` when it owns the slot, else
+``(V − C)/2`` — an upper bound on its true count.  Because ``V`` is a
+plain sum, MV-sketches subtract linearly, which is exactly how the
+original uses them for heavy *changer* detection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import IncompatibleSketchError
+from repro.common.hashing import HashFamily
+from repro.common.validation import require_positive
+from repro.sketches.base import HeavyHitterSketch, MemoryModel
+
+
+class MVSketch(HeavyHitterSketch):
+    """Majority-vote buckets with linear subtraction."""
+
+    #: bucket = 4-byte total + 4-byte key + 4-byte majority counter
+    BUCKET_BYTES = 3 * MemoryModel.COUNTER_BYTES
+
+    def __init__(self, rows: int, width: int, seed: int = 1) -> None:
+        super().__init__()
+        require_positive("rows", rows)
+        require_positive("width", width)
+        self.rows = rows
+        self.width = width
+        self._seed = seed
+        self._hashes = HashFamily(rows, width, seed=seed ^ 0x377)
+        self.totals: List[List[int]] = [[0] * width for _ in range(rows)]
+        self.keys: List[List[int]] = [[0] * width for _ in range(rows)]
+        self.votes: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    @classmethod
+    def from_memory(cls, memory_bytes: float, rows: int = 2, seed: int = 1):
+        """Size the bucket grid to a byte budget."""
+        width = max(1, int(memory_bytes / (rows * cls.BUCKET_BYTES)))
+        return cls(rows=rows, width=width, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # stream operations
+    # ------------------------------------------------------------------ #
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self.rows
+        for row in range(self.rows):
+            slot = self._hashes.index(row, key)
+            self.totals[row][slot] += count
+            if self.keys[row][slot] == key:
+                self.votes[row][slot] += count
+            else:
+                self.votes[row][slot] -= count
+                if self.votes[row][slot] < 0:
+                    self.keys[row][slot] = key
+                    self.votes[row][slot] = -self.votes[row][slot]
+
+    def query(self, key: int) -> int:
+        """Min over rows of the majority-vote upper bound."""
+        best = None
+        for row in range(self.rows):
+            slot = self._hashes.index(row, key)
+            total = self.totals[row][slot]
+            votes = self.votes[row][slot]
+            if self.keys[row][slot] == key:
+                estimate = (total + votes) // 2
+            else:
+                estimate = (total - votes) // 2
+            if best is None or estimate < best:
+                best = estimate
+        return best if best is not None else 0
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        """Candidate keys across buckets whose estimates clear ``threshold``."""
+        result: Dict[int, int] = {}
+        for row in range(self.rows):
+            for slot in range(self.width):
+                key = self.keys[row][slot]
+                if key == 0:
+                    continue
+                if key in result:
+                    continue
+                estimate = self.query(key)
+                if abs(estimate) >= threshold:
+                    result[key] = estimate
+        return result
+
+    # ------------------------------------------------------------------ #
+    # linear subtraction (the change-detection use)
+    # ------------------------------------------------------------------ #
+    def subtract(self, other: "MVSketch") -> "MVSketch":
+        """Bucket-wise difference of two snapshots.
+
+        Totals subtract exactly; the majority pair is recombined by
+        replaying each side's candidate with its signed vote mass — the
+        construction the MV-sketch paper uses across epochs.
+        """
+        self.check_compatible(other)
+        result = MVSketch(self.rows, self.width, self._seed)
+        for row in range(self.rows):
+            for slot in range(self.width):
+                result.totals[row][slot] = (
+                    self.totals[row][slot] - other.totals[row][slot]
+                )
+                for key, votes in (
+                    (self.keys[row][slot], self.votes[row][slot]),
+                    (other.keys[row][slot], -other.votes[row][slot]),
+                ):
+                    if key == 0 or votes == 0:
+                        continue
+                    if result.keys[row][slot] == key:
+                        result.votes[row][slot] += votes
+                    else:
+                        result.votes[row][slot] -= votes
+                        if result.votes[row][slot] < 0:
+                            result.keys[row][slot] = key
+                            result.votes[row][slot] = -result.votes[row][slot]
+        return result
+
+    def check_compatible(self, other: "MVSketch") -> None:
+        same = (
+            self.rows == other.rows
+            and self.width == other.width
+            and self._seed == other._seed
+        )
+        if not same:
+            raise IncompatibleSketchError("mv-sketches differ in shape")
+
+    def memory_bytes(self) -> float:
+        return self.rows * self.width * self.BUCKET_BYTES

@@ -1,0 +1,104 @@
+"""Skimmed Sketch (Ganguly, Garofalakis & Rastogi, ICDE'04) — skim the
+dense frequencies, then join the residues.
+
+The stream is summarized in a sign sketch plus a candidate heap.  At join
+time the heavy keys are *skimmed*: their estimated counts are subtracted
+out of a copy of the arrays, leaving a residual sketch of the tail.  The
+join size is then
+
+    J ≈ Σ h_f(e)·h_g(e) + Σ h_f(e)·resid_g(e) + Σ resid_f(e)·h_g(e)
+        + resid_f ⊙ resid_g
+
+— the same decomposition JoinSketch later made exact by separating at
+insertion time instead of estimation time.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Set, Tuple
+
+from repro.sketches.base import InnerProductSketch
+from repro.sketches.count_sketch import CountHeap, CountSketch
+
+
+class SkimmedSketch(InnerProductSketch):
+    """Sign sketch + heap, skimmed at join time."""
+
+    def __init__(
+        self,
+        rows: int,
+        width: int,
+        heap_size: int,
+        skim_threshold: int = 0,
+        seed: int = 1,
+    ) -> None:
+        super().__init__()
+        self._inner = CountHeap(
+            rows=rows, width=width, heap_size=heap_size, seed=seed
+        )
+        #: keys estimated below this are not skimmed (0 = skim every
+        #: heap-tracked key, the aggressive default)
+        self.skim_threshold = skim_threshold
+
+    @classmethod
+    def from_memory(
+        cls, memory_bytes: float, rows: int = 3, heap_fraction: float = 0.2, seed: int = 1
+    ):
+        """Size heap and arrays to a byte budget."""
+        inner = CountHeap.from_memory(
+            memory_bytes, rows=rows, heap_fraction=heap_fraction, seed=seed
+        )
+        instance = cls(
+            rows=inner.sketch.rows,
+            width=inner.sketch.width,
+            heap_size=inner.heap_size,
+            seed=seed,
+        )
+        return instance
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self._inner.sketch.rows + 1
+        self._inner.insert(key, count)
+        self._inner.insertions -= 1
+
+    def query(self, key: int) -> int:
+        return self._inner.query(key)
+
+    # ------------------------------------------------------------------ #
+    # skim + join
+    # ------------------------------------------------------------------ #
+    def _skim(self) -> Tuple[Dict[int, int], CountSketch]:
+        """(heavy estimates, residual sketch with them subtracted out)."""
+        heavy = {
+            key: estimate
+            for key, estimate in self._inner.heavy_hitters(1).items()
+            if estimate > self.skim_threshold
+        }
+        residual = copy.deepcopy(self._inner.sketch)
+        for key, estimate in heavy.items():
+            residual.insert(key, -estimate)
+            residual.insertions -= 1
+        return heavy, residual
+
+    def inner_product(self, other: "SkimmedSketch") -> float:
+        if (
+            self._inner.sketch.rows != other._inner.sketch.rows
+            or self._inner.sketch.width != other._inner.sketch.width
+        ):
+            raise ValueError("skimmed sketches must share a shape")
+        heavy_a, resid_a = self._skim()
+        heavy_b, resid_b = other._skim()
+        keys: Set[int] = set(heavy_a) | set(heavy_b)
+        keyed = 0.0
+        for key in keys:
+            f_heavy = heavy_a.get(key, 0)
+            g_heavy = heavy_b.get(key, 0)
+            keyed += f_heavy * g_heavy
+            keyed += f_heavy * resid_b.query(key)
+            keyed += resid_a.query(key) * g_heavy
+        return keyed + resid_a.inner_product(resid_b)
+
+    def memory_bytes(self) -> float:
+        return self._inner.memory_bytes()

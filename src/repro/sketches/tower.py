@@ -1,0 +1,88 @@
+"""TowerSketch (Yang et al., SketchINT) — the element filter's substrate.
+
+A stack of counter arrays where lower levels have many small counters and
+higher levels few large ones; inserts update one counter per level
+(CM-style) with saturation, queries take the minimum over unsaturated
+mapped counters.  The configuration exploits skew: the numerous small
+flows are resolved by the numerous small counters, while the rare large
+flows fall through to the large counters.
+
+The standalone class here exists as an evaluated baseline and substrate;
+the DaVinci element filter (:class:`repro.core.element_filter.ElementFilter`)
+embeds the same mechanics plus the promotion threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import HashFamily
+from repro.sketches.base import FrequencySketch
+
+
+class TowerSketch(FrequencySketch):
+    """A multi-level saturating counter sketch."""
+
+    def __init__(
+        self,
+        level_widths: Sequence[int],
+        level_bits: Sequence[int],
+        seed: int = 1,
+    ) -> None:
+        super().__init__()
+        if len(level_widths) != len(level_bits) or not level_widths:
+            raise ConfigurationError(
+                "level widths/bits must match and be non-empty"
+            )
+        self.level_widths: Tuple[int, ...] = tuple(int(w) for w in level_widths)
+        self.level_bits: Tuple[int, ...] = tuple(int(b) for b in level_bits)
+        self.level_caps: Tuple[int, ...] = tuple(
+            (1 << bits) - 1 for bits in self.level_bits
+        )
+        self.num_levels = len(self.level_widths)
+        self._hashes = HashFamily(self.num_levels, self.level_widths, seed=seed)
+        self.levels: List[List[int]] = [[0] * w for w in self.level_widths]
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        level_bits: Sequence[int] = (8, 16),
+        level_ratio: Sequence[float] = (0.75, 0.25),
+        seed: int = 1,
+    ):
+        """Split a byte budget across levels (default 3:1 low:high)."""
+        if len(level_bits) != len(level_ratio):
+            raise ConfigurationError("level_bits and level_ratio must match")
+        widths = [
+            max(8, int(memory_bytes * share * 8 / bits))
+            for share, bits in zip(level_ratio, level_bits)
+        ]
+        return cls(widths, list(level_bits), seed=seed)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        self.memory_accesses += self.num_levels
+        for level, counters in enumerate(self.levels):
+            cap = self.level_caps[level]
+            j = self._hashes.index(level, key)
+            if counters[j] >= cap:
+                continue
+            counters[j] = min(counters[j] + count, cap)
+
+    def query(self, key: int) -> int:
+        best = None
+        for level, counters in enumerate(self.levels):
+            value = counters[self._hashes.index(level, key)]
+            if value >= self.level_caps[level]:
+                continue
+            if best is None or value < best:
+                best = value
+        return best if best is not None else max(self.level_caps)
+
+    def memory_bytes(self) -> float:
+        return sum(
+            width * bits / 8.0
+            for width, bits in zip(self.level_widths, self.level_bits)
+        )

@@ -1,0 +1,158 @@
+"""UnivMon (Liu et al., SIGCOMM'16) — universal sketching.
+
+One data structure answers any additive G-sum ``Σ_e g(f_e)`` by layering
+``L`` Count-Sketch+heap pairs over progressively sub-sampled substreams:
+level 0 sees every key, level ``i`` only keys whose sampling hash ends in
+``i`` zero bits (an expected 2^−i fraction).  The recursive estimator
+
+    Y_L = Σ_{e ∈ heap_L} g(f̂_e)
+    Y_i = 2·Y_{i+1} + Σ_{e ∈ heap_i} (1 − 2·sampled_{i+1}(e))·g(f̂_e)
+
+recovers the full-stream G-sum (Y₀).  Instantiations used by the paper's
+experiments: heavy hitters (level-0 heap), entropy (g = x·ln x), and
+cardinality (g = 1); heavy changers subtract two UnivMons level-wise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.common.hashing import hash64, spread_seeds
+from repro.common.validation import require_positive
+from repro.sketches.base import (
+    CardinalitySketch,
+    HeavyHitterSketch,
+    MemoryModel,
+)
+from repro.sketches.count_sketch import CountHeap
+
+
+class UnivMon(HeavyHitterSketch, CardinalitySketch):
+    """``levels`` sub-sampled Count-Sketch+heap layers."""
+
+    def __init__(
+        self,
+        levels: int,
+        rows: int,
+        width: int,
+        heap_size: int,
+        seed: int = 1,
+    ) -> None:
+        super().__init__()
+        require_positive("levels", levels)
+        self.num_levels = levels
+        self._sample_seed = hash64(0x07, seed)
+        level_seeds = spread_seeds(seed, levels)
+        self.layers: List[CountHeap] = [
+            CountHeap(rows=rows, width=width, heap_size=heap_size, seed=s)
+            for s in level_seeds
+        ]
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: float,
+        levels: int = 8,
+        rows: int = 3,
+        heap_fraction: float = 0.2,
+        seed: int = 1,
+    ):
+        """Split the budget equally across levels, ~20% of each to its heap
+        (a fixed heap would eat the whole budget at small memories)."""
+        per_level = memory_bytes / levels
+        heap_size = max(
+            8, int(per_level * heap_fraction / CountHeap.HEAP_SLOT_BYTES)
+        )
+        sketch_bytes = max(
+            rows * MemoryModel.COUNTER_BYTES,
+            per_level - heap_size * CountHeap.HEAP_SLOT_BYTES,
+        )
+        width = max(1, int(sketch_bytes / (rows * MemoryModel.COUNTER_BYTES)))
+        return cls(
+            levels=levels, rows=rows, width=width, heap_size=heap_size, seed=seed
+        )
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sampled_at(self, key: int, level: int) -> bool:
+        """Whether ``key`` participates in substream ``level``."""
+        if level == 0:
+            return True
+        mask = (1 << level) - 1
+        return (hash64(key, self._sample_seed) & mask) == 0
+
+    def max_level(self, key: int) -> int:
+        """Deepest level the key participates in."""
+        h = hash64(key, self._sample_seed)
+        level = 0
+        while level + 1 < self.num_levels and (h & ((1 << (level + 1)) - 1)) == 0:
+            level += 1
+        return level
+
+    # ------------------------------------------------------------------ #
+    # stream operations
+    # ------------------------------------------------------------------ #
+    def insert(self, key: int, count: int = 1) -> None:
+        self.insertions += 1
+        deepest = self.max_level(key)
+        for level in range(deepest + 1):
+            layer = self.layers[level]
+            layer.insert(key, count)
+            self.memory_accesses += layer.sketch.rows + 1
+            layer.insertions -= 1  # attribute the insertion to UnivMon only
+
+    def query(self, key: int) -> int:
+        """Frequency estimate from the full-stream (level-0) Count Sketch."""
+        return self.layers[0].query(key)
+
+    # ------------------------------------------------------------------ #
+    # G-sum machinery
+    # ------------------------------------------------------------------ #
+    def g_sum(self, g: Callable[[int], float]) -> float:
+        """The recursive universal estimator for ``Σ_e g(f_e)``."""
+        estimate = 0.0
+        for level in range(self.num_levels - 1, -1, -1):
+            layer = self.layers[level]
+            heap = layer.heavy_hitters(1)
+            if level == self.num_levels - 1:
+                estimate = sum(
+                    g(freq) for freq in heap.values() if freq > 0
+                )
+                continue
+            correction = sum(
+                (1.0 - 2.0 * self.sampled_at(key, level + 1)) * g(freq)
+                for key, freq in heap.items()
+                if freq > 0
+            )
+            estimate = 2.0 * estimate + correction
+        return estimate
+
+    def cardinality(self) -> float:
+        """G-sum with g ≡ 1 (the count of distinct keys)."""
+        return max(0.0, self.g_sum(lambda _freq: 1.0))
+
+    def entropy(self, total: float) -> float:
+        """H = ln S − (1/S)·Σ f·ln f via the universal estimator."""
+        if total <= 0:
+            return 0.0
+        f_log_f = self.g_sum(lambda freq: freq * math.log(freq))
+        return max(0.0, math.log(total) - f_log_f / total)
+
+    # ------------------------------------------------------------------ #
+    # heavy hitters / changers
+    # ------------------------------------------------------------------ #
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return self.layers[0].heavy_hitters(threshold)
+
+    def change_query(self, other: "UnivMon", key: int) -> int:
+        """Estimated change of ``key`` between two UnivMon snapshots."""
+        return self.query(key) - other.query(key)
+
+    def candidate_keys(self) -> Dict[int, int]:
+        """Every heap-tracked key with its level-0 estimate."""
+        return self.layers[0].heavy_hitters(1)
+
+    def memory_bytes(self) -> float:
+        return sum(layer.memory_bytes() for layer in self.layers)

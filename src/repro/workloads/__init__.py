@@ -1,0 +1,59 @@
+"""Workload generation: Zipf multisets, dataset stand-ins, ground truth."""
+
+from repro.workloads.datasets import (
+    CAIDA,
+    MAWI,
+    REGISTRY,
+    TPCDS,
+    DatasetSpec,
+    get_spec,
+    table2_statistics,
+)
+from repro.workloads.traces import (
+    caida_like,
+    correlated_pair,
+    halves,
+    inclusion_split,
+    load_trace,
+    mawi_like,
+    overlap_thirds,
+    tpcds_like,
+    trace_from_spec,
+)
+from repro.workloads.io import (
+    iter_trace,
+    read_counts,
+    read_trace,
+    weighted_inserts,
+    write_counts,
+    write_trace,
+)
+from repro.workloads.zipf import generate_keys, zipf_probabilities, zipf_trace
+
+__all__ = [
+    "CAIDA",
+    "MAWI",
+    "TPCDS",
+    "REGISTRY",
+    "DatasetSpec",
+    "get_spec",
+    "table2_statistics",
+    "caida_like",
+    "mawi_like",
+    "tpcds_like",
+    "load_trace",
+    "trace_from_spec",
+    "halves",
+    "overlap_thirds",
+    "inclusion_split",
+    "correlated_pair",
+    "generate_keys",
+    "zipf_probabilities",
+    "zipf_trace",
+    "iter_trace",
+    "read_counts",
+    "read_trace",
+    "weighted_inserts",
+    "write_counts",
+    "write_trace",
+]

@@ -1,0 +1,97 @@
+"""Exact ground-truth computation for every measurement task.
+
+The experiment harness compares sketch estimates against the values
+computed here.  All functions are deliberately simple and exact — they are
+the specification the sketches approximate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+def frequencies(trace: Iterable[int]) -> Dict[int, int]:
+    """Exact per-key frequencies."""
+    return dict(Counter(trace))
+
+
+def cardinality(trace: Iterable[int]) -> int:
+    """Exact number of distinct keys."""
+    return len(set(trace))
+
+
+def heavy_hitters(freq: Dict[int, int], threshold: int) -> Set[int]:
+    """Keys with frequency at least ``threshold``."""
+    return {key for key, count in freq.items() if count >= threshold}
+
+
+def heavy_changers(
+    freq_a: Dict[int, int], freq_b: Dict[int, int], threshold: int
+) -> Set[int]:
+    """Keys whose frequency changed by at least ``threshold``."""
+    keys = set(freq_a) | set(freq_b)
+    return {
+        key
+        for key in keys
+        if abs(freq_a.get(key, 0) - freq_b.get(key, 0)) >= threshold
+    }
+
+
+def size_distribution(freq: Dict[int, int]) -> Dict[int, int]:
+    """Exact flow-size histogram ``{size: #flows}``."""
+    histogram: Dict[int, int] = {}
+    for count in freq.values():
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram
+
+
+def entropy(freq: Dict[int, int]) -> float:
+    """Exact entropy (nats): ``−Σ (f/S)·ln(f/S)``."""
+    total = sum(freq.values())
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in freq.values():
+        p = count / total
+        result -= p * math.log(p)
+    return result
+
+
+def multiset_union(
+    freq_a: Dict[int, int], freq_b: Dict[int, int]
+) -> Dict[int, int]:
+    """Exact frequency vector of the multiset union (counts add)."""
+    union = dict(freq_a)
+    for key, count in freq_b.items():
+        union[key] = union.get(key, 0) + count
+    return union
+
+
+def multiset_difference(
+    freq_a: Dict[int, int], freq_b: Dict[int, int]
+) -> Dict[int, int]:
+    """Exact signed difference vector, zero entries dropped.
+
+    Positive counts mean "more in A", negative "more in B" — the paper's
+    ``A − B = {a, −b, d, −c}`` convention for non-nested operands.
+    """
+    delta: Dict[int, int] = {}
+    for key in set(freq_a) | set(freq_b):
+        value = freq_a.get(key, 0) - freq_b.get(key, 0)
+        if value != 0:
+            delta[key] = value
+    return delta
+
+
+def inner_product(freq_a: Dict[int, int], freq_b: Dict[int, int]) -> int:
+    """Exact cardinality of the inner join: ``Σ f(e)·g(e)``."""
+    if len(freq_b) < len(freq_a):
+        freq_a, freq_b = freq_b, freq_a
+    return sum(count * freq_b.get(key, 0) for key, count in freq_a.items())
+
+
+def top_k_keys(freq: Dict[int, int], k: int) -> List[Tuple[int, int]]:
+    """The ``k`` most frequent keys (ties broken by key for determinism)."""
+    return sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))[:k]

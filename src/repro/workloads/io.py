@@ -1,0 +1,107 @@
+"""Trace file I/O: plug real traces into the harness.
+
+The synthetic generators cover the paper's experiments, but a downstream
+user will want to run their *own* packet/row traces.  Two dead-simple
+formats are supported:
+
+* **keys format** — one key per line (ints as decimal; anything else is
+  treated as a string key and fingerprinted by the sketch API);
+* **counts format** — ``key,count`` CSV lines, expanded or streamed as
+  weighted inserts.
+
+Writers exist so synthetic traces can be exported for other tools.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+
+Key = Union[int, str]
+
+
+def _parse_key(token: str) -> Key:
+    token = token.strip()
+    if not token:
+        raise ConfigurationError("empty key in trace file")
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_trace(path: Union[str, os.PathLike]) -> List[Key]:
+    """Load a one-key-per-line trace file (``#`` lines are comments)."""
+    trace: List[Key] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            trace.append(_parse_key(line))
+    return trace
+
+
+def iter_trace(path: Union[str, os.PathLike]) -> Iterator[Key]:
+    """Stream a one-key-per-line trace without loading it into memory."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield _parse_key(line)
+
+
+def write_trace(path: Union[str, os.PathLike], trace: Iterable[Key]) -> int:
+    """Write a trace in keys format; returns the number of lines written."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for key in trace:
+            handle.write(f"{key}\n")
+            written += 1
+    return written
+
+
+def read_counts(path: Union[str, os.PathLike]) -> Dict[Key, int]:
+    """Load a ``key,count`` CSV into a frequency map."""
+    counts: Dict[Key, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.rsplit(",", 1)
+            if len(parts) != 2:
+                raise ConfigurationError(
+                    f"{path}:{number}: expected 'key,count', got {line!r}"
+                )
+            key = _parse_key(parts[0])
+            try:
+                count = int(parts[1])
+            except ValueError:
+                raise ConfigurationError(
+                    f"{path}:{number}: count must be an integer"
+                ) from None
+            if count < 0:
+                raise ConfigurationError(f"{path}:{number}: negative count")
+            counts[key] = counts.get(key, 0) + count
+    return counts
+
+
+def write_counts(
+    path: Union[str, os.PathLike], counts: Dict[Key, int]
+) -> int:
+    """Write a frequency map as ``key,count`` CSV; returns rows written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for key, count in counts.items():
+            handle.write(f"{key},{count}\n")
+    return len(counts)
+
+
+def weighted_inserts(counts: Dict[Key, int]) -> Iterator[Tuple[Key, int]]:
+    """Yield (key, count) pairs for weighted insertion into any sketch."""
+    for key, count in counts.items():
+        if count > 0:
+            yield key, count

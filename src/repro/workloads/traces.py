@@ -1,0 +1,101 @@
+"""Synthetic stand-ins for the paper's CAIDA / MAWI / TPC-DS traces.
+
+Each generator returns a plain list of integer keys (one per packet/row),
+matched to the paper's Table II statistics via
+:mod:`repro.workloads.datasets`.  The experiment splits used by Figures
+4-6 (halves for union/heavy-changer, thirds for the overlap difference)
+live here too, so every bench slices traces identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.datasets import CAIDA, MAWI, TPCDS, DatasetSpec, get_spec
+from repro.workloads.zipf import zipf_trace
+
+
+def trace_from_spec(spec: DatasetSpec, scale: float = 1.0, seed: int = 0) -> List[int]:
+    """Generate a trace for ``spec`` shrunk by ``scale``."""
+    scaled = spec.scaled(scale)
+    return zipf_trace(
+        num_packets=scaled.packets,
+        num_flows=scaled.flows,
+        skew=scaled.skew,
+        seed=seed,
+    )
+
+
+def caida_like(scale: float = 0.05, seed: int = 0) -> List[int]:
+    """A CAIDA-2019-like trace: ~22.5 packets/flow, strong skew."""
+    return trace_from_spec(CAIDA, scale=scale, seed=seed)
+
+
+def mawi_like(scale: float = 0.05, seed: int = 0) -> List[int]:
+    """A MAWI-like trace: many small flows (≈10 packets/flow), milder skew."""
+    return trace_from_spec(MAWI, scale=scale, seed=seed)
+
+
+def tpcds_like(scale: float = 0.05, seed: int = 0) -> List[int]:
+    """A TPC-DS-join-column-like multiset: 1,834 keys, huge multiplicities.
+
+    The key domain does **not** shrink with ``scale`` — the paper
+    attributes this dataset's unstable results to its tiny flow count,
+    which is the property we preserve.
+    """
+    return trace_from_spec(TPCDS, scale=scale, seed=seed)
+
+
+def load_trace(name: str, scale: float = 0.05, seed: int = 0) -> List[int]:
+    """Generate the named dataset's stand-in trace."""
+    return trace_from_spec(get_spec(name), scale=scale, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# experiment splits (Figures 4-6)
+# --------------------------------------------------------------------- #
+def halves(trace: List[int]) -> Tuple[List[int], List[int]]:
+    """First/second half — the union and heavy-changer experiments."""
+    mid = len(trace) // 2
+    return trace[:mid], trace[mid:]
+
+
+def overlap_thirds(trace: List[int]) -> Tuple[List[int], List[int]]:
+    """First two-thirds vs last two-thirds — the overlap difference.
+
+    The middle third appears in both operands, so the difference cancels
+    there; the paper calls this the "overlap difference" scenario.
+    """
+    third = len(trace) // 3
+    return trace[: 2 * third], trace[third:]
+
+
+def inclusion_split(trace: List[int]) -> Tuple[List[int], List[int]]:
+    """Whole trace vs its first half — the "inclusion difference".
+
+    The subtrahend is fully contained in the minuend (B ⊂ A), the classic
+    packet-loss-detection setting of LossRadar/FlowRadar.
+    """
+    mid = len(trace) // 2
+    return list(trace), trace[:mid]
+
+
+def correlated_pair(
+    name: str, scale: float = 0.05, seed: int = 0
+) -> Tuple[List[int], List[int]]:
+    """Two traces over the same key population — the inner-join experiment.
+
+    Drawing both operands from one dataset spec (different sample seeds,
+    same key universe) yields overlapping supports with skewed
+    frequencies, the regime where join-size estimation is hard.
+    """
+    spec = get_spec(name).scaled(scale)
+    if spec.packets < 2:
+        raise ConfigurationError("trace too small to split into a pair")
+    from repro.workloads.zipf import generate_keys
+
+    keys = generate_keys(spec.flows, seed=seed + 1)
+    left = zipf_trace(spec.packets, spec.flows, spec.skew, seed=seed + 10, keys=keys)
+    right = zipf_trace(spec.packets, spec.flows, spec.skew, seed=seed + 20, keys=keys)
+    return left, right

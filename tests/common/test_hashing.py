@@ -1,0 +1,154 @@
+"""Unit tests for the seeded hash families."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import (
+    HashFamily,
+    SignFamily,
+    fingerprint,
+    hash64,
+    key_to_int,
+    mix64,
+    spread_seeds,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_avalanche_changes_output(self):
+        assert mix64(1) != mix64(2)
+
+    def test_output_is_64_bit(self):
+        for value in (0, 1, 2**63, 2**64 - 1, 123456789):
+            assert 0 <= mix64(value) < 2**64
+
+    def test_negative_inputs_are_masked(self):
+        assert 0 <= mix64(-1) < 2**64
+
+
+class TestHash64:
+    def test_same_key_same_seed_is_stable(self):
+        assert hash64(42, seed=7) == hash64(42, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert hash64(42, seed=1) != hash64(42, seed=2)
+
+    def test_different_keys_differ(self):
+        assert hash64(1, seed=1) != hash64(2, seed=1)
+
+    def test_distribution_is_roughly_uniform(self):
+        buckets = [0] * 16
+        for key in range(4000):
+            buckets[hash64(key, seed=3) % 16] += 1
+        expected = 4000 / 16
+        for count in buckets:
+            assert abs(count - expected) < expected * 0.5
+
+
+class TestKeyToInt:
+    def test_int_passthrough(self):
+        assert key_to_int(12345) == 12345
+
+    def test_negative_int_wraps_to_unsigned(self):
+        assert key_to_int(-1) == 2**64 - 1
+
+    def test_string_is_fingerprinted_deterministically(self):
+        assert key_to_int("10.0.0.1") == key_to_int("10.0.0.1")
+        assert key_to_int("10.0.0.1") != key_to_int("10.0.0.2")
+
+    def test_bytes_and_equivalent_str_agree(self):
+        assert key_to_int(b"flow") == key_to_int("flow")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_to_int(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_to_int(3.14)
+
+
+class TestHashFamily:
+    def test_indexes_in_range(self):
+        family = HashFamily(rows=4, width=37, seed=5)
+        for key in range(200):
+            for index in family.indexes(key):
+                assert 0 <= index < 37
+
+    def test_per_row_widths(self):
+        family = HashFamily(rows=3, width=[10, 20, 30], seed=5)
+        for key in range(100):
+            idx = family.indexes(key)
+            assert idx[0] < 10 and idx[1] < 20 and idx[2] < 30
+
+    def test_index_matches_indexes(self):
+        family = HashFamily(rows=3, width=64, seed=9)
+        for key in (0, 1, 99, 12345):
+            assert [family.index(r, key) for r in range(3)] == family.indexes(key)
+
+    def test_rows_are_decorrelated(self):
+        family = HashFamily(rows=2, width=1000, seed=1)
+        same = sum(
+            1
+            for key in range(2000)
+            if family.index(0, key) == family.index(1, key)
+        )
+        # Independent rows collide with probability 1/1000.
+        assert same < 20
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashFamily(rows=0, width=8)
+        with pytest.raises(ConfigurationError):
+            HashFamily(rows=2, width=[8])
+        with pytest.raises(ConfigurationError):
+            HashFamily(rows=1, width=0)
+
+
+class TestSignFamily:
+    def test_signs_are_plus_minus_one(self):
+        family = SignFamily(rows=3, seed=2)
+        for key in range(100):
+            for sign in family.signs(key):
+                assert sign in (1, -1)
+
+    def test_signs_are_deterministic(self):
+        family = SignFamily(rows=3, seed=2)
+        assert family.signs(77) == family.signs(77)
+
+    def test_signs_are_roughly_balanced(self):
+        family = SignFamily(rows=1, seed=4)
+        positive = sum(1 for key in range(4000) if family.sign(0, key) == 1)
+        assert 1700 < positive < 2300
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SignFamily(rows=0)
+
+
+class TestFingerprint:
+    def test_width_respected(self):
+        for bits in (1, 8, 16, 32, 64):
+            assert 0 <= fingerprint(999, bits) < 2**bits
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fingerprint(1, 0)
+        with pytest.raises(ConfigurationError):
+            fingerprint(1, 65)
+
+
+class TestSpreadSeeds:
+    def test_count_and_uniqueness(self):
+        seeds = spread_seeds(1, 10)
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_deterministic(self):
+        assert spread_seeds(5, 4) == spread_seeds(5, 4)
+
+    def test_different_masters_differ(self):
+        assert spread_seeds(1, 4) != spread_seeds(2, 4)

@@ -1,0 +1,84 @@
+"""Unit tests for the prime-field helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.primes import (
+    DEFAULT_PRIME,
+    SMALL_PRIME,
+    from_field_signed,
+    is_prime,
+    mod_inverse,
+    to_field,
+    validate_prime,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 100, 561, 1105):  # incl. Carmichael
+            assert not is_prime(n)
+
+    def test_mersenne_primes(self):
+        assert is_prime((1 << 31) - 1)
+        assert is_prime((1 << 61) - 1)
+
+    def test_mersenne_composite(self):
+        assert not is_prime((1 << 32) - 1)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+
+class TestValidatePrime:
+    def test_accepts_defaults(self):
+        assert validate_prime(DEFAULT_PRIME) == DEFAULT_PRIME
+        assert validate_prime(SMALL_PRIME) == SMALL_PRIME
+
+    def test_rejects_composite(self):
+        with pytest.raises(ConfigurationError):
+            validate_prime(10)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ConfigurationError):
+            validate_prime(3)
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("p", [7, 101, SMALL_PRIME, DEFAULT_PRIME])
+    def test_inverse_property(self, p):
+        for a in (1, 2, 3, p - 1, 12345 % p or 1):
+            assert (a * mod_inverse(a, p)) % p == 1
+
+    def test_negative_argument(self):
+        p = 101
+        assert (-5 * mod_inverse(-5, p)) % p == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ConfigurationError):
+            mod_inverse(0, 7)
+
+    def test_multiple_of_p_has_no_inverse(self):
+        with pytest.raises(ConfigurationError):
+            mod_inverse(14, 7)
+
+
+class TestFieldConversions:
+    def test_to_field_wraps_negative(self):
+        assert to_field(-1, 7) == 6
+
+    def test_from_field_signed_small_positive(self):
+        assert from_field_signed(3, 101) == 3
+
+    def test_from_field_signed_wraps_large(self):
+        assert from_field_signed(100, 101) == -1
+        assert from_field_signed(101 - 17, 101) == -17
+
+    def test_roundtrip(self):
+        p = SMALL_PRIME
+        for value in (-1000, -1, 0, 1, 999999):
+            assert from_field_signed(to_field(value, p), p) == value

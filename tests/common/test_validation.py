@@ -1,0 +1,69 @@
+"""Unit tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import (
+    check_same_type,
+    require_fraction,
+    require_memory_budget,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 5) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", None, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", bad)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative("x", 0) == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, False])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_non_negative("x", bad)
+
+
+class TestRequireFraction:
+    def test_open_interval(self):
+        assert require_fraction("f", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            require_fraction("f", 0.0)
+        with pytest.raises(ConfigurationError):
+            require_fraction("f", 1.0)
+
+    def test_inclusive_interval(self):
+        assert require_fraction("f", 0.0, inclusive=True) == 0.0
+        assert require_fraction("f", 1.0, inclusive=True) == 1.0
+        with pytest.raises(ConfigurationError):
+            require_fraction("f", 1.01, inclusive=True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            require_fraction("f", "half")
+
+
+class TestRequireMemoryBudget:
+    def test_fits(self):
+        require_memory_budget("sketch", budget_bytes=100, needed_bytes=100)
+
+    def test_does_not_fit(self):
+        with pytest.raises(ConfigurationError):
+            require_memory_budget("sketch", budget_bytes=99, needed_bytes=100)
+
+
+class TestCheckSameType:
+    def test_same(self):
+        check_same_type([1], [2])
+
+    def test_different(self):
+        with pytest.raises(ConfigurationError):
+            check_same_type([1], (1,))

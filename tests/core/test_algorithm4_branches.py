@@ -1,0 +1,134 @@
+"""Branch-level tests for the frequency query (paper Algorithm 4).
+
+Each test engineers the sketch state so one specific branch of the query
+must fire, then checks both the answer and that the expected branch is the
+one that produced it.
+"""
+
+import pytest
+
+from repro.common.errors import DecodeError
+from repro.core import DaVinciConfig, DaVinciSketch
+
+
+@pytest.fixture
+def config():
+    return DaVinciConfig(
+        fp_buckets=4,
+        fp_entries=2,
+        ef_level_widths=(128, 64),
+        ef_level_bits=(4, 8),
+        ifp_rows=3,
+        ifp_width=64,
+        lambda_evict=2.0,
+        filter_threshold=10,
+        seed=13,
+    )
+
+
+class TestLines2to4_ExactFrequentPart:
+    def test_unflagged_resident_is_exact_and_skips_lower_parts(self, config):
+        sketch = DaVinciSketch(config)
+        sketch.insert(1, 500)
+        count, present, flag = sketch.fp.lookup(1)
+        assert present and not flag
+        # pollute the filter heavily at other keys; the exact branch must
+        # not pick any of it up
+        for key in range(100, 400):
+            sketch.insert(key)
+        if not sketch.fp.lookup(1)[2]:  # still unflagged
+            assert sketch.query(1) == 500
+
+
+class TestLines9to11_DecodedInfrequentPart:
+    def test_promoted_and_decoded_gets_plus_t(self, config):
+        sketch = DaVinciSketch(config)
+        # Two heavy residents per bucket slot, then a mid flow that gets
+        # evicted and promoted: insert it in bursts so the FP keeps
+        # rejecting it (case 4) into the filter.
+        sketch.insert(1, 1000)
+        sketch.insert(2, 1000)
+        target = 777
+        for _ in range(60):
+            sketch.insert(target)
+        count, present, _ = sketch.fp.lookup(target)
+        if not present:
+            decoded = sketch.decode_counts()
+            assert target in decoded
+            # query = decoded + T exactly (plus any FP share, which is 0)
+            assert sketch.query(target) == decoded[target] + config.filter_threshold
+            assert sketch.query(target) == 60
+
+
+class TestLines13to22_FilterEstimate:
+    def test_small_flow_served_by_filter(self, config):
+        sketch = DaVinciSketch(config)
+        sketch.insert(1, 100)
+        sketch.insert(2, 100)
+        mouse = 555
+        for _ in range(3):
+            sketch.insert(mouse)
+        count, present, _ = sketch.fp.lookup(mouse)
+        if not present:
+            assert sketch.decode_counts().get(mouse) is None
+            estimate = sketch.query(mouse)
+            assert 3 <= estimate < config.filter_threshold
+
+    def test_absent_key_reads_bounded_noise(self, config):
+        sketch = DaVinciSketch(config)
+        sketch.insert_all(range(1, 50))
+        estimate = sketch.query(999_983)
+        assert 0 <= estimate <= config.filter_threshold
+
+
+class TestLines16to20_FastQueryFallback:
+    def test_undecodable_promoted_flow_uses_fast_query_plus_t(self):
+        config = DaVinciConfig(
+            fp_buckets=2,
+            fp_entries=2,
+            ef_level_widths=(64, 32),
+            ef_level_bits=(4, 8),
+            ifp_rows=3,
+            ifp_width=4,  # tiny: promotion storm defeats peeling
+            lambda_evict=2.0,
+            filter_threshold=10,
+            seed=13,
+        )
+        sketch = DaVinciSketch(config)
+        for key in range(1, 120):
+            sketch.insert(key, 40)  # everything promotes, IFP overloads
+        result = sketch.decode_result()
+        assert not result.complete
+        # pick a promoted key that did not decode
+        undecoded = [
+            key
+            for key in range(1, 120)
+            if key not in result.counts
+            and not sketch.fp.lookup(key)[1]
+            and sketch.ef.query(key) >= sketch.ef.threshold
+        ]
+        assert undecoded
+        for key in undecoded[:5]:
+            estimate = sketch.query(key)
+            # fast-query fallback: T + max(0, median) — at least the filter
+            # share, never negative
+            assert estimate >= sketch.ef.threshold
+
+
+class TestStrictDecode:
+    def test_strict_raises_with_partial(self):
+        from repro.core.infrequent_part import InfrequentPart
+
+        ifp = InfrequentPart(rows=3, width=4, seed=3)
+        for key in range(100, 200):
+            ifp.insert(key, 1)
+        with pytest.raises(DecodeError) as exc_info:
+            ifp.decode(strict=True)
+        assert isinstance(exc_info.value.partial, dict)
+
+    def test_strict_passes_when_complete(self):
+        from repro.core.infrequent_part import InfrequentPart
+
+        ifp = InfrequentPart(rows=3, width=64, seed=3)
+        ifp.insert(42, 7)
+        assert ifp.decode(strict=True).counts == {42: 7}

@@ -1,0 +1,90 @@
+"""Unit tests for the Section-IV analysis helpers."""
+
+import pytest
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.core.analysis import (
+    davinci_error_bound,
+    empirical_bias,
+    empirical_variance,
+    exceed_fraction,
+    partition_truth_by_part,
+)
+
+
+@pytest.fixture
+def loaded(small_config):
+    sketch = DaVinciSketch(small_config)
+    truth = {}
+    for key in range(1, 40):
+        count = key  # sizes 1..39 straddle the T=10 threshold
+        sketch.insert(key, count)
+        truth[key] = count
+    return sketch, truth
+
+
+class TestPartition:
+    def test_masses_sum_to_truth(self, loaded):
+        sketch, truth = loaded
+        fp_mass, ef_mass, ifp_mass = partition_truth_by_part(sketch, truth)
+        for key, total in truth.items():
+            assert fp_mass[key] + ef_mass[key] + ifp_mass[key] == total
+
+    def test_fp_resident_key_fully_in_fp(self, loaded):
+        sketch, truth = loaded
+        fp_mass, ef_mass, ifp_mass = partition_truth_by_part(sketch, truth)
+        for key, count in sketch.fp.items():
+            if key in truth and count == truth[key]:
+                assert ef_mass[key] == 0
+                assert ifp_mass[key] == 0
+
+    def test_ef_mass_capped_at_threshold(self, loaded):
+        sketch, truth = loaded
+        _fp, ef_mass, _ifp = partition_truth_by_part(sketch, truth)
+        threshold = sketch.ef.threshold
+        assert all(mass <= threshold for mass in ef_mass.values())
+
+    def test_ifp_mass_nonnegative(self, loaded):
+        sketch, truth = loaded
+        _fp, _ef, ifp_mass = partition_truth_by_part(sketch, truth)
+        assert all(mass >= 0 for mass in ifp_mass.values())
+
+
+class TestEmpiricalHelpers:
+    def test_bias_of_perfect_estimator(self):
+        truth = {1: 5, 2: 9}
+        assert empirical_bias(dict(truth), truth) == 0.0
+
+    def test_bias_sign(self):
+        truth = {1: 5}
+        assert empirical_bias({1: 8}, truth) == 3.0
+        assert empirical_bias({1: 2}, truth) == -3.0
+
+    def test_variance(self):
+        truth = {1: 5, 2: 5}
+        estimates = {1: 7, 2: 3}
+        assert empirical_variance(estimates, truth) == 4.0
+
+    def test_exceed_fraction(self):
+        truth = {1: 5, 2: 5, 3: 5, 4: 5}
+        estimates = {1: 5, 2: 6, 3: 9, 4: 20}
+        assert exceed_fraction(estimates, truth, threshold=2.0) == 0.5
+
+    def test_empty_inputs(self):
+        assert empirical_bias({}, {}) == 0.0
+        assert empirical_variance({}, {}) == 0.0
+        assert exceed_fraction({}, {}, 1.0) == 0.0
+
+
+class TestBoundAssembly:
+    def test_bound_grows_with_k(self, loaded):
+        sketch, truth = loaded
+        low_k = davinci_error_bound(sketch, truth, k=4.0)
+        high_k = davinci_error_bound(sketch, truth, k=16.0)
+        assert high_k[0] >= low_k[0]
+        assert high_k[1] >= low_k[1]
+
+    def test_upper_includes_lower(self, loaded):
+        sketch, truth = loaded
+        lower, upper = davinci_error_bound(sketch, truth, k=9.0)
+        assert upper >= lower >= 0.0

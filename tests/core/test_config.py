@@ -1,0 +1,124 @@
+"""Unit tests for DaVinciConfig and its memory budgeting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import (
+    FP_BUCKET_OVERHEAD_BYTES,
+    FP_ENTRY_BYTES,
+    IFP_BUCKET_BYTES,
+    DaVinciConfig,
+)
+
+
+class TestDirectConstruction:
+    def test_defaults_are_valid(self):
+        config = DaVinciConfig(fp_buckets=8)
+        assert config.fp_entries == 7
+        assert config.ifp_rows == 3
+
+    def test_memory_model_adds_up(self):
+        config = DaVinciConfig(
+            fp_buckets=10,
+            fp_entries=4,
+            ef_level_widths=(100, 50),
+            ef_level_bits=(4, 8),
+            ifp_rows=2,
+            ifp_width=20,
+        )
+        expected_fp = 10 * (4 * FP_ENTRY_BYTES + FP_BUCKET_OVERHEAD_BYTES)
+        expected_ef = 100 * 0.5 + 50 * 1.0
+        expected_ifp = 2 * 20 * IFP_BUCKET_BYTES
+        assert config.fp_bytes() == pytest.approx(expected_fp)
+        assert config.ef_bytes() == pytest.approx(expected_ef)
+        assert config.ifp_bytes() == pytest.approx(expected_ifp)
+        assert config.total_bytes() == pytest.approx(
+            expected_fp + expected_ef + expected_ifp
+        )
+
+    def test_mismatched_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig(
+                fp_buckets=8, ef_level_widths=(10, 20), ef_level_bits=(4,)
+            )
+
+    def test_bad_counter_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig(
+                fp_buckets=8, ef_level_widths=(10,), ef_level_bits=(3,)
+            )
+
+    def test_threshold_must_fit_top_counter(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig(
+                fp_buckets=8,
+                ef_level_widths=(10, 10),
+                ef_level_bits=(4, 8),
+                filter_threshold=255,
+            )
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig(fp_buckets=8, prime=100)
+
+    def test_non_positive_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig(fp_buckets=8, lambda_evict=0)
+
+    def test_frozen(self):
+        config = DaVinciConfig(fp_buckets=8)
+        with pytest.raises(Exception):
+            config.fp_buckets = 9
+
+
+class TestFromMemory:
+    def test_total_close_to_budget(self):
+        budget = 64 * 1024
+        config = DaVinciConfig.from_memory(budget)
+        assert 0.9 * budget <= config.total_bytes() <= 1.05 * budget
+
+    def test_kb_wrapper(self):
+        assert (
+            DaVinciConfig.from_memory_kb(10).total_bytes()
+            == DaVinciConfig.from_memory(10 * 1024).total_bytes()
+        )
+
+    def test_fractions_respected(self):
+        budget = 100 * 1024
+        config = DaVinciConfig.from_memory(
+            budget, fp_fraction=0.5, ef_fraction=0.3
+        )
+        assert config.fp_bytes() == pytest.approx(budget * 0.5, rel=0.05)
+        assert config.ef_bytes() == pytest.approx(budget * 0.3, rel=0.05)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig.from_memory(0)
+
+    def test_overfull_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig.from_memory(1024, fp_fraction=0.7, ef_fraction=0.5)
+
+    def test_level_ratio_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig.from_memory(1024, ef_level_ratio=(0.5, 0.2))
+
+    def test_level_ratio_length_must_match(self):
+        with pytest.raises(ConfigurationError):
+            DaVinciConfig.from_memory(
+                1024, ef_level_bits=(4, 8), ef_level_ratio=(1.0,)
+            )
+
+    def test_tiny_budget_still_builds(self):
+        config = DaVinciConfig.from_memory(512)
+        assert config.fp_buckets >= 1
+        assert config.ifp_width >= 4
+
+    def test_seed_propagates(self):
+        assert DaVinciConfig.from_memory(1024, seed=9).seed == 9
+
+    def test_equality_includes_seed(self):
+        a = DaVinciConfig.from_memory(1024, seed=1)
+        b = DaVinciConfig.from_memory(1024, seed=2)
+        assert a != b
+        assert a == DaVinciConfig.from_memory(1024, seed=1)

@@ -1,0 +1,174 @@
+"""Unit tests for the DaVinciSketch facade."""
+
+import pytest
+
+from repro.common.errors import IncompatibleSketchError
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.core.davinci import MODE_STANDARD
+
+
+class TestInsertAndQuery:
+    def test_small_exact(self, sketch):
+        for key in range(10):
+            for _ in range(key + 1):
+                sketch.insert(key)
+        for key in range(10):
+            assert sketch.query(key) == key + 1
+
+    def test_absent_key_is_small(self, loaded_sketch):
+        # A key never inserted reads only collision noise.
+        assert loaded_sketch.query(10**9) <= loaded_sketch.ef.threshold
+
+    def test_total_count_tracks_stream(self, sketch):
+        sketch.insert(1)
+        sketch.insert(2, count=5)
+        assert sketch.total_count == 6
+
+    def test_insert_all(self, sketch):
+        sketch.insert_all([1, 1, 2])
+        assert sketch.query(1) == 2
+        assert sketch.query(2) == 1
+
+    def test_heavy_flow_estimated_well_under_pressure(
+        self, loaded_sketch, zipf_truth
+    ):
+        heaviest = max(zipf_truth, key=zipf_truth.get)
+        estimate = loaded_sketch.query(heaviest)
+        true = zipf_truth[heaviest]
+        assert abs(estimate - true) / true < 0.05
+
+    def test_overall_are_is_reasonable(self, loaded_sketch, zipf_truth):
+        are = sum(
+            abs(loaded_sketch.query(k) - v) / v for k, v in zipf_truth.items()
+        ) / len(zipf_truth)
+        # the fixture config is deliberately starved (~0.5 B/key), so this
+        # is a sanity bound, not an accuracy benchmark
+        assert are < 2.0
+
+
+class TestPromotionPath:
+    def test_mid_flows_reach_infrequent_part(self, small_config):
+        """Force evictions so the EF promotes into the IFP."""
+        sketch = DaVinciSketch(small_config)
+        # 200 distinct mid-size flows overwhelm the 64-entry FP.
+        for key in range(1, 201):
+            for _ in range(30):
+                sketch.insert(key)
+        assert sketch.ifp.nonzero_buckets() > 0
+        decoded = sketch.decode_counts()
+        assert decoded  # at least some promoted flows decode
+        # every decoded flow's full query lands near its true count of 30
+        for key in decoded:
+            if key <= 200:
+                assert abs(sketch.query(key) - 30) <= 10
+
+    def test_decode_cache_invalidated_on_insert(self, sketch):
+        sketch.insert(1)
+        first = sketch.decode_result()
+        assert sketch.decode_result() is first  # cached
+        sketch.insert(2)
+        assert sketch.decode_result() is not first
+
+
+class TestAccounting:
+    def test_memory_matches_config(self, small_config):
+        sketch = DaVinciSketch(small_config)
+        assert sketch.memory_bytes() == small_config.total_bytes()
+
+    def test_ama_counts_only_insertions(self, sketch):
+        for key in range(100):
+            sketch.insert(key)
+        assert sketch.insertions == 100
+        assert sketch.memory_accesses >= 100
+        ama = sketch.average_memory_access()
+        # at most FP full scan + filter levels + IFP rows per insert
+        upper = (
+            sketch.fp.entries_per_bucket + 2 + sketch.ef.num_levels + sketch.ifp.rows
+        )
+        assert 1 <= ama <= upper
+
+    def test_reset_access_counters(self, loaded_sketch):
+        loaded_sketch.reset_access_counters()
+        assert loaded_sketch.average_memory_access() == 0.0
+
+
+class TestCompatibility:
+    def test_same_config_compatible(self, small_config):
+        DaVinciSketch(small_config).check_compatible(DaVinciSketch(small_config))
+
+    def test_different_seed_incompatible(self, small_config):
+        import dataclasses
+
+        other_config = dataclasses.replace(small_config, seed=small_config.seed + 1)
+        with pytest.raises(IncompatibleSketchError):
+            DaVinciSketch(small_config).check_compatible(
+                DaVinciSketch(other_config)
+            )
+
+    def test_empty_like(self, loaded_sketch):
+        empty = loaded_sketch.empty_like()
+        assert empty.total_count == 0
+        assert empty.mode == MODE_STANDARD
+        assert empty.config == loaded_sketch.config
+
+
+class TestKnownKeys:
+    def test_known_keys_cover_frequent_part(self, loaded_sketch):
+        known = loaded_sketch.known_keys()
+        for key, _count in loaded_sketch.fp.items():
+            assert key in known
+
+    def test_known_keys_values_match_query(self, loaded_sketch):
+        for key, value in loaded_sketch.known_keys().items():
+            assert value == loaded_sketch.query(key)
+
+
+class TestTaskFacade:
+    def test_heavy_hitters_threshold_filtering(self, loaded_sketch, zipf_truth):
+        threshold = 100
+        reported = loaded_sketch.heavy_hitters(threshold)
+        for key, estimate in reported.items():
+            assert estimate >= threshold
+
+    def test_cardinality_close(self, loaded_sketch, zipf_truth):
+        estimate = loaded_sketch.cardinality()
+        assert abs(estimate - len(zipf_truth)) / len(zipf_truth) < 0.15
+
+    def test_entropy_close(self, loaded_sketch, zipf_stream, zipf_truth):
+        import math
+
+        total = len(zipf_stream)
+        true_entropy = -sum(
+            (v / total) * math.log(v / total) for v in zipf_truth.values()
+        )
+        assert abs(loaded_sketch.entropy() - true_entropy) / true_entropy < 0.25
+
+    def test_distribution_masses_are_positive(self, loaded_sketch):
+        histogram = loaded_sketch.distribution()
+        assert histogram
+        assert all(size >= 1 and count > 0 for size, count in histogram.items())
+
+    def test_distribution_max_size_filter(self, loaded_sketch):
+        histogram = loaded_sketch.distribution(max_size=5)
+        assert all(size <= 5 for size in histogram)
+
+    def test_union_and_difference_shortcuts(self, small_config):
+        a = DaVinciSketch(small_config)
+        b = DaVinciSketch(small_config)
+        a.insert_all([1, 1, 2])
+        b.insert_all([2, 3])
+        union = a.union(b)
+        assert union.query(1) == 2
+        delta = a.difference(b)
+        assert delta.query(3) == -1
+
+    def test_inner_join_shortcut(self, small_config):
+        a = DaVinciSketch(small_config)
+        b = DaVinciSketch(small_config)
+        a.insert_all([1] * 10 + [2] * 5)
+        b.insert_all([1] * 4 + [3] * 2)
+        estimate = a.inner_join(b)
+        assert estimate == pytest.approx(40, rel=0.25)
+
+    def test_repr_mentions_mode(self, sketch):
+        assert "standard" in repr(sketch)

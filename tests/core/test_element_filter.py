@@ -1,0 +1,136 @@
+"""Unit tests for the element filter (TowerSketch + promotion threshold)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, IncompatibleSketchError
+from repro.core.element_filter import ElementFilter
+
+
+@pytest.fixture
+def filter_() -> ElementFilter:
+    return ElementFilter(
+        level_widths=(128, 32), level_bits=(4, 8), threshold=10, seed=3
+    )
+
+
+class TestConstruction:
+    def test_caps_derived_from_bits(self, filter_):
+        assert filter_.level_caps == (15, 255)
+
+    def test_threshold_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            ElementFilter((8,), (4,), threshold=15)
+
+    def test_mismatched_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElementFilter((8, 8), (4,), threshold=3)
+
+
+class TestAddAndQuery:
+    def test_single_element_exact_below_cap(self, filter_):
+        filter_.add(5, 7)
+        assert filter_.query(5) == 7
+
+    def test_query_of_absent_key_without_collision(self, filter_):
+        filter_.add(5, 7)
+        # Most other keys map elsewhere; find one reading zero.
+        zeros = [k for k in range(100, 200) if filter_.query(k) == 0]
+        assert zeros
+
+    def test_min_combining_ignores_saturated_levels(self, filter_):
+        filter_.add(5, 100)  # level 0 saturates at 15; level 1 holds 100
+        assert filter_.query(5) == 100
+
+    def test_all_levels_saturated_returns_max_cap(self):
+        ef = ElementFilter((4,), (4,), threshold=10, seed=1)
+        ef.add(1, 500)
+        assert ef.query(1) == 15
+
+    def test_saturated_counters_stay_saturated(self, filter_):
+        filter_.add(5, 300)
+        filter_.add(5, 10)
+        assert filter_.query(5) == 255  # level-1 saturated too
+
+
+class TestOffer:
+    def test_below_threshold_fully_absorbed(self, filter_):
+        assert filter_.offer(1, 4) == 0
+        assert filter_.query(1) == 4
+
+    def test_crossing_threshold_overflows_excess(self, filter_):
+        assert filter_.offer(1, 25) == 15  # keeps T=10, overflows 15
+        assert filter_.query(1) == 10
+
+    def test_already_promoted_overflows_everything(self, filter_):
+        filter_.offer(1, 25)
+        assert filter_.offer(1, 7) == 7
+        assert filter_.query(1) == 10
+
+    def test_incremental_promotion(self, filter_):
+        total_overflow = 0
+        for _ in range(30):
+            total_overflow += filter_.offer(2, 1)
+        assert filter_.query(2) == 10
+        assert total_overflow == 20
+
+    def test_is_promoted(self, filter_):
+        assert not filter_.is_promoted(3)
+        filter_.offer(3, 50)
+        assert filter_.is_promoted(3)
+
+
+class TestLinearity:
+    def test_merged_adds_counters(self, filter_):
+        other = filter_.empty_like()
+        filter_.add(1, 3)
+        other.add(1, 4)
+        merged = filter_.merged(other)
+        assert merged.query(1) == 7
+
+    def test_merged_saturates(self):
+        a = ElementFilter((16,), (4,), threshold=10, seed=1)
+        b = a.empty_like()
+        a.add(1, 12)
+        b.add(1, 12)
+        assert a.merged(b).query(1) == 15
+
+    def test_subtracted_gives_signed_deltas(self, filter_):
+        other = filter_.empty_like()
+        filter_.add(1, 3)
+        other.add(1, 8)
+        delta = filter_.subtracted(other)
+        assert delta.query_signed(1) == -5
+
+    def test_incompatible_merge_rejected(self, filter_):
+        other = ElementFilter((128, 32), (4, 8), threshold=10, seed=99)
+        with pytest.raises(IncompatibleSketchError):
+            filter_.merged(other)
+        with pytest.raises(IncompatibleSketchError):
+            filter_.subtracted(other)
+
+    def test_merge_leaves_inputs_untouched(self, filter_):
+        other = filter_.empty_like()
+        filter_.add(1, 3)
+        other.add(1, 4)
+        filter_.merged(other)
+        assert filter_.query(1) == 3
+        assert other.query(1) == 4
+
+
+class TestIntrospection:
+    def test_zero_fraction(self, filter_):
+        assert filter_.zero_fraction() == 1.0
+        filter_.add(1, 1)
+        assert filter_.zero_fraction() < 1.0
+
+    def test_base_index_stable(self, filter_):
+        assert filter_.base_index(42) == filter_.base_index(42)
+        assert 0 <= filter_.base_index(42) < 128
+
+    def test_memory_bytes(self, filter_):
+        assert filter_.memory_bytes() == 128 * 0.5 + 32 * 1.0
+
+    def test_empty_like_same_hashing(self, filter_):
+        clone = filter_.empty_like()
+        for key in range(50):
+            assert clone.base_index(key) == filter_.base_index(key)

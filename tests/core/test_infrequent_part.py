@@ -1,0 +1,177 @@
+"""Unit tests for the infrequent part (counting Fermat sketch)."""
+
+import pytest
+
+from repro.common.errors import IncompatibleSketchError
+from repro.common.primes import SMALL_PRIME
+from repro.core.infrequent_part import InfrequentPart
+
+
+@pytest.fixture
+def ifp() -> InfrequentPart:
+    return InfrequentPart(rows=3, width=64, seed=5)
+
+
+class TestInsertAndDecode:
+    def test_single_element_roundtrip(self, ifp):
+        ifp.insert(12345, 7)
+        result = ifp.decode()
+        assert result.counts == {12345: 7}
+        assert result.complete
+
+    def test_many_elements_roundtrip_under_low_load(self, ifp):
+        truth = {key: key % 5 + 1 for key in range(1000, 1040)}
+        for key, count in truth.items():
+            ifp.insert(key, count)
+        result = ifp.decode()
+        assert result.complete
+        assert result.counts == truth
+
+    def test_repeated_inserts_accumulate(self, ifp):
+        ifp.insert(99, 3)
+        ifp.insert(99, 4)
+        assert ifp.decode().counts == {99: 7}
+
+    def test_decode_is_non_destructive(self, ifp):
+        ifp.insert(7, 2)
+        first = ifp.decode().counts
+        second = ifp.decode().counts
+        assert first == second == {7: 2}
+        assert ifp.nonzero_buckets() > 0
+
+    def test_overloaded_structure_reports_incomplete(self):
+        tiny = InfrequentPart(rows=3, width=8, seed=5)
+        for key in range(2000, 2100):
+            tiny.insert(key, 1)
+        result = tiny.decode()
+        assert not result.complete
+        assert result.residual_buckets > 0
+
+    def test_decode_empty(self, ifp):
+        result = ifp.decode()
+        assert result.counts == {}
+        assert result.complete
+        assert result.residual_buckets == 0
+
+    def test_out_of_domain_keys_rejected(self, ifp):
+        # Keys outside [1, max_key) would be undecodable; the structure
+        # refuses them eagerly (DaVinciSketch fingerprints such keys first).
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ifp.insert(0, 3)
+        with pytest.raises(ConfigurationError):
+            ifp.insert(ifp.max_key, 3)
+
+
+class TestValidator:
+    def test_validator_can_reject_everything(self, ifp):
+        ifp.insert(42, 5)
+        result = ifp.decode(validator=lambda key: False)
+        assert result.counts == {}
+        assert not result.complete
+
+    def test_validator_passes_known_keys(self, ifp):
+        ifp.insert(42, 5)
+        result = ifp.decode(validator=lambda key: key == 42)
+        assert result.counts == {42: 5}
+
+
+class TestFastQuery:
+    def test_isolated_key_exact(self, ifp):
+        ifp.insert(77, 9)
+        assert ifp.fast_query(77) == 9
+
+    def test_absent_key_near_zero(self, ifp):
+        ifp.insert(77, 9)
+        # an absent key reads 0 from at least two of three rows w.h.p.
+        assert abs(ifp.fast_query(123456)) <= 9
+
+    def test_median_is_robust_to_one_collision(self):
+        ifp = InfrequentPart(rows=3, width=128, seed=11)
+        for key in range(500, 520):
+            ifp.insert(key, 2)
+        for key in range(500, 520):
+            assert abs(ifp.fast_query(key) - 2) <= 2
+
+
+class TestSigns:
+    def test_negative_counts_decode(self, ifp):
+        ifp.insert(31, -4)
+        assert ifp.decode().counts == {31: -4}
+
+    def test_cancellation_removes_key(self, ifp):
+        ifp.insert(31, 4)
+        ifp.insert(31, -4)
+        result = ifp.decode()
+        assert result.counts == {}
+        assert result.complete
+
+
+class TestLinearity:
+    def test_merged_is_multiset_sum(self, ifp):
+        other = ifp.empty_like()
+        ifp.insert(1, 2)
+        other.insert(1, 3)
+        other.insert(2, 5)
+        merged = ifp.merged(other)
+        assert merged.decode().counts == {1: 5, 2: 5}
+
+    def test_subtracted_gives_signed_difference(self, ifp):
+        other = ifp.empty_like()
+        ifp.insert(1, 2)
+        ifp.insert(3, 9)
+        other.insert(1, 6)
+        other.insert(3, 9)  # cancels entirely
+        delta = ifp.subtracted(other)
+        assert delta.decode().counts == {1: -4}
+
+    def test_merge_rejects_different_seeds(self, ifp):
+        other = InfrequentPart(rows=3, width=64, seed=6)
+        with pytest.raises(IncompatibleSketchError):
+            ifp.merged(other)
+
+    def test_merge_rejects_different_prime(self, ifp):
+        other = InfrequentPart(
+            rows=3, width=64, prime=SMALL_PRIME, seed=5, max_key=1 << 30
+        )
+        with pytest.raises(IncompatibleSketchError):
+            ifp.subtracted(other)
+
+    def test_max_key_must_fit_field(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            InfrequentPart(rows=3, width=64, prime=SMALL_PRIME, seed=5)
+
+    def test_merge_preserves_inputs(self, ifp):
+        other = ifp.empty_like()
+        ifp.insert(1, 2)
+        other.insert(2, 3)
+        ifp.merged(other)
+        assert ifp.decode().counts == {1: 2}
+        assert other.decode().counts == {2: 3}
+
+
+class TestIntrospection:
+    def test_nonzero_buckets_counts(self, ifp):
+        assert ifp.nonzero_buckets() == 0
+        ifp.insert(9, 1)
+        assert ifp.nonzero_buckets() == 3  # one bucket per row
+
+    def test_row_zero_fraction(self, ifp):
+        assert ifp.row_zero_fraction(0) == 1.0
+        ifp.insert(9, 1)
+        assert ifp.row_zero_fraction(0) == pytest.approx(63 / 64)
+
+    def test_memory_bytes(self, ifp):
+        assert ifp.memory_bytes() == 3 * 64 * 8.0
+
+    def test_small_prime_field_works(self):
+        small = InfrequentPart(
+            rows=3, width=32, prime=SMALL_PRIME, seed=2, max_key=1 << 30
+        )
+        truth = {key: 3 for key in range(10, 20)}
+        for key, count in truth.items():
+            small.insert(key, count)
+        assert small.decode().counts == truth

@@ -1,0 +1,121 @@
+"""Unit tests for DaVinci sketch serialization."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import DaVinciSketch
+from repro.core.serialization import STATE_VERSION, from_state, to_state
+
+
+class TestRoundtrip:
+    def test_empty_sketch(self, small_config):
+        sketch = DaVinciSketch(small_config)
+        twin = from_state(to_state(sketch))
+        assert twin.config == small_config
+        assert twin.total_count == 0
+        assert twin.mode == "standard"
+
+    def test_loaded_sketch_queries_identically(self, loaded_sketch, zipf_truth):
+        twin = DaVinciSketch.from_state(loaded_sketch.to_state())
+        for key in list(zipf_truth)[:100]:
+            assert twin.query(key) == loaded_sketch.query(key)
+
+    def test_json_wire_format(self, loaded_sketch):
+        wire = json.dumps(loaded_sketch.to_state())
+        twin = from_state(json.loads(wire))
+        assert twin.total_count == loaded_sketch.total_count
+
+    def test_all_tasks_survive_roundtrip(self, loaded_sketch):
+        twin = from_state(to_state(loaded_sketch))
+        assert twin.cardinality() == loaded_sketch.cardinality()
+        assert twin.entropy() == pytest.approx(loaded_sketch.entropy())
+        assert twin.heavy_hitters(50) == loaded_sketch.heavy_hitters(50)
+
+    def test_deserialized_sketch_is_merge_compatible(
+        self, small_config, loaded_sketch
+    ):
+        other = DaVinciSketch(small_config)
+        other.insert_all([1, 2, 3])
+        twin = from_state(to_state(loaded_sketch))
+        merged = twin.union(other)
+        assert merged.total_count == loaded_sketch.total_count + 3
+
+    def test_signed_mode_roundtrip(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 5)
+        b.insert_all([1] * 2 + [2] * 3)
+        delta = a.difference(b)
+        twin = from_state(to_state(delta))
+        assert twin.mode == "signed"
+        assert twin.query(1) == 3
+        assert twin.query(2) == -3
+
+    def test_deserialized_can_keep_inserting(self, loaded_sketch):
+        twin = from_state(to_state(loaded_sketch))
+        before = twin.query(1)
+        twin.insert(1)
+        assert twin.query(1) == before + 1
+
+
+class TestValidation:
+    def test_rejects_non_state(self):
+        with pytest.raises(ConfigurationError):
+            from_state({"not": "a sketch"})
+        with pytest.raises(ConfigurationError):
+            from_state("garbage")
+
+    def test_rejects_wrong_version(self, sketch):
+        state = to_state(sketch)
+        state["version"] = STATE_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            from_state(state)
+
+    def test_rejects_mismatched_fp(self, sketch):
+        state = to_state(sketch)
+        state["frequent_part"] = state["frequent_part"][:-1]
+        with pytest.raises(ConfigurationError):
+            from_state(state)
+
+    def test_rejects_mismatched_ef(self, sketch):
+        state = to_state(sketch)
+        state["element_filter"][0] = state["element_filter"][0][:-1]
+        with pytest.raises(ConfigurationError):
+            from_state(state)
+
+    def test_rejects_mismatched_ifp(self, sketch):
+        state = to_state(sketch)
+        state["infrequent_part"]["ids"][0].append(0)
+        with pytest.raises(ConfigurationError):
+            from_state(state)
+
+    def test_rejects_overfull_bucket(self, sketch):
+        state = to_state(sketch)
+        state["frequent_part"][0]["entries"] = [
+            [k, 1, False] for k in range(1, 100)
+        ]
+        with pytest.raises(ConfigurationError):
+            from_state(state)
+
+    def test_rejects_malformed_entries(self, sketch):
+        state = to_state(sketch)
+        state["frequent_part"][0]["entries"] = [[1, 2]]  # missing flag
+        with pytest.raises(ConfigurationError):
+            from_state(state)
+
+
+class TestTopK:
+    def test_top_k_orders_by_magnitude(self, sketch):
+        sketch.insert_all([1] * 30 + [2] * 20 + [3] * 10 + [4])
+        top = sketch.top_k(2)
+        assert [key for key, _ in top] == [1, 2]
+        assert top[0][1] == 30
+
+    def test_top_k_validates(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.top_k(0)
+
+    def test_top_k_truncates_to_population(self, sketch):
+        sketch.insert_all([7, 8])
+        assert len(sketch.top_k(10)) == 2

@@ -1,0 +1,149 @@
+"""Unit tests for union and difference of DaVinci sketches."""
+
+import pytest
+
+from repro.common.errors import IncompatibleSketchError
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.core.davinci import MODE_ADDITIVE, MODE_SIGNED
+from repro.core.setops import difference, union
+
+
+def build_pair(small_config):
+    return DaVinciSketch(small_config), DaVinciSketch(small_config)
+
+
+class TestUnion:
+    def test_mode_and_total(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([1, 2, 3])
+        b.insert_all([3, 4])
+        merged = union(a, b)
+        assert merged.mode == MODE_ADDITIVE
+        assert merged.total_count == 5
+
+    def test_counts_add(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([1] * 5 + [2] * 2)
+        b.insert_all([1] * 3 + [4] * 7)
+        merged = union(a, b)
+        assert merged.query(1) == 8
+        assert merged.query(2) == 2
+        assert merged.query(4) == 7
+
+    def test_inputs_untouched(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([1] * 5)
+        b.insert_all([1] * 3)
+        union(a, b)
+        assert a.query(1) == 5
+        assert b.query(1) == 3
+
+    def test_union_is_commutative_on_queries(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all(range(50))
+        b.insert_all(range(25, 75))
+        ab, ba = union(a, b), union(b, a)
+        for key in range(75):
+            assert ab.query(key) == ba.query(key)
+
+    def test_union_under_eviction_pressure(self, small_config):
+        """Merged bucket overflow routes leftovers into the lower parts."""
+        a, b = build_pair(small_config)
+        # Different key ranges so merged buckets exceed capacity c=4.
+        a.insert_all([k for k in range(300) for _ in range(3)])
+        b.insert_all([k for k in range(300, 600) for _ in range(3)])
+        merged = union(a, b)
+        estimates = [merged.query(k) for k in range(0, 600, 7)]
+        # 600 flows through a 64-entry FP: heavy collision noise is
+        # expected at this starved size, but the additive union query must
+        # stay non-negative and in the right ballpark on average.
+        assert all(estimate >= 0 for estimate in estimates)
+        errors = [abs(estimate - 3) for estimate in estimates]
+        assert sum(errors) / len(errors) < 12.0
+
+    def test_incompatible_rejected(self, small_config):
+        import dataclasses
+
+        other = DaVinciSketch(dataclasses.replace(small_config, seed=99))
+        with pytest.raises(IncompatibleSketchError):
+            union(DaVinciSketch(small_config), other)
+
+
+class TestDifference:
+    def test_mode_and_total(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([1, 2, 3])
+        b.insert_all([3])
+        delta = difference(a, b)
+        assert delta.mode == MODE_SIGNED
+        assert delta.total_count == 2
+
+    def test_paper_example(self, small_config):
+        """A = {a,a,b,d}, B = {a,b,b,c} → A−B = {a, −b, d, −c}."""
+        a, b = build_pair(small_config)
+        key_a, key_b, key_c, key_d = 11, 22, 33, 44
+        a.insert_all([key_a, key_a, key_b, key_d])
+        b.insert_all([key_a, key_b, key_b, key_c])
+        delta = difference(a, b)
+        assert delta.query(key_a) == 1
+        assert delta.query(key_b) == -1
+        assert delta.query(key_c) == -1
+        assert delta.query(key_d) == 1
+
+    def test_identical_sets_cancel(self, small_config):
+        a, b = build_pair(small_config)
+        stream = [k for k in range(100) for _ in range(2)]
+        a.insert_all(stream)
+        b.insert_all(stream)
+        delta = difference(a, b)
+        for key in range(0, 100, 9):
+            assert delta.query(key) == 0
+
+    def test_antisymmetry(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([1] * 9 + [2] * 4)
+        b.insert_all([1] * 2 + [3] * 6)
+        ab, ba = difference(a, b), difference(b, a)
+        for key in (1, 2, 3):
+            assert ab.query(key) == -ba.query(key)
+
+    def test_inclusion_difference(self, small_config):
+        """B ⊂ A: the delta is exactly A's extra occurrences."""
+        a, b = build_pair(small_config)
+        whole = [k for k in range(80) for _ in range(3)]
+        half = whole[: len(whole) // 2]
+        a.insert_all(whole)
+        b.insert_all(half)
+        delta = difference(a, b)
+        from collections import Counter
+
+        truth = Counter(whole)
+        truth.subtract(Counter(half))
+        errors = [abs(delta.query(k) - truth[k]) for k in range(80)]
+        assert sum(errors) / len(errors) < 2.0
+
+    def test_incompatible_rejected(self, small_config):
+        import dataclasses
+
+        other = DaVinciSketch(dataclasses.replace(small_config, seed=99))
+        with pytest.raises(IncompatibleSketchError):
+            difference(DaVinciSketch(small_config), other)
+
+
+class TestChaining:
+    def test_union_then_query_tasks_still_work(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([k for k in range(50) for _ in range(k % 4 + 1)])
+        b.insert_all([k for k in range(25, 75) for _ in range(2)])
+        merged = union(a, b)
+        assert merged.cardinality() > 0
+        assert merged.heavy_hitters(3)
+
+    def test_heavy_changer_via_difference(self, small_config):
+        a, b = build_pair(small_config)
+        a.insert_all([7] * 50 + [8] * 5)
+        b.insert_all([7] * 5 + [8] * 5)
+        delta = difference(a, b)
+        changes = delta.heavy_hitters(30)
+        assert 7 in changes
+        assert 8 not in changes

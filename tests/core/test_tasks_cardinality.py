@@ -1,0 +1,76 @@
+"""Unit tests for cardinality estimation."""
+
+import math
+
+import pytest
+
+from repro.core import DaVinciSketch
+from repro.core.tasks.cardinality import (
+    cardinality,
+    linear_counting_estimate,
+    linear_counting_over,
+)
+
+
+class TestLinearCounting:
+    def test_empty_array(self):
+        assert linear_counting_estimate(100, 100) == 0.0
+
+    def test_formula(self):
+        # 100 counters, 50 empty → n̂ = −100·ln(0.5)
+        assert linear_counting_estimate(100, 50) == pytest.approx(
+            -100 * math.log(0.5)
+        )
+
+    def test_saturated_array_uses_half_counter_convention(self):
+        estimate = linear_counting_estimate(100, 0)
+        assert estimate == pytest.approx(-100 * math.log(0.5 / 100))
+
+    def test_zero_counters(self):
+        assert linear_counting_estimate(0, 0) == 0.0
+
+    def test_over_counter_array(self):
+        counters = [0] * 60 + [3] * 40
+        assert linear_counting_over(counters) == pytest.approx(
+            -100 * math.log(0.6)
+        )
+
+    def test_accuracy_on_random_assignment(self):
+        import random
+
+        rng = random.Random(3)
+        width = 1024
+        counters = [0] * width
+        distinct = 400
+        for key in range(distinct):
+            counters[rng.randrange(width)] += 1
+        estimate = linear_counting_over(counters)
+        assert abs(estimate - distinct) / distinct < 0.1
+
+
+class TestSketchCardinality:
+    def test_exact_on_small_streams(self, sketch):
+        sketch.insert_all(range(30))
+        assert cardinality(sketch) == pytest.approx(30, abs=6)
+
+    def test_duplicates_do_not_inflate(self, sketch):
+        sketch.insert_all([5] * 500)
+        assert cardinality(sketch) <= 3
+
+    def test_empty_sketch(self, sketch):
+        assert cardinality(sketch) == 0.0
+
+    def test_under_pressure(self, loaded_sketch, zipf_truth):
+        estimate = cardinality(loaded_sketch)
+        assert abs(estimate - len(zipf_truth)) / len(zipf_truth) < 0.15
+
+    def test_signed_mode_counts_nonzero_deltas(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1, 1, 2, 3])
+        b.insert_all([1, 1, 2, 4])
+        delta = a.difference(b)
+        # keys 3 (+1) and 4 (−1) differ
+        assert cardinality(delta) == pytest.approx(2, abs=1)
+
+    def test_method_facade_matches_function(self, loaded_sketch):
+        assert loaded_sketch.cardinality() == cardinality(loaded_sketch)

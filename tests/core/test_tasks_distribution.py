@@ -1,0 +1,102 @@
+"""Unit tests for the distribution estimator and its EM core."""
+
+import random
+
+import pytest
+
+from repro.core.tasks.distribution import CounterArrayEM, distribution
+from repro.metrics import weighted_mean_relative_error
+
+
+class TestCounterArrayEM:
+    def test_empty_input(self):
+        assert CounterArrayEM().estimate([]) == {}
+
+    def test_all_zero(self):
+        assert CounterArrayEM().estimate([0] * 64) == {}
+
+    def test_collision_free_is_identity(self):
+        counters = [0] * 100
+        counters[3] = 5
+        counters[10] = 5
+        counters[42] = 2
+        result = CounterArrayEM().estimate(counters)
+        assert result[5] == pytest.approx(2, abs=0.3)
+        assert result[2] == pytest.approx(1, abs=0.3)
+
+    def test_max_value_excludes_saturated(self):
+        counters = [0] * 50 + [15] * 10
+        result = CounterArrayEM(max_value=14).estimate(counters)
+        assert result == {}
+
+    def test_total_flows_accounts_for_collisions(self):
+        """At load ~0.7, EM should find more flows than non-zero counters."""
+        rng = random.Random(7)
+        width = 512
+        counters = [0] * width
+        flows = 360
+        for _ in range(flows):
+            counters[rng.randrange(width)] += 1  # all size-1 flows
+        result = CounterArrayEM().estimate(counters)
+        total = sum(result.values())
+        nonzero = sum(1 for value in counters if value)
+        assert total > nonzero  # EM recovered hidden collided flows
+        assert total == pytest.approx(flows, rel=0.15)
+
+    def test_pair_splitting_discovers_components(self):
+        """Counters of value 2 at high load are mostly 1+1 pairs."""
+        rng = random.Random(11)
+        width = 128
+        counters = [0] * width
+        for _ in range(110):
+            counters[rng.randrange(width)] += 1
+        result = CounterArrayEM().estimate(counters)
+        # True distribution is all size-1; EM should put most mass there.
+        assert result.get(1, 0) > 0.7 * sum(result.values())
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            CounterArrayEM(iterations=0)
+
+    def test_deterministic(self):
+        counters = [0, 3, 1, 0, 2, 1, 0, 0, 4, 1]
+        a = CounterArrayEM().estimate(counters)
+        b = CounterArrayEM().estimate(counters)
+        assert a == b
+
+
+class TestSketchDistribution:
+    def test_uniform_small_stream(self, sketch):
+        stream = [key for key in range(50) for _ in range(3)]
+        sketch.insert_all(stream)
+        histogram = sketch.distribution()
+        # all 50 flows have size 3
+        assert histogram.get(3, 0) == pytest.approx(50, rel=0.25)
+
+    def test_mixed_sizes(self, sketch):
+        stream = [1] * 40 + [2] * 40 + list(range(100, 120))
+        sketch.insert_all(stream)
+        histogram = sketch.distribution()
+        assert histogram.get(40, 0) == pytest.approx(2, abs=1)
+        assert histogram.get(1, 0) == pytest.approx(20, rel=0.4)
+
+    def test_wmre_under_pressure(self, loaded_sketch, zipf_truth):
+        true_hist = {}
+        for value in zipf_truth.values():
+            true_hist[value] = true_hist.get(value, 0) + 1
+        wmre = weighted_mean_relative_error(
+            true_hist, loaded_sketch.distribution()
+        )
+        assert wmre < 0.8  # starved config sanity bound
+
+    def test_em_level_selection(self, loaded_sketch):
+        level0 = loaded_sketch.distribution(em_level=0)
+        top = loaded_sketch.distribution(em_level=-1)
+        assert level0 and top
+        # both estimates should carry roughly the total flow count
+        total_true = len(set(loaded_sketch.fp.as_dict())) + 1
+        assert sum(level0.values()) > total_true
+        assert sum(top.values()) > total_true
+
+    def test_empty_sketch(self, sketch):
+        assert sketch.distribution() == {}

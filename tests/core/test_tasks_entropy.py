@@ -1,0 +1,53 @@
+"""Unit tests for entropy estimation."""
+
+import math
+
+import pytest
+
+from repro.core.tasks.entropy import entropy, entropy_of_distribution
+
+
+class TestEntropyOfDistribution:
+    def test_empty(self):
+        assert entropy_of_distribution({}, 0) == 0.0
+        assert entropy_of_distribution({1: 5}, 0) == 0.0
+
+    def test_single_flow_owning_stream(self):
+        # One flow of size S: H = −1·(S/S)·ln(1) = 0.
+        assert entropy_of_distribution({100: 1}, 100) == pytest.approx(0.0)
+
+    def test_uniform_flows(self):
+        # n flows of size 1 over a stream of n: H = ln(n).
+        n = 64
+        assert entropy_of_distribution({1: n}, n) == pytest.approx(math.log(n))
+
+    def test_two_point_distribution(self):
+        # sizes 3 and 1 over S=4: H = −(3/4)ln(3/4) − (1/4)ln(1/4)
+        expected = -(3 / 4) * math.log(3 / 4) - (1 / 4) * math.log(1 / 4)
+        assert entropy_of_distribution({3: 1, 1: 1}, 4) == pytest.approx(expected)
+
+    def test_ignores_nonpositive_entries(self):
+        clean = entropy_of_distribution({1: 10}, 10)
+        noisy = entropy_of_distribution({1: 10, 0: 5, -2: 3, 4: 0}, 10)
+        assert noisy == clean
+
+
+class TestSketchEntropy:
+    def test_uniform_stream(self, sketch):
+        stream = list(range(100))
+        sketch.insert_all(stream)
+        assert entropy(sketch) == pytest.approx(math.log(100), rel=0.1)
+
+    def test_single_key_stream(self, sketch):
+        sketch.insert_all([7] * 500)
+        assert entropy(sketch) == pytest.approx(0.0, abs=0.05)
+
+    def test_skewed_stream(self, loaded_sketch, zipf_stream, zipf_truth):
+        total = len(zipf_stream)
+        true_entropy = -sum(
+            (v / total) * math.log(v / total) for v in zipf_truth.values()
+        )
+        assert entropy(loaded_sketch) == pytest.approx(true_entropy, rel=0.25)
+
+    def test_empty_sketch(self, sketch):
+        assert entropy(sketch) == 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for heavy-hitter and heavy-changer detection."""
+
+import pytest
+
+from repro.core import DaVinciSketch
+from repro.core.tasks.heavy import heavy_changers, heavy_hitters
+
+
+class TestHeavyHitters:
+    def test_simple_detection(self, sketch):
+        sketch.insert_all([1] * 100 + [2] * 50 + list(range(100, 150)))
+        reported = heavy_hitters(sketch, 40)
+        assert reported.get(1, 0) >= 100
+        assert reported.get(2, 0) >= 50
+        assert all(estimate >= 40 for estimate in reported.values())
+
+    def test_no_false_heavies_among_mice(self, sketch):
+        sketch.insert_all([1] * 100 + list(range(100, 200)))
+        reported = heavy_hitters(sketch, 50)
+        assert set(reported) == {1}
+
+    def test_threshold_must_be_positive(self, sketch):
+        with pytest.raises(ValueError):
+            heavy_hitters(sketch, 0)
+
+    def test_f1_on_skewed_stream(self, loaded_sketch, zipf_truth):
+        threshold = 80
+        correct = {k for k, v in zipf_truth.items() if v >= threshold}
+        reported = set(heavy_hitters(loaded_sketch, threshold))
+        hits = len(reported & correct)
+        precision = hits / len(reported) if reported else 0
+        recall = hits / len(correct) if correct else 1
+        f1 = 2 * precision * recall / (precision + recall)
+        assert f1 > 0.9
+
+    def test_facade(self, loaded_sketch):
+        assert loaded_sketch.heavy_hitters(50) == heavy_hitters(loaded_sketch, 50)
+
+
+class TestHeavyChangers:
+    def test_detects_grown_and_crashed_flows(self, small_config):
+        window_a = DaVinciSketch(small_config)
+        window_b = DaVinciSketch(small_config)
+        window_a.insert_all([1] * 100 + [2] * 5 + [3] * 50)
+        window_b.insert_all([1] * 5 + [2] * 100 + [3] * 52)
+        changes = heavy_changers(window_a, window_b, 50)
+        assert changes.get(1, 0) > 0  # crashed: positive delta in A−B
+        assert changes.get(2, 0) < 0  # grew
+        assert 3 not in changes  # stable flow
+
+    def test_flow_absent_in_one_window(self, small_config):
+        window_a = DaVinciSketch(small_config)
+        window_b = DaVinciSketch(small_config)
+        window_a.insert_all([9] * 80)
+        window_b.insert_all([10] * 80)
+        changes = heavy_changers(window_a, window_b, 40)
+        assert changes.get(9, 0) == pytest.approx(80, abs=10)
+        assert changes.get(10, 0) == pytest.approx(-80, abs=10)
+
+    def test_identical_windows_report_nothing(self, small_config):
+        window_a = DaVinciSketch(small_config)
+        window_b = DaVinciSketch(small_config)
+        stream = [k for k in range(50) for _ in range(4)]
+        window_a.insert_all(stream)
+        window_b.insert_all(stream)
+        assert heavy_changers(window_a, window_b, 5) == {}
+
+    def test_threshold_validation(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        with pytest.raises(ValueError):
+            heavy_changers(a, b, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the inner-join (join-size) estimator."""
+
+import random
+
+import pytest
+
+from repro.common.errors import IncompatibleSketchError
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.core.tasks.innerjoin import inner_join
+
+
+def exact_join(freq_a, freq_b):
+    return sum(count * freq_b.get(key, 0) for key, count in freq_a.items())
+
+
+class TestInnerJoin:
+    def test_disjoint_sets_give_near_zero(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all(range(0, 50))
+        b.insert_all(range(1000, 1050))
+        estimate = inner_join(a, b)
+        assert abs(estimate) < 100  # collision noise only
+
+    def test_identical_heavy_keys(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 100 + [2] * 10)
+        b.insert_all([1] * 50 + [2] * 20)
+        true = 100 * 50 + 10 * 20
+        assert inner_join(a, b) == pytest.approx(true, rel=0.05)
+
+    def test_self_join_second_moment(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        stream = [1] * 30 + [2] * 20 + [3] * 10
+        a.insert_all(stream)
+        b.insert_all(stream)
+        true = 30**2 + 20**2 + 10**2
+        assert inner_join(a, b) == pytest.approx(true, rel=0.1)
+
+    def test_skewed_streams(self, small_config):
+        rng = random.Random(5)
+        keys = list(range(1, 301))
+        weights = [1 / (k**1.2) for k in keys]
+        stream_a = rng.choices(keys, weights=weights, k=4000)
+        stream_b = rng.choices(keys, weights=weights, k=4000)
+        freq_a, freq_b = {}, {}
+        for key in stream_a:
+            freq_a[key] = freq_a.get(key, 0) + 1
+        for key in stream_b:
+            freq_b[key] = freq_b.get(key, 0) + 1
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all(stream_a)
+        b.insert_all(stream_b)
+        true = exact_join(freq_a, freq_b)
+        assert inner_join(a, b) == pytest.approx(true, rel=0.1)
+
+    def test_symmetry(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 20 + [5] * 3)
+        b.insert_all([1] * 7 + [9] * 4)
+        assert inner_join(a, b) == pytest.approx(inner_join(b, a), rel=1e-9)
+
+    def test_incompatible_configs_rejected(self, small_config):
+        import dataclasses
+
+        a = DaVinciSketch(small_config)
+        b = DaVinciSketch(dataclasses.replace(small_config, seed=99))
+        with pytest.raises(IncompatibleSketchError):
+            inner_join(a, b)
+
+    def test_empty_operand(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 10)
+        assert inner_join(a, b) == pytest.approx(0.0, abs=1.0)
+
+    def test_facade(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 10)
+        b.insert_all([1] * 3)
+        assert a.inner_join(b) == inner_join(a, b)

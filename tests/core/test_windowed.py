@@ -1,0 +1,87 @@
+"""Unit tests for the windowed-measurement utility."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.windowed import WindowedDaVinci
+
+
+@pytest.fixture
+def windows(small_config):
+    return WindowedDaVinci(small_config, window_size=100, retain=3)
+
+
+class TestLifecycle:
+    def test_auto_rotation(self, windows):
+        windows.insert_all(range(1, 251))
+        assert windows.windows_closed == 2
+        assert len(windows.closed) == 2
+        assert windows.current.total_count == 50
+
+    def test_retention_cap(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=10, retain=2)
+        ring.insert_all(range(1, 51))  # 5 windows closed, keep newest 2
+        assert ring.windows_closed == 5
+        assert len(ring.closed) == 2
+
+    def test_manual_rotate(self, windows):
+        windows.insert(1)
+        closed = windows.rotate()
+        assert closed.total_count == 1
+        assert windows.current.total_count == 0
+
+    def test_rotate_empty_is_noop(self, windows):
+        windows.insert(1)
+        first = windows.rotate()
+        assert windows.rotate() is first
+        assert windows.windows_closed == 1
+
+    def test_validation(self, small_config):
+        with pytest.raises(ConfigurationError):
+            WindowedDaVinci(small_config, window_size=0)
+        with pytest.raises(ConfigurationError):
+            WindowedDaVinci(small_config, window_size=10, retain=0)
+
+
+class TestAccessors:
+    def test_latest_previous_before_rotation(self, windows):
+        assert windows.latest() is None
+        assert windows.previous() is None
+        assert windows.heavy_changers(1) == {}
+
+    def test_latest_and_previous_order(self, windows):
+        windows.insert_all([1] * 100)  # closes window 1
+        windows.insert_all([2] * 100)  # closes window 2
+        assert windows.latest().query(2) == 100
+        assert windows.previous().query(1) == 100
+
+
+class TestTasks:
+    def test_heavy_changers_across_windows(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=200, retain=2)
+        ring.insert_all([1] * 150 + [2] * 50)  # window 1
+        ring.insert_all([1] * 20 + [2] * 50 + [3] * 130)  # window 2
+        changes = ring.heavy_changers(100)
+        assert changes.get(1, 0) < 0  # crashed (newest − older)
+        assert changes.get(3, 0) > 0  # appeared
+        assert 2 not in changes  # stable
+
+    def test_merged_view_spans_windows(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=3)
+        ring.insert_all([7] * 100)
+        ring.insert_all([7] * 100)
+        ring.insert_all([7] * 30)  # stays in the live window
+        view = ring.merged_view()
+        assert view.query(7) == 230
+
+    def test_merged_view_empty(self, windows):
+        view = windows.merged_view()
+        assert view.total_count == 0
+
+    def test_window_sketches_support_all_tasks(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=300, retain=2)
+        ring.insert_all([k % 40 + 1 for k in range(300)])
+        window = ring.latest()
+        assert window.cardinality() > 0
+        assert window.entropy() > 0
+        assert window.heavy_hitters(5)

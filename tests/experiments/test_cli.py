@@ -1,0 +1,77 @@
+"""Unit tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure", "frequency"])
+        assert args.panel == "frequency"
+        assert args.dataset == "caida"
+        assert args.memories == [2, 4, 6, 8]
+
+    def test_memories_parsing(self):
+        args = build_parser().parse_args(
+            ["figure", "union", "--memories", "1.5,3"]
+        )
+        assert args.memories == [1.5, 3.0]
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_figure_frequency(self, capsys):
+        code = main(
+            [
+                "figure",
+                "frequency",
+                "--scale",
+                "0.003",
+                "--memories",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "DaVinci" in output
+        assert "2KB" in output
+
+    def test_figure_difference_mode(self, capsys):
+        code = main(
+            [
+                "figure",
+                "difference",
+                "--scale",
+                "0.003",
+                "--memories",
+                "2",
+                "--mode",
+                "inclusion",
+            ]
+        )
+        assert code == 0
+        assert "difference-inclusion" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--scale", "0.003"]) == 0
+        output = capsys.readouterr().out
+        assert "caida" in output and "tpcds" in output
+
+    def test_overall(self, capsys):
+        code = main(["overall", "--scale", "0.003", "--cases", "2,4"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        code = main(["table3", "--scale", "0.003", "--cases", "2,4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Freq ARE" in output and "Join RE" in output

@@ -1,0 +1,97 @@
+"""Unit tests for result export (CSV / JSON)."""
+
+import csv
+import json
+
+from repro.experiments.export import (
+    cases_to_csv,
+    sweep_to_csv,
+    sweep_to_dict,
+    sweep_to_json,
+    table_to_csv,
+)
+from repro.experiments.harness import SweepResult
+from repro.experiments.overall import CaseResult
+
+
+def make_sweep() -> SweepResult:
+    result = SweepResult("frequency-are", "caida", "ARE")
+    result.record("DaVinci", 4.0, 0.1)
+    result.record("DaVinci", 8.0, 0.05)
+    result.record("CM", 4.0, 1.0)
+    result.record("CM", 8.0, 0.5)
+    return result
+
+
+class TestSweepExport:
+    def test_to_dict_structure(self):
+        data = sweep_to_dict(make_sweep())
+        assert data["experiment"] == "frequency-are"
+        assert data["memories_kb"] == [4.0, 8.0]
+        assert data["series"]["DaVinci"]["8.0"] == 0.05
+
+    def test_to_json_roundtrips(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep_to_json(make_sweep(), path)
+        data = json.loads(path.read_text())
+        assert data["series"]["CM"]["4.0"] == 1.0
+
+    def test_to_csv(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        assert sweep_to_csv(make_sweep(), path) == 2
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == [
+            "experiment",
+            "dataset",
+            "metric",
+            "algorithm",
+            "4KB",
+            "8KB",
+        ]
+        assert rows[1][3] == "DaVinci"
+        assert float(rows[1][5]) == 0.05
+
+    def test_csv_missing_cells_blank(self, tmp_path):
+        result = SweepResult("x", "ds", "M")
+        result.record("A", 4.0, 1.0)
+        result.record("B", 8.0, 2.0)
+        path = tmp_path / "sparse.csv"
+        sweep_to_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1][5] == ""  # A has no 8KB point
+
+
+class TestCaseExport:
+    def test_cases_to_csv(self, tmp_path):
+        cases = [
+            CaseResult(1, 2.0, 8.0, 5.0, 20.0, 1.0, 0.5),
+            CaseResult(2, 4.0, 12.0, 4.0, 18.0, 1.2, 0.4),
+        ]
+        path = tmp_path / "cases.csv"
+        assert cases_to_csv(cases, path) == 2
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["case"] == "1"
+        import pytest
+
+        assert float(rows[1]["throughput_ratio"]) == pytest.approx(3.0)
+
+
+class TestTableExport:
+    def test_table_to_csv(self, tmp_path):
+        rows = [
+            {"case": 1, "frequency": 0.5},
+            {"case": 2, "frequency": 0.2},
+        ]
+        path = tmp_path / "table.csv"
+        assert table_to_csv(rows, path) == 2
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed[1]["frequency"] == "0.2"
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert table_to_csv([], path) == 0
+        assert path.read_text() == ""

@@ -1,0 +1,129 @@
+"""Smoke + shape tests for the figure runners (tiny scale).
+
+These verify that every panel runs end-to-end, produces finite metrics for
+every algorithm, and — at the largest memory point — reproduces the
+paper's qualitative ordering where it is robust (e.g. DaVinci beats the
+plain CM/CU on frequency, invertible sketches beat nothing... etc.).
+Tight quantitative claims live in the benchmarks, which run at the
+figures' real scale.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure1_flow_distribution,
+    figure_cardinality,
+    figure_difference,
+    figure_distribution,
+    figure_entropy,
+    figure_frequency,
+    figure_heavy_changers,
+    figure_heavy_hitters,
+    figure_inner_join,
+    figure_union,
+)
+
+SCALE = 0.004
+MEMORIES = (2.0, 4.0)
+
+
+def assert_all_finite(result):
+    for algorithm, series in result.series.items():
+        for memory, value in series.items():
+            assert math.isfinite(value), f"{algorithm}@{memory}: {value}"
+
+
+class TestFigure1:
+    def test_cdf_curves(self):
+        curves = figure1_flow_distribution(scale=SCALE)
+        assert set(curves) == {"caida", "mawi", "tpcds"}
+        for curve in curves.values():
+            assert curve[-1][1] == pytest.approx(1.0)
+            cdf_values = [point[1] for point in curve]
+            assert cdf_values == sorted(cdf_values)
+
+    def test_skew_visible(self):
+        curves = figure1_flow_distribution(scale=SCALE)
+        # most flows are small: CDF at a modest size is already high
+        caida = curves["caida"]
+        at_ten = max(cdf for size, cdf in caida if size <= 10)
+        assert at_ten > 0.5
+
+
+class TestFrequencyPanel:
+    def test_runs_and_davinci_beats_cm(self):
+        result = figure_frequency(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        top_memory = max(MEMORIES)
+        assert (
+            result.series["DaVinci"][top_memory]
+            < result.series["CM"][top_memory]
+        )
+
+    def test_error_decreases_with_memory(self):
+        result = figure_frequency(scale=SCALE, memories_kb=MEMORIES)
+        for algorithm in ("DaVinci", "CM", "CU"):
+            series = result.series[algorithm]
+            assert series[max(MEMORIES)] <= series[min(MEMORIES)] * 1.2
+
+    def test_aae_metric(self):
+        result = figure_frequency(scale=SCALE, memories_kb=(2.0,), metric="aae")
+        assert result.metric == "AAE"
+        assert_all_finite(result)
+
+
+class TestHeavyPanels:
+    def test_heavy_hitters_runs(self):
+        result = figure_heavy_hitters(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        for series in result.series.values():
+            assert all(0.0 <= value <= 1.0 for value in series.values())
+
+    def test_heavy_changers_runs(self):
+        result = figure_heavy_changers(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        assert "DaVinci" in result.series
+
+
+class TestScalarPanels:
+    def test_cardinality(self):
+        result = figure_cardinality(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        assert result.series["DaVinci"][max(MEMORIES)] < 0.2
+
+    def test_distribution(self):
+        result = figure_distribution(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        assert result.series["DaVinci"][max(MEMORIES)] < 1.0
+
+    def test_entropy(self):
+        result = figure_entropy(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        assert result.series["DaVinci"][max(MEMORIES)] < 0.5
+
+
+class TestSetOperationPanels:
+    def test_union(self):
+        result = figure_union(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        top = max(MEMORIES)
+        # DaVinci union should beat the non-keyed Fermat at the top point
+        assert result.series["DaVinci"][top] < result.series["Fermat"][top]
+
+    @pytest.mark.parametrize("mode", ["overlap", "inclusion"])
+    def test_difference(self, mode):
+        result = figure_difference(scale=SCALE, memories_kb=MEMORIES, mode=mode)
+        assert_all_finite(result)
+        assert result.experiment == f"difference-{mode}"
+
+    def test_difference_bad_mode(self):
+        with pytest.raises(ValueError):
+            figure_difference(scale=SCALE, memories_kb=(2.0,), mode="bogus")
+
+    def test_inner_join(self):
+        result = figure_inner_join(scale=SCALE, memories_kb=MEMORIES)
+        assert_all_finite(result)
+        top = max(MEMORIES)
+        assert result.series["DaVinci"][top] < 0.2

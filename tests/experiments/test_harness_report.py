@@ -1,0 +1,141 @@
+"""Unit tests for the experiment harness and text reporting."""
+
+import pytest
+
+from repro.experiments.harness import (
+    SweepResult,
+    build_davinci,
+    fill,
+    heavy_threshold,
+    run_sweep,
+)
+from repro.experiments.overall import CaseResult
+from repro.experiments.report import (
+    format_value,
+    render_cases,
+    render_distribution_curves,
+    render_sweep,
+    render_table3,
+)
+
+
+class TestSweepResult:
+    def test_record_and_access(self):
+        result = SweepResult("freq", "caida", "ARE")
+        result.record("A", 4.0, 0.5)
+        result.record("B", 4.0, 0.2)
+        result.record("A", 8.0, 0.1)
+        assert result.algorithms() == ["A", "B"]
+        assert result.memories() == [4.0, 8.0]
+
+    def test_best_algorithm(self):
+        result = SweepResult("freq", "caida", "ARE")
+        result.record("A", 4.0, 0.5)
+        result.record("B", 4.0, 0.2)
+        assert result.best_algorithm_at(4.0) == "B"
+        assert result.best_algorithm_at(4.0, lower_is_better=False) == "A"
+        assert result.best_algorithm_at(99.0) is None
+
+
+class TestRunSweep:
+    def test_grid_evaluation(self):
+        calls = []
+
+        def make(name):
+            def evaluate(memory_kb):
+                calls.append((name, memory_kb))
+                return memory_kb * 2
+
+            return evaluate
+
+        result = run_sweep(
+            "exp", "ds", "X", {"a": make("a"), "b": make("b")}, memories_kb=(1, 2)
+        )
+        assert result.series["a"] == {1: 2, 2: 4}
+        assert len(calls) == 4
+
+
+class TestHarnessHelpers:
+    def test_build_davinci_size(self):
+        sketch = build_davinci(8.0)
+        assert sketch.memory_bytes() == pytest.approx(8 * 1024, rel=0.1)
+
+    def test_fill_is_fluent(self):
+        sketch = fill(build_davinci(4.0), [1, 2, 3])
+        assert sketch.total_count == 3
+
+    def test_heavy_threshold(self):
+        assert heavy_threshold(100_000, 0.001) == 100
+        assert heavy_threshold(10, 0.0001) == 1  # floor of 1
+
+
+class TestFormatting:
+    def test_format_value_ranges(self):
+        assert format_value(0) == "0"
+        assert format_value(123456) == "123,456"
+        assert format_value(12.34) == "12.3"
+        assert format_value(0.1234) == "0.123"
+        assert format_value(0.0001234) == "1.23e-04"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+
+    def test_render_sweep_contains_all_cells(self):
+        result = SweepResult("freq", "caida", "ARE")
+        result.record("DaVinci", 4.0, 0.5)
+        result.record("CM", 4.0, 1.5)
+        text = render_sweep(result)
+        assert "DaVinci" in text and "CM" in text
+        assert "4KB" in text
+        assert "0.500" in text
+
+    def test_render_sweep_missing_cell(self):
+        result = SweepResult("freq", "caida", "ARE")
+        result.record("A", 4.0, 0.5)
+        result.record("B", 8.0, 0.2)
+        assert "-" in render_sweep(result)
+
+    def test_render_cases(self):
+        case = CaseResult(
+            case=1,
+            davinci_kb=10.0,
+            csoa_kb=40.0,
+            davinci_ama=5.0,
+            csoa_ama=20.0,
+            davinci_mops=1.0,
+            csoa_mops=0.25,
+        )
+        text = render_cases([case])
+        assert "25.0%" in text  # memory percentage
+        assert "4.0x" in text  # speedup
+
+    def test_case_result_properties(self):
+        case = CaseResult(1, 10.0, 40.0, 5.0, 20.0, 1.0, 0.25)
+        assert case.throughput_ratio == pytest.approx(4.0)
+        assert case.memory_percentage == pytest.approx(0.25)
+        assert case.ama_percentage == pytest.approx(0.25)
+
+    def test_render_table3(self):
+        rows = [
+            {
+                "case": 1.0,
+                "memory_kb": 4.0,
+                "frequency": 0.5,
+                "heavy_hitter": 0.9,
+                "heavy_changer": 0.8,
+                "cardinality": 0.01,
+                "distribution": 0.2,
+                "entropy": 0.05,
+                "union": 0.4,
+                "difference": 0.6,
+                "inner_join": 0.001,
+            }
+        ]
+        text = render_table3(rows)
+        assert "Freq ARE" in text
+        assert "Join RE" in text
+
+    def test_render_distribution_curves(self):
+        curves = {"caida": [(1, 0.5), (2, 0.8), (100, 1.0)]}
+        text = render_distribution_curves(curves)
+        assert "caida" in text
+        assert "1.00" in text

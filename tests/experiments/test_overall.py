@@ -1,0 +1,53 @@
+"""Smoke + shape tests for the overall-performance (Fig. 8 / Table III) runs."""
+
+import math
+
+from repro.experiments.overall import overall_performance, table3_accuracy
+
+SCALE = 0.004
+CASES = (2.0, 6.0)
+
+
+class TestOverallPerformance:
+    def test_structure_and_shape(self):
+        results = overall_performance(scale=SCALE, cases_kb=CASES, seed=1)
+        assert [case.case for case in results] == [1, 2]
+        for case in results:
+            # DaVinci is the unified structure: less memory at matched
+            # accuracy, fewer accesses, higher throughput.
+            assert case.davinci_kb <= case.csoa_kb
+            assert case.davinci_ama < case.csoa_ama
+            assert case.throughput_ratio > 1.0
+            assert 0 < case.memory_percentage <= 1.0
+            assert math.isfinite(case.davinci_mops)
+
+
+class TestTable3:
+    def test_all_nine_tasks_reported(self):
+        rows = table3_accuracy(scale=SCALE, cases_kb=CASES, seed=1)
+        assert len(rows) == 2
+        expected_columns = {
+            "case",
+            "memory_kb",
+            "frequency",
+            "heavy_hitter",
+            "heavy_changer",
+            "cardinality",
+            "distribution",
+            "entropy",
+            "union",
+            "difference",
+            "inner_join",
+        }
+        for row in rows:
+            assert set(row) == expected_columns
+            assert all(math.isfinite(value) for value in row.values())
+            assert 0.0 <= row["heavy_hitter"] <= 1.0
+            assert 0.0 <= row["heavy_changer"] <= 1.0
+
+    def test_accuracy_improves_with_memory(self):
+        rows = table3_accuracy(scale=SCALE, cases_kb=CASES, seed=1)
+        small, large = rows
+        # the frequency/union errors shrink as the case memory grows
+        assert large["frequency"] <= small["frequency"]
+        assert large["union"] <= small["union"]

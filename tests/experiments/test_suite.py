@@ -1,0 +1,65 @@
+"""Unit tests for the one-call evaluation suite."""
+
+import pytest
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.suite import (
+    FULL_PANEL_ORDER,
+    davinci_wins,
+    run_full_evaluation,
+)
+
+
+class TestRunFullEvaluation:
+    def test_subset_runs_and_reports_progress(self):
+        seen = []
+        results = run_full_evaluation(
+            dataset="caida",
+            scale=0.003,
+            memories_kb=(2.0,),
+            panels=("frequency", "cardinality"),
+            progress=seen.append,
+        )
+        assert seen == ["frequency", "cardinality"]
+        assert set(results) == {"frequency", "cardinality"}
+        assert all(isinstance(r, SweepResult) for r in results.values())
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError):
+            run_full_evaluation(panels=("bogus",))
+
+    def test_panel_order_is_complete(self):
+        assert len(FULL_PANEL_ORDER) == 10  # the paper's ten panels
+
+
+class TestDavinciWins:
+    def test_error_metric_lower_wins(self):
+        result = SweepResult("x", "ds", "ARE")
+        result.record("DaVinci", 4.0, 0.1)
+        result.record("CM", 4.0, 0.5)
+        assert davinci_wins({"x": result}) == {"x": True}
+
+    def test_f1_metric_higher_wins(self):
+        result = SweepResult("hh", "ds", "F1")
+        result.record("DaVinci", 4.0, 0.99)
+        result.record("HashPipe", 4.0, 0.95)
+        assert davinci_wins({"hh": result}) == {"hh": True}
+
+    def test_loss_detected(self):
+        result = SweepResult("hh", "ds", "F1")
+        result.record("DaVinci", 4.0, 0.9)
+        result.record("HashPipe", 4.0, 0.99)
+        assert davinci_wins({"hh": result}) == {"hh": False}
+
+    def test_empty_result(self):
+        assert davinci_wins({"x": SweepResult("x", "ds", "ARE")}) == {"x": False}
+
+
+class TestSecondMoment:
+    def test_second_moment_matches_truth(self, small_config):
+        from repro.core import DaVinciSketch
+
+        sketch = DaVinciSketch(small_config)
+        sketch.insert_all([1] * 30 + [2] * 20 + [3] * 10)
+        true_f2 = 30**2 + 20**2 + 10**2
+        assert sketch.second_moment() == pytest.approx(true_f2, rel=0.1)

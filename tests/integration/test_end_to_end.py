@@ -1,0 +1,138 @@
+"""End-to-end integration: one DaVinci sketch, all nine tasks, one trace.
+
+This is the library's contract test — the multi-task promise of the paper
+exercised through the public API only, on a realistically skewed (scaled)
+CAIDA-like trace, with every estimate checked against exact ground truth
+at loose-but-meaningful tolerances.
+"""
+
+import math
+
+import pytest
+
+from repro import DaVinciConfig, DaVinciSketch
+from repro.metrics import f1_score, weighted_mean_relative_error
+from repro.workloads import caida_like, halves
+from repro.workloads import groundtruth as gt
+
+SCALE = 0.01
+MEMORY_KB = 10.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return caida_like(scale=SCALE, seed=1)
+
+
+@pytest.fixture(scope="module")
+def truth(trace):
+    return gt.frequencies(trace)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DaVinciConfig.from_memory_kb(MEMORY_KB, seed=11)
+
+
+@pytest.fixture(scope="module")
+def loaded(config, trace):
+    sketch = DaVinciSketch(config)
+    sketch.insert_all(trace)
+    return sketch
+
+
+class TestSingleSetTasks:
+    def test_frequency_are(self, loaded, truth):
+        are = sum(
+            abs(loaded.query(key) - count) / count
+            for key, count in truth.items()
+        ) / len(truth)
+        assert are < 0.25
+
+    def test_heavy_hitters(self, loaded, trace, truth):
+        threshold = max(1, int(0.001 * len(trace)))
+        correct = gt.heavy_hitters(truth, threshold)
+        reported = set(loaded.heavy_hitters(threshold))
+        assert f1_score(reported, correct) > 0.95
+
+    def test_cardinality(self, loaded, trace):
+        true_cardinality = gt.cardinality(trace)
+        relative = abs(loaded.cardinality() - true_cardinality) / true_cardinality
+        assert relative < 0.05
+
+    def test_distribution(self, loaded, truth):
+        wmre = weighted_mean_relative_error(
+            gt.size_distribution(truth), loaded.distribution()
+        )
+        assert wmre < 0.25
+
+    def test_entropy(self, loaded, truth):
+        true_entropy = gt.entropy(truth)
+        assert abs(loaded.entropy() - true_entropy) / true_entropy < 0.05
+
+
+class TestMultiSetTasks:
+    @pytest.fixture(scope="class")
+    def windows(self, config, trace):
+        first, second = halves(trace)
+        window_a = DaVinciSketch(config)
+        window_b = DaVinciSketch(config)
+        window_a.insert_all(first)
+        window_b.insert_all(second)
+        return first, second, window_a, window_b
+
+    def test_heavy_changers(self, windows, trace):
+        first, second, window_a, window_b = windows
+        threshold = max(1, int(0.0005 * len(trace)))
+        correct = gt.heavy_changers(
+            gt.frequencies(first), gt.frequencies(second), threshold
+        )
+        from repro.core.tasks.heavy import heavy_changers
+
+        reported = set(heavy_changers(window_a, window_b, threshold))
+        assert f1_score(reported, correct) > 0.8
+
+    def test_union(self, windows):
+        first, second, window_a, window_b = windows
+        union_truth = gt.multiset_union(
+            gt.frequencies(first), gt.frequencies(second)
+        )
+        merged = window_a.union(window_b)
+        are = sum(
+            abs(merged.query(key) - count) / count
+            for key, count in union_truth.items()
+        ) / len(union_truth)
+        assert are < 0.4
+
+    def test_difference(self, windows):
+        first, second, window_a, window_b = windows
+        diff_truth = gt.multiset_difference(
+            gt.frequencies(first), gt.frequencies(second)
+        )
+        delta = window_a.difference(window_b)
+        are = sum(
+            abs(delta.query(key) - count) / abs(count)
+            for key, count in diff_truth.items()
+        ) / len(diff_truth)
+        assert are < 1.5  # deltas are small; relative errors are harsh
+
+    def test_inner_join(self, windows):
+        first, second, window_a, window_b = windows
+        true_join = gt.inner_product(
+            gt.frequencies(first), gt.frequencies(second)
+        )
+        estimate = window_a.inner_join(window_b)
+        assert abs(estimate - true_join) / true_join < 0.02
+
+
+class TestStringKeysEndToEnd:
+    def test_ip_like_keys(self, config):
+        sketch = DaVinciSketch(config)
+        flows = {f"10.0.{i // 256}.{i % 256}": i % 7 + 1 for i in range(500)}
+        for key, count in flows.items():
+            sketch.insert(key, count)
+        errors = [
+            abs(sketch.query(key) - count)
+            for key, count in list(flows.items())[:100]
+        ]
+        assert sum(errors) / len(errors) < 3.0

@@ -1,0 +1,135 @@
+"""Failure-injection tests: how the library degrades, never corrupts.
+
+Sketches are probabilistic; under adversarial load they must degrade
+*gracefully* — weaker estimates, partial decodes, explicit "incomplete"
+flags — and never return structurally wrong answers (phantom keys,
+negative frequencies on positive streams, crashes).
+"""
+
+import pytest
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.sketches import FermatSketch, FlowRadar, LossRadar
+
+
+def starved_config(seed: int = 5) -> DaVinciConfig:
+    """A pathologically small sketch."""
+    return DaVinciConfig(
+        fp_buckets=2,
+        fp_entries=2,
+        ef_level_widths=(16, 8),
+        ef_level_bits=(4, 8),
+        ifp_rows=3,
+        ifp_width=4,
+        filter_threshold=10,
+        seed=seed,
+    )
+
+
+class TestDaVinciUnderOverload:
+    def test_massive_overload_keeps_invariants(self):
+        sketch = DaVinciSketch(starved_config())
+        for key in range(1, 2001):
+            sketch.insert(key, key % 7 + 1)
+        # queries stay non-negative and the structure stays functional
+        for key in range(1, 2001, 97):
+            assert sketch.query(key) >= 0
+        assert sketch.cardinality() >= 0
+        assert sketch.entropy() >= 0
+        histogram = sketch.distribution()
+        assert all(count >= 0 for count in histogram.values())
+
+    def test_incomplete_decode_is_reported_not_hidden(self):
+        sketch = DaVinciSketch(starved_config())
+        # push hundreds of mid-size flows through a 4-bucket-wide IFP
+        for key in range(1, 400):
+            sketch.insert(key, 40)
+        result = sketch.decode_result()
+        assert not result.complete
+        assert result.residual_buckets > 0
+
+    def test_heavy_hitters_never_report_phantom_keys(self):
+        sketch = DaVinciSketch(starved_config())
+        inserted = set(range(1, 500))
+        for key in inserted:
+            sketch.insert(key, 20)
+        for key in sketch.heavy_hitters(10):
+            assert key in inserted
+
+    def test_adversarial_same_bucket_stream(self):
+        """All mass on keys that collide in the 2-bucket FP."""
+        sketch = DaVinciSketch(starved_config())
+        for key in range(1, 40):
+            sketch.insert(key, 100)
+        total_estimate = sum(sketch.query(key) for key in range(1, 40))
+        # mass cannot be inflated beyond stream + saturation artifacts
+        assert total_estimate <= 3 * 39 * 100
+
+    def test_difference_of_overloaded_sketches(self):
+        a = DaVinciSketch(starved_config())
+        b = DaVinciSketch(starved_config())
+        for key in range(1, 300):
+            a.insert(key, 5)
+            b.insert(key, 5)
+        delta = a.difference(b)
+        # identical inputs: every per-key delta must be exactly zero (all
+        # parts subtract to zero regardless of internal collisions)
+        for key in range(1, 300, 13):
+            assert delta.query(key) == 0
+
+
+class TestInvertibleUnderOverload:
+    def test_fermat_decode_never_invents_keys(self):
+        sketch = FermatSketch(rows=3, width=4, seed=9)
+        inserted = set(range(100, 400))
+        for key in inserted:
+            sketch.insert(key)
+        assert set(sketch.decode()) <= inserted
+
+    def test_lossradar_decode_never_invents_keys(self):
+        sketch = LossRadar(cells=4, seed=9)
+        inserted = set(range(100, 400))
+        for key in inserted:
+            sketch.insert(key)
+        assert set(sketch.decode()) <= inserted
+
+    def test_flowradar_decode_never_invents_keys(self):
+        sketch = FlowRadar(cells=8, filter_bits=64, seed=9)
+        inserted = set(range(100, 400))
+        for key in inserted:
+            sketch.insert(key)
+        assert set(sketch.decode()) <= inserted
+
+    def test_fermat_decode_budget_terminates(self):
+        """A hopeless structure must return, not spin."""
+        sketch = FermatSketch(rows=3, width=64, seed=10)
+        for key in range(1, 5000):
+            sketch.insert(key)
+        decoded = sketch.decode()  # must terminate quickly
+        assert isinstance(decoded, dict)
+
+
+class TestDegenerateInputs:
+    def test_empty_sketch_tasks(self):
+        sketch = DaVinciSketch(starved_config())
+        assert sketch.query(123) == 0
+        assert sketch.cardinality() == 0
+        assert sketch.entropy() == 0
+        assert sketch.distribution() == {}
+        assert sketch.heavy_hitters(1) == {}
+        assert sketch.top_k(3) == []
+
+    def test_single_element_universe(self):
+        sketch = DaVinciSketch(starved_config())
+        sketch.insert_all([42] * 10_000)
+        assert sketch.query(42) == 10_000
+        assert sketch.cardinality() <= 2
+        assert sketch.entropy() == pytest.approx(0.0, abs=0.01)
+
+    def test_weighted_inserts_equal_repeated_inserts(self):
+        a = DaVinciSketch(starved_config())
+        b = DaVinciSketch(starved_config())
+        a.insert(7, 500)
+        for _ in range(500):
+            b.insert(7)
+        assert a.query(7) == b.query(7) == 500

@@ -1,0 +1,102 @@
+"""Unit tests for the accuracy metrics (paper Metrics paragraph)."""
+
+import pytest
+
+from repro.metrics.accuracy import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    precision_recall,
+    relative_error,
+    weighted_mean_relative_error,
+)
+
+
+class TestARE:
+    def test_perfect_estimator(self):
+        truth = {1: 10, 2: 20}
+        assert average_relative_error(truth, lambda k: truth[k]) == 0.0
+
+    def test_known_value(self):
+        truth = {1: 10, 2: 20}
+        estimates = {1: 15, 2: 10}  # rel errors 0.5 and 0.5
+        assert average_relative_error(truth, estimates.get) == pytest.approx(0.5)
+
+    def test_zero_truth_excluded(self):
+        truth = {1: 0, 2: 10}
+        assert average_relative_error(truth, lambda k: 10) == 0.0
+
+    def test_empty(self):
+        assert average_relative_error({}, lambda k: 0) == 0.0
+
+
+class TestAAE:
+    def test_known_value(self):
+        truth = {1: 10, 2: 20}
+        estimates = {1: 12, 2: 16}
+        assert average_absolute_error(truth, estimates.get) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert average_absolute_error({}, lambda k: 0) == 0.0
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert f1_score({1}, {2}) == 0.0
+
+    def test_both_empty(self):
+        assert f1_score(set(), set()) == 1.0
+
+    def test_nothing_reported(self):
+        assert f1_score(set(), {1, 2}) == 0.0
+
+    def test_half_precision_full_recall(self):
+        # reported {1,2,3,4}, correct {1,2}: PR=0.5, RR=1 → F1 = 2/3
+        assert f1_score({1, 2, 3, 4}, {1, 2}) == pytest.approx(2 / 3)
+
+    def test_precision_recall_components(self):
+        precision, recall = precision_recall({1, 2, 3}, {2, 3, 4, 5})
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+
+class TestRE:
+    def test_known(self):
+        assert relative_error(100, 110) == pytest.approx(0.1)
+
+    def test_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(0, 5) == float("inf")
+
+    def test_symmetric_in_error_sign(self):
+        assert relative_error(100, 90) == relative_error(100, 110)
+
+
+class TestWMRE:
+    def test_identical(self):
+        hist = {1: 10, 2: 5}
+        assert weighted_mean_relative_error(hist, hist) == 0.0
+
+    def test_known_value(self):
+        truth = {1: 10}
+        estimate = {1: 5}
+        # |10−5| / ((10+5)/2) = 5/7.5
+        assert weighted_mean_relative_error(truth, estimate) == pytest.approx(
+            5 / 7.5
+        )
+
+    def test_disjoint_supports(self):
+        assert weighted_mean_relative_error({1: 4}, {2: 4}) == pytest.approx(2.0)
+
+    def test_empty_both(self):
+        assert weighted_mean_relative_error({}, {}) == 0.0
+
+    def test_sizes_missing_in_one_hist(self):
+        truth = {1: 10, 2: 10}
+        estimate = {1: 10}
+        assert weighted_mean_relative_error(truth, estimate) == pytest.approx(
+            10 / 15
+        )

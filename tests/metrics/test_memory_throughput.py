@@ -1,0 +1,80 @@
+"""Unit tests for memory/AMA accounting and throughput measurement."""
+
+import pytest
+
+from repro.metrics.memory import MemoryComparison, combined_ama, kb, memory_comparison
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_insert_throughput,
+    speedup,
+)
+from repro.sketches import CountMinSketch, CUSketch
+
+
+class TestMemoryComparison:
+    def test_percentage_and_savings(self):
+        comparison = MemoryComparison(davinci_bytes=100.0, baseline_bytes=400.0)
+        assert comparison.percentage == 0.25
+        assert comparison.savings_bytes == 300.0
+
+    def test_zero_baseline(self):
+        assert MemoryComparison(10, 0).percentage == 0.0
+
+    def test_memory_comparison_builder(self):
+        davinci = CountMinSketch(rows=1, width=100)
+        parts = [CountMinSketch(rows=1, width=100), CUSketch(rows=1, width=300)]
+        comparison = memory_comparison(davinci, parts)
+        assert comparison.davinci_bytes == 400.0
+        assert comparison.baseline_bytes == 1600.0
+
+
+class TestCombinedAMA:
+    def test_sums_constituents(self):
+        a = CountMinSketch(rows=3, width=64)
+        b = CountMinSketch(rows=2, width=64)
+        for key in range(10):
+            a.insert(key)
+            b.insert(key)
+        assert combined_ama([a, b]) == 5.0
+
+    def test_empty(self):
+        assert combined_ama([]) == 0.0
+
+
+class TestKb:
+    def test_conversion(self):
+        assert kb(2048) == 2.0
+
+
+class TestThroughput:
+    def test_measures_positive_rate(self):
+        sketch = CountMinSketch(rows=2, width=256)
+        result = measure_insert_throughput(sketch.insert, list(range(2000)))
+        assert result.operations == 2000
+        assert result.seconds > 0
+        assert result.ops_per_second > 0
+        assert result.mops == result.ops_per_second / 1e6
+
+    def test_repeats(self):
+        sketch = CountMinSketch(rows=2, width=256)
+        result = measure_insert_throughput(
+            sketch.insert, list(range(100)), repeats=3
+        )
+        assert result.operations == 300
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure_insert_throughput(lambda k: None, [1], repeats=0)
+
+    def test_speedup(self):
+        fast = ThroughputResult(operations=100, seconds=1.0)
+        slow = ThroughputResult(operations=100, seconds=4.0)
+        assert speedup(fast, slow) == pytest.approx(4.0)
+
+    def test_speedup_zero_denominator(self):
+        fast = ThroughputResult(operations=100, seconds=1.0)
+        stalled = ThroughputResult(operations=0, seconds=0.0)
+        assert speedup(fast, stalled) == float("inf")
+
+    def test_zero_seconds_rate(self):
+        assert ThroughputResult(operations=5, seconds=0.0).ops_per_second == 0.0

@@ -1,0 +1,63 @@
+"""Property-based tests for the hashing and prime-field substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import HashFamily, SignFamily, hash64, mix64
+from repro.common.primes import (
+    DEFAULT_PRIME,
+    from_field_signed,
+    mod_inverse,
+    to_field,
+)
+
+keys = st.integers(min_value=0, max_value=2**64 - 1)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestHashProperties:
+    @given(key=keys, seed=seeds)
+    def test_hash64_in_range_and_stable(self, key, seed):
+        value = hash64(key, seed)
+        assert 0 <= value < 2**64
+        assert value == hash64(key, seed)
+
+    @given(key=keys)
+    def test_mix64_is_a_bijection_witness(self, key):
+        # distinct adjacent inputs never collide (weak injectivity witness)
+        assert mix64(key) != mix64(key ^ 1)
+
+    @given(key=keys, seed=seeds, rows=st.integers(1, 6), width=st.integers(1, 997))
+    @settings(max_examples=50)
+    def test_family_indexes_in_range(self, key, seed, rows, width):
+        family = HashFamily(rows, width, seed=seed)
+        for index in family.indexes(key):
+            assert 0 <= index < width
+
+    @given(key=keys, seed=seeds, rows=st.integers(1, 6))
+    @settings(max_examples=50)
+    def test_sign_family_range(self, key, seed, rows):
+        family = SignFamily(rows, seed=seed)
+        assert all(sign in (1, -1) for sign in family.signs(key))
+
+
+class TestFieldProperties:
+    @given(a=st.integers(min_value=1, max_value=DEFAULT_PRIME - 1))
+    @settings(max_examples=100)
+    def test_fermat_inverse(self, a):
+        assert (a * mod_inverse(a, DEFAULT_PRIME)) % DEFAULT_PRIME == 1
+
+    @given(value=st.integers(min_value=-(DEFAULT_PRIME // 2), max_value=DEFAULT_PRIME // 2))
+    def test_signed_roundtrip(self, value):
+        assert (
+            from_field_signed(to_field(value, DEFAULT_PRIME), DEFAULT_PRIME)
+            == value
+        )
+
+    @given(
+        a=st.integers(min_value=-(10**12), max_value=10**12),
+        b=st.integers(min_value=-(10**12), max_value=10**12),
+    )
+    def test_field_addition_homomorphism(self, a, b):
+        p = DEFAULT_PRIME
+        assert to_field(a + b, p) == (to_field(a, p) + to_field(b, p)) % p

@@ -1,0 +1,104 @@
+"""Property-based tests for the EM deconvolution and the WMRE metric."""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tasks.distribution import CounterArrayEM
+from repro.metrics import weighted_mean_relative_error
+
+counter_arrays = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=200
+)
+
+# subnormal counts underflow when multiplied, breaking exact identities
+histograms = st.dictionaries(
+    st.integers(min_value=1, max_value=50),
+    st.floats(
+        min_value=0.0,
+        max_value=1000.0,
+        allow_nan=False,
+        allow_subnormal=False,
+    ),
+    max_size=20,
+)
+
+
+class TestEMProperties:
+    @given(counters=counter_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_output_sizes_and_counts_valid(self, counters):
+        result = CounterArrayEM(iterations=3).estimate(counters)
+        for size, count in result.items():
+            assert size >= 1
+            assert count > 0
+
+    @given(counters=counter_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_mass_never_exceeds_observed(self, counters):
+        """EM can split counters but never invents mass: Σ size·count ≤ Σ
+        counter values (within float tolerance)."""
+        result = CounterArrayEM(iterations=3).estimate(counters)
+        estimated_mass = sum(size * count for size, count in result.items())
+        observed_mass = sum(value for value in counters if value > 0)
+        assert estimated_mass <= observed_mass * 1.001 + 1e-6
+
+    @given(counters=counter_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_flow_count_at_least_nonzero_counters(self, counters):
+        """Splitting only adds flows: total ≥ number of non-zero counters."""
+        result = CounterArrayEM(iterations=3).estimate(counters)
+        nonzero = sum(1 for value in counters if value > 0)
+        if nonzero:
+            assert sum(result.values()) >= nonzero * 0.999
+
+    @given(counters=counter_arrays, iterations=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, counters, iterations):
+        em = CounterArrayEM(iterations=iterations)
+        assert em.estimate(counters) == em.estimate(counters)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_uniform_size_under_light_load(self, seed):
+        """All flows of size 3 at load < 0.4: the dominant EM mass is at 3."""
+        rng = random.Random(seed)
+        width = 256
+        counters = [0] * width
+        for _ in range(90):
+            counters[rng.randrange(width)] += 3
+        result = CounterArrayEM().estimate(counters)
+        assume(result)
+        total = sum(result.values())
+        assert result.get(3, 0) + result.get(6, 0) > 0.6 * total
+
+
+class TestWMREProperties:
+    @given(hist=histograms)
+    def test_identity_is_zero(self, hist):
+        assert weighted_mean_relative_error(hist, hist) == 0.0
+
+    @given(truth=histograms, estimate=histograms)
+    def test_symmetry(self, truth, estimate):
+        forward = weighted_mean_relative_error(truth, estimate)
+        backward = weighted_mean_relative_error(estimate, truth)
+        # equal up to float summation order
+        assert abs(forward - backward) <= 1e-9 * max(1.0, forward)
+
+    @given(truth=histograms, estimate=histograms)
+    def test_bounded_by_two(self, truth, estimate):
+        """|a−b| ≤ a+b for non-negative entries, so WMRE ≤ 2."""
+        value = weighted_mean_relative_error(truth, estimate)
+        assert 0.0 <= value <= 2.0 + 1e-9
+
+    @given(truth=histograms, scale=st.floats(min_value=0.1, max_value=10))
+    def test_scale_invariance(self, truth, scale):
+        """Scaling both histograms equally leaves WMRE unchanged."""
+        assume(truth)
+        scaled_truth = {size: count * scale for size, count in truth.items()}
+        other = {size: count * 0.5 for size, count in truth.items()}
+        scaled_other = {size: count * scale for size, count in other.items()}
+        original = weighted_mean_relative_error(truth, other)
+        scaled = weighted_mean_relative_error(scaled_truth, scaled_other)
+        assert abs(original - scaled) < 1e-9

@@ -1,0 +1,61 @@
+"""Property-based tests for sketch serialization: lossless round trips."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DaVinciConfig, DaVinciSketch, from_state, to_state
+
+streams = st.lists(
+    st.integers(min_value=1, max_value=200), min_size=0, max_size=400
+)
+
+
+def make_sketch(seed: int = 5) -> DaVinciSketch:
+    config = DaVinciConfig(
+        fp_buckets=8,
+        fp_entries=4,
+        ef_level_widths=(128, 32),
+        ef_level_bits=(4, 8),
+        ifp_rows=3,
+        ifp_width=32,
+        filter_threshold=10,
+        seed=seed,
+    )
+    return DaVinciSketch(config)
+
+
+class TestSerializationProperties:
+    @given(stream=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_queries_identical_after_roundtrip(self, stream):
+        sketch = make_sketch()
+        sketch.insert_all(stream)
+        twin = from_state(json.loads(json.dumps(to_state(sketch))))
+        for key in set(stream) | {9999}:
+            assert twin.query(key) == sketch.query(key)
+
+    @given(stream=streams)
+    @settings(max_examples=30, deadline=None)
+    def test_state_is_json_stable(self, stream):
+        """Serializing the deserialized sketch reproduces the same state."""
+        sketch = make_sketch()
+        sketch.insert_all(stream)
+        once = to_state(sketch)
+        twice = to_state(from_state(once))
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+    @given(left=streams, right=streams)
+    @settings(max_examples=25, deadline=None)
+    def test_setops_commute_with_serialization(self, left, right):
+        """union(deser(a), deser(b)) answers like union(a, b)."""
+        a, b = make_sketch(), make_sketch()
+        a.insert_all(left)
+        b.insert_all(right)
+        direct = a.union(b)
+        via_wire = from_state(to_state(a)).union(from_state(to_state(b)))
+        for key in (set(left) | set(right)) or {1}:
+            assert via_wire.query(key) == direct.query(key)

@@ -1,0 +1,145 @@
+"""Empirical verification of the paper's Section-IV theory.
+
+Reproduces the *Theoretical Contribution*: we check — on concrete streams,
+with the actual implementation — that Lemma 1's unbiasedness, Lemma 2's
+variance bound, Lemma 3's tail bound and Theorem 1's two-sided frequency
+bound all hold.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.core.analysis import (
+    basic_structure_variance,
+    davinci_error_bound,
+    empirical_bias,
+    empirical_variance,
+    exceed_fraction,
+    frequency_error_bound,
+    l1_norm,
+    l2_norm,
+)
+from repro.core.infrequent_part import InfrequentPart
+
+
+def populated_ifp(width=64, keys=120, count=5, seed=3):
+    """An IFP loaded beyond decoding capacity (exercises the fast query)."""
+    ifp = InfrequentPart(rows=3, width=width, seed=seed)
+    truth = {}
+    rng = random.Random(seed)
+    for _ in range(keys):
+        key = rng.randrange(1, 2**31)
+        value = rng.randrange(1, count * 2)
+        ifp.insert(key, value)
+        truth[key] = truth.get(key, 0) + value
+    return ifp, truth
+
+
+class TestNorms:
+    def test_l2(self):
+        assert l2_norm([3, 4]) == pytest.approx(5.0)
+
+    def test_l1(self):
+        assert l1_norm([3, -4]) == pytest.approx(7.0)
+
+    def test_variance_bound_formula(self):
+        assert basic_structure_variance([3, 4], width=5) == pytest.approx(5.0)
+
+    def test_error_bound_formula(self):
+        # √(k/R)·‖F‖₂ with k=4, R=25, ‖F‖₂=5 → (2/5)·5 = 2
+        assert frequency_error_bound([3, 4], width=25, k=4) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            basic_structure_variance([1], width=0)
+        with pytest.raises(ValueError):
+            frequency_error_bound([1], width=4, k=0)
+
+
+class TestLemma1Unbiasedness:
+    def test_fast_query_bias_is_small(self):
+        """E[f̂] = f: the mean signed error vanishes relative to the mass."""
+        ifp, truth = populated_ifp()
+        estimates = {key: ifp.fast_query(key) for key in truth}
+        bias = empirical_bias(estimates, truth)
+        mean_count = sum(truth.values()) / len(truth)
+        # the median estimator is only approximately mean-unbiased; the
+        # bias must still be a small fraction of the mean count
+        assert abs(bias) < 0.5 * mean_count
+
+
+class TestLemma2Variance:
+    def test_empirical_variance_within_bound(self):
+        """Var[f̂] ≤ ‖F‖₂²/R (per row; the 3-row median only shrinks it)."""
+        ifp, truth = populated_ifp()
+        estimates = {key: ifp.fast_query(key) for key in truth}
+        observed = empirical_variance(estimates, truth)
+        bound = basic_structure_variance(truth.values(), ifp.width)
+        assert observed <= bound * 1.5  # 50% slack for sampling noise
+
+
+class TestLemma3TailBound:
+    @pytest.mark.parametrize("k", [4.0, 9.0])
+    def test_exceed_fraction_below_one_over_k(self, k):
+        ifp, truth = populated_ifp(width=96, keys=160)
+        estimates = {key: ifp.fast_query(key) for key in truth}
+        threshold = frequency_error_bound(truth.values(), ifp.width, k)
+        violation = exceed_fraction(estimates, truth, threshold)
+        assert violation < 1.0 / k + 0.05  # small sampling allowance
+
+
+class TestTheorem1:
+    def test_davinci_estimates_within_two_sided_bound(self):
+        config = DaVinciConfig(
+            fp_buckets=16,
+            fp_entries=4,
+            ef_level_widths=(512, 128),
+            ef_level_bits=(4, 8),
+            ifp_rows=3,
+            ifp_width=96,
+            filter_threshold=10,
+            seed=9,
+        )
+        sketch = DaVinciSketch(config)
+        rng = random.Random(11)
+        keys = list(range(1, 501))
+        weights = [1 / (k**1.1) for k in keys]
+        stream = rng.choices(keys, weights=weights, k=8000)
+        truth = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        sketch.insert_all(stream)
+
+        k = 9.0
+        lower_slack, upper_slack = davinci_error_bound(sketch, truth, k)
+        below = above = 0
+        for key, count in truth.items():
+            estimate = sketch.query(key)
+            if estimate < count - lower_slack - 1e-9:
+                below += 1
+            if estimate > count + upper_slack + 1e-9:
+                above += 1
+        population = len(truth)
+        # each side violated with probability < 1/k (plus sampling slack)
+        assert below / population < 1.0 / k + 0.05
+        assert above / population < 1.0 / k + 0.05
+
+    def test_bound_components_positive(self):
+        config = DaVinciConfig(
+            fp_buckets=8,
+            fp_entries=4,
+            ef_level_widths=(128, 32),
+            ef_level_bits=(4, 8),
+            ifp_rows=3,
+            ifp_width=32,
+            filter_threshold=10,
+            seed=2,
+        )
+        sketch = DaVinciSketch(config)
+        sketch.insert_all([k for k in range(1, 100) for _ in range(30)])
+        truth = {k: 30 for k in range(1, 100)}
+        lower_slack, upper_slack = davinci_error_bound(sketch, truth, 4.0)
+        assert lower_slack >= 0
+        assert upper_slack >= lower_slack

@@ -1,0 +1,46 @@
+"""Unit tests for the sketch base interfaces and helpers."""
+
+import pytest
+
+from repro.sketches.base import MemoryModel, Sketch, top_k
+from repro.sketches import CountMinSketch
+
+
+class TestMemoryModel:
+    def test_bits_to_bytes(self):
+        assert MemoryModel.bits_to_bytes(8) == 1.0
+        assert MemoryModel.bits_to_bytes(4) == 0.5
+
+    def test_constants(self):
+        assert MemoryModel.KEY_BYTES == 4
+        assert MemoryModel.COUNTER_BYTES == 4
+
+
+class TestSketchAccounting:
+    def test_fresh_sketch_has_zero_ama(self):
+        sketch = CountMinSketch(rows=2, width=8)
+        assert sketch.average_memory_access() == 0.0
+
+    def test_insert_all_counts_every_item(self):
+        sketch = CountMinSketch(rows=2, width=8)
+        sketch.insert_all(iter([1, 2, 3]))  # iterators work too
+        assert sketch.insertions == 3
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Sketch()
+
+
+class TestTopK:
+    def test_ranking(self):
+        estimates = {1: 5, 2: 9, 3: 5, 4: 1}
+        assert top_k(estimates, 2) == [(2, 9), (1, 5)]
+
+    def test_tie_break_by_key(self):
+        assert top_k({5: 3, 2: 3}, 2) == [(2, 3), (5, 3)]
+
+    def test_k_exceeds_population(self):
+        assert len(top_k({1: 1}, 99)) == 1
+
+    def test_empty(self):
+        assert top_k({}, 3) == []

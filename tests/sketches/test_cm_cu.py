@@ -1,0 +1,71 @@
+"""Unit tests for Count-Min and CU sketches."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sketches import CountMinSketch, CUSketch
+
+
+class TestCountMin:
+    def test_exact_without_collisions(self):
+        cm = CountMinSketch(rows=3, width=1024, seed=1)
+        cm.insert(5, 10)
+        assert cm.query(5) == 10
+
+    def test_never_underestimates(self):
+        cm = CountMinSketch(rows=3, width=16, seed=1)
+        truth = {}
+        for key in range(100):
+            cm.insert(key, key % 3 + 1)
+            truth[key] = key % 3 + 1
+        for key, count in truth.items():
+            assert cm.query(key) >= count
+
+    def test_from_memory_sizing(self):
+        cm = CountMinSketch.from_memory(12 * 1024, rows=3)
+        assert cm.memory_bytes() <= 12 * 1024
+        assert cm.memory_bytes() > 11 * 1024
+
+    def test_ama_equals_rows(self):
+        cm = CountMinSketch(rows=4, width=64, seed=1)
+        cm.insert_all(range(50))
+        assert cm.average_memory_access() == 4.0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(rows=0, width=8)
+
+    def test_absent_key_reads_collision_noise_only(self):
+        cm = CountMinSketch(rows=3, width=4096, seed=1)
+        cm.insert_all(range(100))
+        assert cm.query(10**9) <= 1
+
+
+class TestCU:
+    def test_exact_without_collisions(self):
+        cu = CUSketch(rows=3, width=1024, seed=1)
+        cu.insert(5, 10)
+        assert cu.query(5) == 10
+
+    def test_never_underestimates(self):
+        cu = CUSketch(rows=3, width=16, seed=1)
+        truth = {}
+        for key in range(100):
+            cu.insert(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert cu.query(key) >= count
+
+    def test_no_worse_than_cm(self):
+        """Conservative update dominates plain CM pointwise."""
+        cm = CountMinSketch(rows=3, width=64, seed=9)
+        cu = CUSketch(rows=3, width=64, seed=9)
+        stream = [key % 40 for key in range(2000)]
+        cm.insert_all(stream)
+        cu.insert_all(stream)
+        for key in range(40):
+            assert cu.query(key) <= cm.query(key)
+
+    def test_from_memory_sizing(self):
+        cu = CUSketch.from_memory(8 * 1024)
+        assert cu.memory_bytes() <= 8 * 1024

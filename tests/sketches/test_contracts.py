@@ -1,0 +1,136 @@
+"""Cross-sketch contract tests.
+
+Every frequency sketch in the package, whatever its internals, must honour
+a common behavioural contract: deterministic under a fixed seed, sized
+within its memory budget, sane on empty/point queries, and accounting its
+insertions.  Running the contract over all implementations at once catches
+regressions a per-sketch suite misses.
+"""
+
+import pytest
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.sketches import (
+    MRAC,
+    CocoSketch,
+    CountHeap,
+    CountMinSketch,
+    CountSketch,
+    CUSketch,
+    ElasticSketch,
+    FastAGMS,
+    FCMSketch,
+    HashPipe,
+    HeavyKeeper,
+    JoinSketch,
+    MVSketch,
+    SkimmedSketch,
+    TowerSketch,
+)
+
+MEMORY = 8 * 1024
+SEED = 7
+
+
+def davinci_factory(seed=SEED):
+    return DaVinciSketch(DaVinciConfig.from_memory(MEMORY, seed=seed))
+
+
+FACTORIES = {
+    "DaVinci": davinci_factory,
+    "CM": lambda seed=SEED: CountMinSketch.from_memory(MEMORY, seed=seed),
+    "CU": lambda seed=SEED: CUSketch.from_memory(MEMORY, seed=seed),
+    "CountSketch": lambda seed=SEED: CountSketch.from_memory(MEMORY, seed=seed),
+    "CountHeap": lambda seed=SEED: CountHeap.from_memory(MEMORY, seed=seed),
+    "Tower": lambda seed=SEED: TowerSketch.from_memory(MEMORY, seed=seed),
+    "Elastic": lambda seed=SEED: ElasticSketch.from_memory(MEMORY, seed=seed),
+    "FCM": lambda seed=SEED: FCMSketch.from_memory(MEMORY, seed=seed),
+    "HashPipe": lambda seed=SEED: HashPipe.from_memory(MEMORY, seed=seed),
+    "Coco": lambda seed=SEED: CocoSketch.from_memory(MEMORY, seed=seed),
+    "MRAC": lambda seed=SEED: MRAC.from_memory(MEMORY, seed=seed),
+    "JoinSketch": lambda seed=SEED: JoinSketch.from_memory(MEMORY, seed=seed),
+    "FastAGMS": lambda seed=SEED: FastAGMS.from_memory(MEMORY, seed=seed),
+    "Skimmed": lambda seed=SEED: SkimmedSketch.from_memory(MEMORY, seed=seed),
+    "HeavyKeeper": lambda seed=SEED: HeavyKeeper.from_memory(MEMORY, seed=seed),
+    "MVSketch": lambda seed=SEED: MVSketch.from_memory(MEMORY, seed=seed),
+}
+
+STREAM = [key % 97 + 1 for key in range(3000)]
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestCommonContract:
+    def test_memory_within_budget(self, factory):
+        sketch = factory()
+        assert 0 < sketch.memory_bytes() <= MEMORY * 1.05
+
+    def test_insertions_counted(self, factory):
+        sketch = factory()
+        sketch.insert_all(STREAM)
+        assert sketch.insertions == len(STREAM)
+        assert sketch.average_memory_access() > 0
+
+    def test_deterministic_given_seed(self, factory):
+        a, b = factory(), factory()
+        a.insert_all(STREAM)
+        b.insert_all(STREAM)
+        for key in range(1, 98, 7):
+            assert a.query(key) == b.query(key)
+
+    def test_point_query_tracks_single_heavy_key(self, factory):
+        sketch = factory()
+        sketch.insert_all([55] * 1000)
+        estimate = sketch.query(55)
+        assert estimate == pytest.approx(1000, rel=0.15)
+
+    def test_empty_sketch_query_is_small(self, factory):
+        sketch = factory()
+        assert abs(sketch.query(12345)) <= 1
+
+    def test_weighted_insert_supported(self, factory):
+        sketch = factory()
+        sketch.insert(9, 250)
+        assert sketch.query(9) == pytest.approx(250, rel=0.1)
+
+    def test_reset_access_counters(self, factory):
+        sketch = factory()
+        sketch.insert_all(STREAM[:100])
+        sketch.reset_access_counters()
+        assert sketch.insertions == 0
+        assert sketch.memory_accesses == 0
+
+
+HEAVY_FACTORIES = {
+    name: FACTORIES[name]
+    for name in (
+        "DaVinci",
+        "Elastic",
+        "HashPipe",
+        "Coco",
+        "CountHeap",
+        "HeavyKeeper",
+        "MVSketch",
+    )
+}
+
+
+@pytest.fixture(params=sorted(HEAVY_FACTORIES), ids=sorted(HEAVY_FACTORIES))
+def heavy_factory(request):
+    return HEAVY_FACTORIES[request.param]
+
+
+class TestHeavyHitterContract:
+    def test_reported_keys_meet_threshold(self, heavy_factory):
+        sketch = heavy_factory()
+        sketch.insert_all(STREAM + [7] * 500)
+        for key, estimate in sketch.heavy_hitters(200).items():
+            assert abs(estimate) >= 200
+
+    def test_obvious_elephant_is_found(self, heavy_factory):
+        sketch = heavy_factory()
+        sketch.insert_all(STREAM + [7] * 2000)
+        assert 7 in sketch.heavy_hitters(1000)

@@ -1,0 +1,75 @@
+"""Unit tests for Count Sketch and CountHeap."""
+
+import random
+
+import pytest
+
+from repro.sketches import CountHeap, CountSketch
+
+
+class TestCountSketch:
+    def test_exact_without_collisions(self):
+        cs = CountSketch(rows=3, width=1024, seed=1)
+        cs.insert(5, 10)
+        assert cs.query(5) == 10
+
+    def test_roughly_unbiased(self):
+        """Averaged over keys, Count-Sketch errors should center near 0."""
+        cs = CountSketch(rows=5, width=64, seed=3)
+        truth = {key: 10 for key in range(200)}
+        for key, count in truth.items():
+            cs.insert(key, count)
+        errors = [cs.query(key) - truth[key] for key in truth]
+        assert abs(sum(errors) / len(errors)) < 3.0
+
+    def test_inner_product_self_join(self):
+        cs_a = CountSketch(rows=5, width=512, seed=4)
+        cs_b = CountSketch(rows=5, width=512, seed=4)
+        counts = {key: key % 7 + 1 for key in range(100)}
+        for key, count in counts.items():
+            cs_a.insert(key, count)
+            cs_b.insert(key, count)
+        true = sum(count * count for count in counts.values())
+        assert cs_a.inner_product(cs_b) == pytest.approx(true, rel=0.15)
+
+    def test_inner_product_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CountSketch(3, 16).inner_product(CountSketch(3, 32))
+
+    def test_from_memory(self):
+        cs = CountSketch.from_memory(6 * 1024)
+        assert cs.memory_bytes() <= 6 * 1024
+
+
+class TestCountHeap:
+    def test_tracks_the_elephants(self):
+        heap = CountHeap(rows=3, width=512, heap_size=10, seed=2)
+        rng = random.Random(5)
+        stream = [0] * 500 + [1] * 300 + [2] * 200 + [
+            rng.randrange(100, 400) for _ in range(800)
+        ]
+        rng.shuffle(stream)
+        heap.insert_all(stream)
+        heavy = heap.heavy_hitters(150)
+        assert {0, 1, 2} <= set(heavy)
+
+    def test_heap_respects_capacity(self):
+        heap = CountHeap(rows=3, width=256, heap_size=5, seed=2)
+        heap.insert_all(range(100))
+        assert len(heap.heavy_hitters(0 + 1)) <= 5
+
+    def test_query_delegates_to_sketch(self):
+        heap = CountHeap(rows=3, width=512, heap_size=4, seed=2)
+        heap.insert(9, 25)
+        assert heap.query(9) == 25
+
+    def test_from_memory_budget(self):
+        heap = CountHeap.from_memory(10 * 1024)
+        assert heap.memory_bytes() <= 10 * 1024
+        assert heap.heap_size >= 8
+
+    def test_invalid_heap_size(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CountHeap(rows=3, width=16, heap_size=0)

@@ -1,0 +1,82 @@
+"""Unit tests for the CSOA composite and linear counting."""
+
+import pytest
+
+from repro.sketches import CSOA, LinearCounter
+
+
+class TestLinearCounter:
+    def test_distinct_counting(self):
+        counter = LinearCounter(bits=4096, seed=1)
+        counter.insert_all(range(800))
+        assert counter.cardinality() == pytest.approx(800, rel=0.08)
+
+    def test_duplicates_ignored(self):
+        counter = LinearCounter(bits=1024, seed=2)
+        counter.insert_all([5] * 1000)
+        assert counter.cardinality() == pytest.approx(1, abs=1)
+
+    def test_from_memory(self):
+        counter = LinearCounter.from_memory(1024)
+        assert counter.bits == 8192
+        assert counter.memory_bytes() == 1024
+
+    def test_empty(self):
+        assert LinearCounter(bits=64).cardinality() == 0.0
+
+
+class TestCSOA:
+    @pytest.fixture
+    def loaded(self):
+        csoa = CSOA.from_memory(24 * 1024, seed=3)
+        stream = [key for key in range(1, 301) for _ in range(key % 6 + 1)]
+        csoa.insert_all(stream)
+        return csoa, stream
+
+    def test_memory_is_sum_of_parts(self, loaded):
+        csoa, _ = loaded
+        assert csoa.memory_bytes() == pytest.approx(
+            csoa.fcm.memory_bytes()
+            + csoa.fermat.memory_bytes()
+            + csoa.join.memory_bytes()
+        )
+
+    def test_ama_stacks_constituents(self, loaded):
+        csoa, _ = loaded
+        assert csoa.average_memory_access() > csoa.fcm.average_memory_access()
+
+    def test_frequency_via_fcm(self, loaded):
+        csoa, _ = loaded
+        assert csoa.query(299) == pytest.approx(299 % 6 + 1, abs=3)
+
+    def test_heavy_hitters_need_candidates(self, loaded):
+        csoa, stream = loaded
+        candidates = set(stream)
+        heavy = csoa.heavy_hitters(6, candidates)
+        assert heavy
+        assert all(estimate >= 6 for estimate in heavy.values())
+
+    def test_cardinality(self, loaded):
+        csoa, stream = loaded
+        assert csoa.cardinality() == pytest.approx(len(set(stream)), rel=0.1)
+
+    def test_union_and_difference_via_fermat(self):
+        a = CSOA.from_memory(24 * 1024, seed=4)
+        b = CSOA.from_memory(24 * 1024, seed=4)
+        a.insert(1, 5)
+        b.insert(1, 3)
+        b.insert(2, 2)
+        assert a.union_with(b).decode() == {1: 8, 2: 2}
+        assert a.difference_with(b).decode() == {1: 2, 2: -2}
+
+    def test_inner_product_via_joinsketch(self):
+        a = CSOA.from_memory(24 * 1024, seed=5)
+        b = CSOA.from_memory(24 * 1024, seed=5)
+        a.insert(7, 100)
+        b.insert(7, 40)
+        assert a.inner_product(b) == pytest.approx(4000, rel=0.1)
+
+    def test_entropy_and_distribution_delegate(self, loaded):
+        csoa, stream = loaded
+        assert csoa.distribution()
+        assert csoa.entropy(len(stream)) > 0

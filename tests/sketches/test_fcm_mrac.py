@@ -1,0 +1,114 @@
+"""Unit tests for FCM-Sketch and MRAC."""
+
+import math
+
+import pytest
+
+from repro.sketches import FCMSketch, MRAC
+
+
+class TestFCMInsertQuery:
+    def test_small_value_exact(self):
+        fcm = FCMSketch(trees=2, base_width=1024, seed=1)
+        fcm.insert(5, 10)
+        assert fcm.query(5) == 10
+
+    def test_overflow_chains_across_stages(self):
+        fcm = FCMSketch(trees=1, base_width=512, seed=1)
+        fcm.insert(5, 300)  # exceeds the 8-bit leaf (cap 255)
+        assert fcm.query(5) == 300
+
+    def test_deep_overflow_to_third_stage(self):
+        fcm = FCMSketch(trees=1, base_width=512, seed=1)
+        fcm.insert(5, 70000)  # exceeds 255 + 65535? no: fits stage 2 cap
+        assert fcm.query(5) == 70000
+
+    def test_never_underestimates(self):
+        fcm = FCMSketch(trees=2, base_width=64, seed=2)
+        truth = {}
+        for key in range(200):
+            fcm.insert(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert fcm.query(key) >= count
+
+    def test_from_memory(self):
+        fcm = FCMSketch.from_memory(16 * 1024)
+        assert fcm.memory_bytes() <= 16 * 1024 * 1.01
+
+    def test_invalid_shape(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FCMSketch(trees=0, base_width=8)
+
+
+class TestFCMTasks:
+    @pytest.fixture
+    def loaded(self):
+        fcm = FCMSketch.from_memory(16 * 1024, seed=3)
+        stream = [key for key in range(300) for _ in range(key % 5 + 1)]
+        fcm.insert_all(stream)
+        return fcm, stream
+
+    def test_cardinality(self, loaded):
+        fcm, stream = loaded
+        assert fcm.cardinality() == pytest.approx(len(set(stream)), rel=0.1)
+
+    def test_distribution(self, loaded):
+        fcm, stream = loaded
+        histogram = fcm.distribution()
+        assert sum(histogram.values()) == pytest.approx(
+            len(set(stream)), rel=0.2
+        )
+
+    def test_entropy(self, loaded):
+        fcm, stream = loaded
+        truth = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        total = len(stream)
+        true_entropy = -sum(
+            (v / total) * math.log(v / total) for v in truth.values()
+        )
+        assert fcm.entropy(total) == pytest.approx(true_entropy, rel=0.2)
+
+    def test_subtract_query(self):
+        a = FCMSketch(trees=2, base_width=1024, seed=4)
+        b = FCMSketch(trees=2, base_width=1024, seed=4)
+        a.insert(1, 50)
+        b.insert(1, 20)
+        assert a.subtract_query(b, 1) == 30
+
+
+class TestMRAC:
+    def test_counter_read(self):
+        mrac = MRAC(width=1024, seed=1)
+        mrac.insert(5, 9)
+        assert mrac.query(5) == 9
+
+    def test_cardinality(self):
+        mrac = MRAC(width=2048, seed=2)
+        mrac.insert_all(range(400))
+        assert mrac.cardinality() == pytest.approx(400, rel=0.1)
+
+    def test_distribution_recovers_uniform_sizes(self):
+        mrac = MRAC(width=2048, seed=3)
+        stream = [key for key in range(300) for _ in range(3)]
+        mrac.insert_all(stream)
+        histogram = mrac.distribution()
+        assert histogram.get(3, 0) == pytest.approx(300, rel=0.2)
+
+    def test_entropy_of_uniform_stream(self):
+        mrac = MRAC(width=4096, seed=4)
+        mrac.insert_all(range(500))
+        assert mrac.entropy(500) == pytest.approx(math.log(500), rel=0.1)
+
+    def test_ama_is_one(self):
+        mrac = MRAC(width=64, seed=1)
+        mrac.insert_all(range(10))
+        assert mrac.average_memory_access() == 1.0
+
+    def test_from_memory(self):
+        mrac = MRAC.from_memory(4 * 1024)
+        assert mrac.width == 1024

@@ -1,0 +1,133 @@
+"""Unit tests for HashPipe, CocoSketch and UnivMon."""
+
+import math
+import random
+
+import pytest
+
+from repro.sketches import CocoSketch, HashPipe, UnivMon
+
+
+def skewed_stream(seed=5, keys=300, items=6000, skew=1.2):
+    rng = random.Random(seed)
+    population = list(range(1, keys + 1))
+    weights = [1 / (k**skew) for k in population]
+    return rng.choices(population, weights=weights, k=items)
+
+
+class TestHashPipe:
+    def test_single_heavy_flow(self):
+        pipe = HashPipe(stages=4, slots_per_stage=64, seed=1)
+        pipe.insert_all([9] * 100)
+        assert pipe.query(9) == 100
+
+    def test_heavy_hitters_found(self):
+        pipe = HashPipe.from_memory(4 * 1024, seed=2)
+        stream = skewed_stream()
+        pipe.insert_all(stream)
+        truth = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        correct = {k for k, v in truth.items() if v >= 100}
+        reported = set(pipe.heavy_hitters(100))
+        assert correct  # sanity: some heavies exist
+        assert len(reported & correct) / len(correct) > 0.8
+
+    def test_mouse_flows_may_be_dropped(self):
+        pipe = HashPipe(stages=2, slots_per_stage=4, seed=3)
+        pipe.insert_all(range(100))  # 100 mice through 8 slots
+        tracked = sum(1 for key in range(100) if pipe.query(key) > 0)
+        assert tracked <= 8
+
+    def test_memory_model(self):
+        pipe = HashPipe(stages=3, slots_per_stage=10, seed=1)
+        assert pipe.memory_bytes() == 3 * 10 * HashPipe.SLOT_BYTES
+
+
+class TestCocoSketch:
+    def test_single_flow(self):
+        coco = CocoSketch(rows=1, width=64, seed=1)
+        coco.insert_all([3] * 50)
+        assert coco.query(3) == 50
+
+    def test_heavy_keys_survive_replacement(self):
+        coco = CocoSketch.from_memory(4 * 1024, seed=2)
+        stream = skewed_stream(seed=7)
+        coco.insert_all(stream)
+        truth = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        top = sorted(truth, key=truth.get, reverse=True)[:5]
+        reported = coco.heavy_hitters(truth[top[-1]] // 2)
+        assert len(set(top) & set(reported)) >= 3
+
+    def test_counter_upper_bounds_estimate(self):
+        coco = CocoSketch(rows=2, width=8, seed=3)
+        stream = list(range(50)) * 4
+        coco.insert_all(stream)
+        for key in range(50):
+            estimate = coco.query(key)
+            assert estimate >= 0
+
+    def test_deterministic_with_seeded_rng(self):
+        a = CocoSketch(rows=2, width=32, seed=9)
+        b = CocoSketch(rows=2, width=32, seed=9)
+        stream = skewed_stream(seed=1, items=1000)
+        a.insert_all(stream)
+        b.insert_all(stream)
+        assert a.heavy_hitters(10) == b.heavy_hitters(10)
+
+
+class TestUnivMon:
+    @pytest.fixture
+    def loaded(self):
+        univmon = UnivMon.from_memory(32 * 1024, seed=4)
+        stream = skewed_stream(seed=9, keys=400, items=8000)
+        univmon.insert_all(stream)
+        truth = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        return univmon, stream, truth
+
+    def test_sampling_is_nested(self):
+        univmon = UnivMon(levels=6, rows=3, width=64, heap_size=8, seed=1)
+        for key in range(500):
+            deepest = univmon.max_level(key)
+            for level in range(deepest + 1):
+                assert univmon.sampled_at(key, level)
+
+    def test_sampling_halves_per_level(self):
+        univmon = UnivMon(levels=6, rows=3, width=64, heap_size=8, seed=1)
+        sampled = sum(1 for key in range(4000) if univmon.sampled_at(key, 1))
+        assert 1700 < sampled < 2300
+
+    def test_heavy_hitters(self, loaded):
+        univmon, _stream, truth = loaded
+        top = sorted(truth, key=truth.get, reverse=True)[:3]
+        reported = univmon.heavy_hitters(truth[top[2]] // 2)
+        assert set(top) & set(reported)
+
+    def test_cardinality_order_of_magnitude(self, loaded):
+        univmon, stream, _truth = loaded
+        distinct = len(set(stream))
+        assert univmon.cardinality() == pytest.approx(distinct, rel=0.5)
+
+    def test_entropy_order_of_magnitude(self, loaded):
+        univmon, stream, truth = loaded
+        total = len(stream)
+        true_entropy = -sum(
+            (v / total) * math.log(v / total) for v in truth.values()
+        )
+        assert univmon.entropy(total) == pytest.approx(true_entropy, rel=0.5)
+
+    def test_change_query(self):
+        a = UnivMon.from_memory(16 * 1024, seed=5)
+        b = UnivMon.from_memory(16 * 1024, seed=5)
+        a.insert_all([1] * 100)
+        b.insert_all([1] * 40)
+        assert a.change_query(b, 1) == pytest.approx(60, abs=10)
+
+    def test_memory_split(self):
+        univmon = UnivMon.from_memory(32 * 1024, levels=8)
+        assert univmon.memory_bytes() <= 32 * 1024 * 1.1
+        assert len(univmon.layers) == 8

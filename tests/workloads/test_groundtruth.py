@@ -1,0 +1,81 @@
+"""Unit tests for exact ground-truth computation."""
+
+import math
+
+import pytest
+
+from repro.workloads import groundtruth as gt
+
+
+TRACE = [1, 1, 1, 2, 2, 3]
+
+
+class TestBasics:
+    def test_frequencies(self):
+        assert gt.frequencies(TRACE) == {1: 3, 2: 2, 3: 1}
+
+    def test_cardinality(self):
+        assert gt.cardinality(TRACE) == 3
+        assert gt.cardinality([]) == 0
+
+    def test_heavy_hitters(self):
+        freq = gt.frequencies(TRACE)
+        assert gt.heavy_hitters(freq, 2) == {1, 2}
+        assert gt.heavy_hitters(freq, 4) == set()
+
+    def test_heavy_changers(self):
+        changed = gt.heavy_changers({1: 10, 2: 5}, {1: 2, 3: 9}, 5)
+        assert changed == {1, 2, 3}
+        assert gt.heavy_changers({1: 10}, {1: 10}, 1) == set()
+
+    def test_size_distribution(self):
+        assert gt.size_distribution(gt.frequencies(TRACE)) == {3: 1, 2: 1, 1: 1}
+
+    def test_entropy_uniform(self):
+        freq = {k: 1 for k in range(8)}
+        assert gt.entropy(freq) == pytest.approx(math.log(8))
+
+    def test_entropy_degenerate(self):
+        assert gt.entropy({1: 100}) == pytest.approx(0.0)
+        assert gt.entropy({}) == 0.0
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        union = gt.multiset_union({1: 2, 2: 1}, {2: 3, 4: 1})
+        assert union == {1: 2, 2: 4, 4: 1}
+
+    def test_difference_paper_example(self):
+        # A = {a,a,b,d}, B = {a,b,b,c} → {a:+1, b:−1, d:+1, c:−1}
+        freq_a = {"a": 2, "b": 1, "d": 1}
+        freq_b = {"a": 1, "b": 2, "c": 1}
+        assert gt.multiset_difference(freq_a, freq_b) == {
+            "a": 1,
+            "b": -1,
+            "d": 1,
+            "c": -1,
+        }
+
+    def test_difference_drops_zeros(self):
+        assert gt.multiset_difference({1: 2}, {1: 2}) == {}
+
+    def test_inner_product(self):
+        assert gt.inner_product({1: 2, 2: 3}, {1: 5, 3: 7}) == 10
+
+    def test_inner_product_symmetry(self):
+        f, g = {1: 2, 2: 3}, {1: 5, 2: 1, 3: 7}
+        assert gt.inner_product(f, g) == gt.inner_product(g, f)
+
+    def test_self_join_is_second_moment(self):
+        freq = gt.frequencies(TRACE)
+        assert gt.inner_product(freq, freq) == 9 + 4 + 1
+
+
+class TestTopK:
+    def test_ordering_and_ties(self):
+        freq = {5: 3, 2: 3, 9: 10, 4: 1}
+        top = gt.top_k_keys(freq, 3)
+        assert top == [(9, 10), (2, 3), (5, 3)]
+
+    def test_k_larger_than_population(self):
+        assert len(gt.top_k_keys({1: 1}, 10)) == 1

@@ -1,0 +1,94 @@
+"""Unit tests for trace file I/O."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.io import (
+    iter_trace,
+    read_counts,
+    read_trace,
+    weighted_inserts,
+    write_counts,
+    write_trace,
+)
+
+
+class TestKeysFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        trace = [1, 2, 2, 3, 999]
+        assert write_trace(path, trace) == 5
+        assert read_trace(path) == trace
+
+    def test_string_keys(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, ["10.0.0.1", "10.0.0.2", "10.0.0.1"])
+        assert read_trace(path) == ["10.0.0.1", "10.0.0.2", "10.0.0.1"]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n1\n\n2\n  \n# tail\n3\n")
+        assert read_trace(path) == [1, 2, 3]
+
+    def test_iter_matches_read(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, range(100))
+        assert list(iter_trace(path)) == read_trace(path)
+
+    def test_trace_feeds_sketch(self, tmp_path, small_config):
+        from repro.core import DaVinciSketch
+
+        path = tmp_path / "trace.txt"
+        write_trace(path, [5] * 10 + [6] * 3)
+        sketch = DaVinciSketch(small_config)
+        for key in iter_trace(path):
+            sketch.insert(key)
+        assert sketch.query(5) == 10
+
+
+class TestCountsFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        counts = {1: 10, 2: 3, "flow-a": 7}
+        assert write_counts(path, counts) == 3
+        assert read_counts(path) == counts
+
+    def test_duplicate_keys_accumulate(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        path.write_text("1,5\n1,7\n")
+        assert read_counts(path) == {1: 12}
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        path.write_text("justakey\n")
+        with pytest.raises(ConfigurationError):
+            read_counts(path)
+
+    def test_non_integer_count_rejected(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        path.write_text("1,many\n")
+        with pytest.raises(ConfigurationError):
+            read_counts(path)
+
+    def test_negative_count_rejected(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        path.write_text("1,-3\n")
+        with pytest.raises(ConfigurationError):
+            read_counts(path)
+
+    def test_string_key_with_commas(self, tmp_path):
+        # rsplit(',', 1): only the last comma separates the count
+        path = tmp_path / "counts.csv"
+        path.write_text("a,b,c,4\n")
+        assert read_counts(path) == {"a,b,c": 4}
+
+    def test_weighted_inserts(self, small_config):
+        from repro.core import DaVinciSketch
+
+        counts = {1: 100, 2: 0, 3: 5}
+        sketch = DaVinciSketch(small_config)
+        for key, count in weighted_inserts(counts):
+            sketch.insert(key, count)
+        assert sketch.query(1) == 100
+        assert sketch.query(3) == 5
+        assert sketch.total_count == 105

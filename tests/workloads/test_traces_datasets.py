@@ -1,0 +1,107 @@
+"""Unit tests for the dataset registry and trace generators."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.datasets import (
+    CAIDA,
+    MAWI,
+    TPCDS,
+    DatasetSpec,
+    get_spec,
+    table2_statistics,
+)
+from repro.workloads.traces import (
+    caida_like,
+    correlated_pair,
+    halves,
+    inclusion_split,
+    load_trace,
+    mawi_like,
+    overlap_thirds,
+    tpcds_like,
+)
+
+
+class TestDatasetSpecs:
+    def test_table2_numbers(self):
+        assert CAIDA.packets == 2_472_727
+        assert CAIDA.flows == 109_642
+        assert MAWI.packets == 2_000_000
+        assert MAWI.flows == 200_471
+        assert TPCDS.packets == 4_903_874
+        assert TPCDS.flows == 1_834
+
+    def test_scaled_shrinks_proportionally(self):
+        scaled = CAIDA.scaled(0.1)
+        assert scaled.packets == 247_272
+        assert scaled.flows == 10_964
+
+    def test_tpcds_keeps_flow_count(self):
+        scaled = TPCDS.scaled(0.1)
+        assert scaled.flows == 1_834
+        assert scaled.packets == 490_387
+
+    def test_scale_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CAIDA.scaled(0)
+        with pytest.raises(ConfigurationError):
+            CAIDA.scaled(1.5)
+
+    def test_get_spec_name_normalization(self):
+        assert get_spec("CAIDA") is CAIDA
+        assert get_spec("tpc-ds") is TPCDS
+        assert get_spec("TPC_DS") is TPCDS
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_spec("netflix")
+
+
+class TestTraceGenerators:
+    @pytest.mark.parametrize(
+        "generator,spec",
+        [(caida_like, CAIDA), (mawi_like, MAWI), (tpcds_like, TPCDS)],
+    )
+    def test_matches_scaled_table2(self, generator, spec):
+        scale = 0.005
+        trace = generator(scale=scale, seed=0)
+        stats = table2_statistics(trace)
+        expected = spec.scaled(scale)
+        assert stats["packets"] == expected.packets
+        assert stats["flows"] == expected.flows
+        assert stats["cardinality"] == stats["flows"]
+
+    def test_load_trace_dispatch(self):
+        assert load_trace("caida", scale=0.002, seed=1) == caida_like(
+            scale=0.002, seed=1
+        )
+
+    def test_deterministic_per_seed(self):
+        assert caida_like(0.002, seed=5) == caida_like(0.002, seed=5)
+        assert caida_like(0.002, seed=5) != caida_like(0.002, seed=6)
+
+
+class TestSplits:
+    def test_halves(self):
+        first, second = halves(list(range(10)))
+        assert first == list(range(5))
+        assert second == list(range(5, 10))
+
+    def test_overlap_thirds_share_middle(self):
+        trace = list(range(9))
+        left, right = overlap_thirds(trace)
+        assert left == list(range(6))
+        assert right == list(range(3, 9))
+
+    def test_inclusion_split_is_nested(self):
+        trace = list(range(10))
+        whole, half = inclusion_split(trace)
+        assert whole == trace
+        assert half == trace[:5]
+
+    def test_correlated_pair_shares_key_universe(self):
+        left, right = correlated_pair("caida", scale=0.002, seed=0)
+        overlap = len(set(left) & set(right)) / len(set(left))
+        assert overlap > 0.95
+        assert len(left) == len(right)

@@ -1,0 +1,82 @@
+"""Unit tests for the Zipf multiset generator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.zipf import generate_keys, zipf_probabilities, zipf_trace
+
+
+class TestZipfProbabilities:
+    def test_normalized(self):
+        probs = zipf_probabilities(100, 1.1)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, 1.0)
+        assert all(probs[i] >= probs[i + 1] for i in range(49))
+
+    def test_zero_skew_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestGenerateKeys:
+    def test_distinct_and_positive(self):
+        keys = generate_keys(1000, seed=1)
+        assert len(set(int(k) for k in keys)) == 1000
+        assert all(1 <= int(k) < 2**32 for k in keys)
+
+    def test_deterministic(self):
+        assert list(generate_keys(50, seed=2)) == list(generate_keys(50, seed=2))
+
+    def test_different_seeds_differ(self):
+        assert list(generate_keys(50, seed=1)) != list(generate_keys(50, seed=2))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            generate_keys(0, seed=1)
+
+
+class TestZipfTrace:
+    def test_exact_statistics(self):
+        trace = zipf_trace(num_packets=5000, num_flows=700, skew=1.0, seed=3)
+        assert len(trace) == 5000
+        assert len(set(trace)) == 700
+
+    def test_every_flow_present(self):
+        trace = zipf_trace(num_packets=1000, num_flows=1000, skew=1.5, seed=4)
+        assert len(set(trace)) == 1000
+
+    def test_skew_produces_heavy_head(self):
+        trace = zipf_trace(num_packets=20000, num_flows=500, skew=1.2, seed=5)
+        from collections import Counter
+
+        counts = sorted(Counter(trace).values(), reverse=True)
+        top10_share = sum(counts[:10]) / len(trace)
+        assert top10_share > 0.3
+
+    def test_deterministic(self):
+        a = zipf_trace(1000, 100, 1.0, seed=6)
+        b = zipf_trace(1000, 100, 1.0, seed=6)
+        assert a == b
+
+    def test_custom_keys(self):
+        keys = generate_keys(10, seed=7)
+        trace = zipf_trace(100, 10, 1.0, seed=7, keys=keys)
+        assert set(trace) == {int(k) for k in keys}
+
+    def test_packets_fewer_than_flows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_trace(num_packets=5, num_flows=10, skew=1.0)
+
+    def test_key_length_mismatch_rejected(self):
+        keys = generate_keys(5, seed=1)
+        with pytest.raises(ConfigurationError):
+            zipf_trace(100, 10, 1.0, keys=keys)
