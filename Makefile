@@ -1,0 +1,24 @@
+# The local gate — identical commands to .github/workflows/ci.yml and
+# .pre-commit-config.yaml, so "make check" reproduces CI exactly.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint typecheck sketchlint test test-debug check
+
+lint:
+	ruff check src tools
+
+typecheck:
+	mypy
+
+sketchlint:
+	$(PYTHON) -m tools.sketchlint src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-debug:
+	REPRO_DEBUG_INVARIANTS=1 $(PYTHON) -m pytest tests/core tests/analysis -q
+
+check: lint typecheck sketchlint test

@@ -4,6 +4,7 @@ from repro.common.errors import (
     ConfigurationError,
     DecodeError,
     IncompatibleSketchError,
+    InvariantViolation,
     ReproError,
 )
 from repro.common.hashing import (
@@ -13,6 +14,7 @@ from repro.common.hashing import (
     hash64,
     key_to_int,
     mix64,
+    resolve_rng,
     spread_seeds,
 )
 from repro.common.primes import (
@@ -29,6 +31,7 @@ __all__ = [
     "ConfigurationError",
     "DecodeError",
     "IncompatibleSketchError",
+    "InvariantViolation",
     "ReproError",
     "HashFamily",
     "SignFamily",
@@ -36,6 +39,7 @@ __all__ = [
     "hash64",
     "key_to_int",
     "mix64",
+    "resolve_rng",
     "spread_seeds",
     "DEFAULT_PRIME",
     "SMALL_PRIME",

@@ -7,6 +7,8 @@ being able to distinguish configuration mistakes from runtime decode issues.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -27,11 +29,35 @@ class DecodeError(ReproError, RuntimeError):
     Carries the partially decoded content so callers that can tolerate
     partial results (e.g. the frequency-distribution estimator) may still
     use it.
+
+    Attributes
+    ----------
+    partial:
+        The elements recovered before the peel stalled, as
+        ``{element ID: signed count}`` — element IDs are canonical integer
+        keys in the sketch's decodable domain, counts are the signed
+        per-element totals (negative entries are possible for difference
+        sketches).  Always a ``dict``: callers may iterate it without a
+        ``None`` check; an empty dict means nothing was recoverable.
     """
 
-    def __init__(self, message: str, partial: dict | None = None) -> None:
+    def __init__(
+        self, message: str, partial: Optional[Dict[int, int]] = None
+    ) -> None:
         super().__init__(message)
-        self.partial: dict = partial if partial is not None else {}
+        self.partial: Dict[int, int] = partial if partial is not None else {}
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A debug-mode structural invariant failed inside a sketch.
+
+    Only raised when the opt-in sanitizer is active (set
+    ``REPRO_DEBUG_INVARIANTS=1`` — see :mod:`repro.common.invariants`).
+    Production runs never pay for, nor see, these checks.  Deriving from
+    :class:`AssertionError` keeps the semantics of the asserts these checks
+    replace, while the :class:`ReproError` base keeps the package's
+    single-catch contract.
+    """
 
 
 class IncompatibleSketchError(ReproError, ValueError):

@@ -18,7 +18,8 @@ Three callables cover every need in the package:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import random
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.common.errors import ConfigurationError
 
@@ -48,7 +49,7 @@ def hash64(key: int, seed: int = 0) -> int:
     return mix64((key & _MASK64) ^ mix64(seed * _GAMMA + _GAMMA))
 
 
-def key_to_int(key) -> int:
+def key_to_int(key: object) -> int:
     """Canonicalize a sketch key to a non-negative integer.
 
     Integers pass through (taken modulo 2^64 so negative IDs behave);
@@ -85,7 +86,9 @@ class HashFamily:
 
     __slots__ = ("rows", "widths", "_seeds", "_premixed")
 
-    def __init__(self, rows: int, width, seed: int = 1) -> None:
+    def __init__(
+        self, rows: int, width: Union[int, Sequence[int]], seed: int = 1
+    ) -> None:
         if rows <= 0:
             raise ConfigurationError("hash family needs at least one row")
         if isinstance(width, int):
@@ -161,3 +164,22 @@ def spread_seeds(seed: int, count: int) -> List[int]:
     functions.
     """
     return [hash64(i + 1, seed ^ 0x5EED5EED) for i in range(count)]
+
+
+def resolve_rng(seed: int, rng: Optional[random.Random] = None) -> random.Random:
+    """The package's one RNG-injection point (sketchlint rule SK002).
+
+    Randomized sketches (Coco's probabilistic replacement, HeavyKeeper's
+    exponential decay) accept an optional injected generator for tests and
+    otherwise derive a private :class:`random.Random` from their own seed.
+    Centralizing the idiom guarantees that
+
+    * no sketch ever touches the *global* ``random`` module state (runs
+      stay reproducible regardless of import order or other libraries), and
+    * the fallback generator is always explicitly seeded, with the seed
+      mixed through :func:`mix64` so that sketches constructed with
+      adjacent seeds do not produce correlated draw sequences.
+    """
+    if rng is not None:
+        return rng
+    return random.Random(mix64(seed))

@@ -7,19 +7,19 @@ uniform.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.common.errors import ConfigurationError
 
 
-def require_positive(name: str, value) -> int:
+def require_positive(name: str, value: object) -> int:
     """Return ``value`` if it is a positive int, else raise."""
     if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
         raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
     return value
 
 
-def require_non_negative(name: str, value) -> int:
+def require_non_negative(name: str, value: object) -> int:
     """Return ``value`` if it is a non-negative int, else raise."""
     if not isinstance(value, int) or isinstance(value, bool) or value < 0:
         raise ConfigurationError(
@@ -28,7 +28,9 @@ def require_non_negative(name: str, value) -> int:
     return value
 
 
-def require_fraction(name: str, value, *, inclusive: bool = False) -> float:
+def require_fraction(
+    name: str, value: "Union[int, float, str]", *, inclusive: bool = False
+) -> float:
     """Return ``value`` if it lies in (0, 1) — or [0, 1] when inclusive."""
     try:
         value = float(value)
@@ -52,7 +54,7 @@ def require_memory_budget(name: str, budget_bytes: int, needed_bytes: int) -> No
         )
 
 
-def check_same_type(left, right) -> None:
+def check_same_type(left: object, right: object) -> None:
     """Mergeable sketches must be the exact same class."""
     if type(left) is not type(right):
         raise ConfigurationError(

@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Mapping, Tuple
 
+from repro.common.errors import ConfigurationError
 from repro.core.davinci import DaVinciSketch
 
 
@@ -44,7 +45,7 @@ def l1_norm(frequencies: Iterable[int]) -> float:
 def basic_structure_variance(frequencies: Iterable[int], width: int) -> float:
     """Lemma 2: Var[f̂] = ‖F‖₂² / R for one signed counter array."""
     if width <= 0:
-        raise ValueError("width must be positive")
+        raise ConfigurationError("width must be positive")
     return l2_norm(frequencies) ** 2 / width
 
 
@@ -53,7 +54,7 @@ def frequency_error_bound(
 ) -> float:
     """Lemma 3: the error threshold √(k/R)·‖F‖₂ exceeded w.p. < 1/k."""
     if k <= 0:
-        raise ValueError("k must be positive")
+        raise ConfigurationError("k must be positive")
     return math.sqrt(k / width) * l2_norm(frequencies)
 
 

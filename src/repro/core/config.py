@@ -186,6 +186,6 @@ class DaVinciConfig:
         )
 
     @classmethod
-    def from_memory_kb(cls, memory_kb: float, **kwargs) -> "DaVinciConfig":
+    def from_memory_kb(cls, memory_kb: float, **kwargs: object) -> "DaVinciConfig":
         """Convenience wrapper: budget expressed in kilobytes."""
         return cls.from_memory(memory_kb * 1024.0, **kwargs)

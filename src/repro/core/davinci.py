@@ -31,9 +31,10 @@ A sketch is in one of three *query modes*:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.common.errors import IncompatibleSketchError
+from repro.common import invariants as _inv
+from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.core.config import DaVinciConfig
 from repro.core.element_filter import ElementFilter
 from repro.core.frequent_part import FrequentPart
@@ -85,7 +86,7 @@ class DaVinciSketch(Sketch):
     # ------------------------------------------------------------------ #
     # key canonicalization
     # ------------------------------------------------------------------ #
-    def canonical_key(self, key) -> int:
+    def canonical_key(self, key: object) -> int:
         """Map any key into the sketch's decodable domain.
 
         Integer keys already in ``[1, 2^32)`` pass through unchanged.
@@ -105,9 +106,16 @@ class DaVinciSketch(Sketch):
     # ------------------------------------------------------------------ #
     # insertion
     # ------------------------------------------------------------------ #
-    def insert(self, key, count: int = 1) -> None:
+    def insert(self, key: object, count: int = 1) -> None:
         """Record ``count`` occurrences of ``key`` (Algorithms 1 + 2)."""
         key = self.canonical_key(key)
+        if _inv.ENABLED:
+            _inv.check_counter_int(count, "DaVinciSketch.insert count")
+            _inv.check(
+                self.mode == MODE_STANDARD,
+                "DaVinciSketch.insert: only standard-mode sketches accept "
+                "insertions (merged/signed sketches are read-only)",
+            )
         self.insertions += 1
         self.total_count += count
         self._decode_cache = None
@@ -159,7 +167,7 @@ class DaVinciSketch(Sketch):
     # ------------------------------------------------------------------ #
     # frequency query (Algorithm 4)
     # ------------------------------------------------------------------ #
-    def query(self, key) -> int:
+    def query(self, key: object) -> int:
         """Estimated (signed, for difference sketches) frequency of ``key``."""
         key = self.canonical_key(key)
         if self.mode == MODE_SIGNED:
@@ -217,7 +225,7 @@ class DaVinciSketch(Sketch):
 
         return heavy_hitters(self, threshold)
 
-    def top_k(self, k: int) -> list:
+    def top_k(self, k: int) -> List[Tuple[int, int]]:
         """The ``k`` elements with the largest estimated |frequency|.
 
         The second heavy-hitter formulation of the paper's Table I
@@ -225,7 +233,7 @@ class DaVinciSketch(Sketch):
         ranked by their full Algorithm-4 estimates.
         """
         if k <= 0:
-            raise ValueError("k must be positive")
+            raise ConfigurationError("k must be positive")
         ranked = sorted(
             self.known_keys().items(), key=lambda kv: (-abs(kv[1]), kv[0])
         )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.common import invariants as _inv
 from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily
 from repro.common.validation import require_positive
@@ -72,6 +73,10 @@ class ElementFilter:
             if value >= cap:
                 continue  # saturated counters stay saturated
             counters[j] = min(value + count, cap)
+            if _inv.ENABLED:
+                _inv.check_saturation(
+                    counters[j], cap, "ElementFilter.add level counter"
+                )
 
     def query(self, key: int) -> int:
         """Minimum over unsaturated mapped counters (saturated => +inf).
@@ -140,7 +145,22 @@ class ElementFilter:
             if counters[j] >= cap:
                 continue
             counters[j] = min(counters[j] + absorbed, cap)
-        return count - absorbed
+            if _inv.ENABLED:
+                _inv.check_saturation(
+                    counters[j], cap, "ElementFilter.offer level counter"
+                )
+        overflow = count - absorbed
+        if _inv.ENABLED:
+            _inv.check_bounded(
+                overflow, 0, count, "ElementFilter.offer overflow"
+            )
+            _inv.check_bounded(
+                current + absorbed,
+                0,
+                self.threshold,
+                "ElementFilter.offer retained mass (first-T invariant)",
+            )
+        return overflow
 
     def is_promoted(self, key: int) -> bool:
         """Whether the filter estimate says ``key`` crossed the threshold."""

@@ -16,8 +16,9 @@ isolation and lets the set operations reuse the same bucket mechanics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.common import invariants as _inv
 from repro.common.errors import IncompatibleSketchError
 from repro.common.hashing import hash64
 from repro.common.validation import require_positive
@@ -58,21 +59,21 @@ class Bucket:
     __slots__ = ("entries", "ecnt", "flag")
 
     def __init__(self) -> None:
-        #: list of [key, count, flag] triples, at most ``c`` of them
-        self.entries: List[list] = []
+        #: list of ``[key, count, flag]`` triples, at most ``c`` of them
+        self.entries: List[List[Any]] = []
         #: evictions attempted against this bucket since the last eviction
         self.ecnt: int = 0
         #: True once any entry was evicted from this bucket
         self.flag: bool = False
 
-    def find(self, key: int) -> Optional[list]:
+    def find(self, key: int) -> Optional[List[Any]]:
         """The entry holding ``key``, or None."""
         for entry in self.entries:
             if entry[0] == key:
                 return entry
         return None
 
-    def min_entry(self) -> list:
+    def min_entry(self) -> List[Any]:
         """The entry with the smallest count (eviction candidate)."""
         return min(self.entries, key=lambda entry: entry[1])
 
@@ -112,11 +113,18 @@ class FrequentPart:
         into the element filter, if any.  The caller is responsible for the
         AMA accounting and for actually routing the demoted pair.
         """
+        if _inv.ENABLED:
+            _inv.check_counter_int(count, "FrequentPart.insert count")
+            _inv.check(count >= 1, "FrequentPart.insert: count must be >= 1")
         bucket = self.buckets[self.bucket_index(key)]
 
         for position, entry in enumerate(bucket.entries):
             if entry[0] == key:  # case 1: already resident
                 entry[1] += count
+                if _inv.ENABLED:
+                    _inv.check_non_negative(
+                        entry[1], "FrequentPart entry count after case 1"
+                    )
                 return FPOutcome(case=1, accesses=position + 1)
 
         if len(bucket.entries) < self.entries_per_bucket:  # case 2: room
@@ -129,6 +137,11 @@ class FrequentPart:
         victim = bucket.min_entry()
         if bucket.ecnt > self.lambda_evict * victim[1]:  # case 3: evict
             demoted = (victim[0], victim[1])
+            if _inv.ENABLED:
+                _inv.check(
+                    demoted[1] >= 1,
+                    "FrequentPart case 3: demoted count must be >= 1",
+                )
             victim[0] = key
             victim[1] = count
             victim[2] = True  # the newcomer may have prior mass below

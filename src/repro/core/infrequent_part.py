@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.common import invariants as _inv
 from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily, SignFamily
 from repro.common.primes import DEFAULT_PRIME, mod_inverse, validate_prime
@@ -94,11 +95,20 @@ class InfrequentPart:
                 f"key {key} outside the decodable domain [1, {self.max_key}); "
                 "fingerprint longer keys first"
             )
+        if _inv.ENABLED:
+            _inv.check_counter_int(count, "InfrequentPart.insert count")
         p = self.prime
         for row in range(self.rows):
             j = self._hashes.index(row, key)
             self.ids[row][j] = (self.ids[row][j] + count * key) % p
             self.counts[row][j] += self._signs.sign(row, key) * count
+            if _inv.ENABLED:
+                _inv.check_field_element(
+                    self.ids[row][j], p, "InfrequentPart.insert iID"
+                )
+                _inv.check_counter_int(
+                    self.counts[row][j], "InfrequentPart.insert icnt"
+                )
 
     # ------------------------------------------------------------------ #
     # fast (non-inverting) query — Count-Sketch style
@@ -182,6 +192,13 @@ class InfrequentPart:
         finally:
             self.ids = snapshot_ids
             self.counts = snapshot_counts
+        if _inv.ENABLED and result.complete:
+            # A complete peel removed exactly what it reported: by field
+            # linearity the recovered counts must re-encode to the original
+            # arrays bucket-for-bucket (validator or not).
+            _inv.check_decode_roundtrip(
+                self, result.counts, "InfrequentPart.decode"
+            )
         if strict and not result.complete:
             from repro.common.errors import DecodeError
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from repro.common.errors import ConfigurationError
 from repro.core.tasks.cardinality import linear_counting_over
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,7 +51,7 @@ class CounterArrayEM:
 
     def __init__(self, iterations: int = 8, max_value: Optional[int] = None) -> None:
         if iterations < 1:
-            raise ValueError("iterations must be >= 1")
+            raise ConfigurationError("iterations must be >= 1")
         self.iterations = iterations
         self.max_value = max_value
 

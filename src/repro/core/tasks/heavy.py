@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
+from repro.common.errors import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.davinci import DaVinciSketch
 
@@ -25,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
 def heavy_hitters(sketch: "DaVinciSketch", threshold: int) -> Dict[int, int]:
     """Keys whose estimated |frequency| is at least ``threshold``."""
     if threshold <= 0:
-        raise ValueError("threshold must be positive")
+        raise ConfigurationError("threshold must be positive")
     return {
         key: estimate
         for key, estimate in sketch.known_keys().items()
@@ -43,7 +45,7 @@ def heavy_changers(
     ``f_a(key) − f_b(key)`` as estimated on the difference sketch.
     """
     if threshold <= 0:
-        raise ValueError("threshold must be positive")
+        raise ConfigurationError("threshold must be positive")
     delta = window_a.difference(window_b)
 
     candidates = set(delta.fp.as_dict())

@@ -20,7 +20,7 @@ is well-defined.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import DaVinciConfig
@@ -54,14 +54,14 @@ class WindowedDaVinci:
     # ------------------------------------------------------------------ #
     # stream side
     # ------------------------------------------------------------------ #
-    def insert(self, key, count: int = 1) -> None:
+    def insert(self, key: object, count: int = 1) -> None:
         """Feed the current window; rotate when it reaches window_size."""
         self.current.insert(key, count)
         self._in_current += 1
         if self._in_current >= self.window_size:
             self.rotate()
 
-    def insert_all(self, keys) -> None:
+    def insert_all(self, keys: Iterable[object]) -> None:
         for key in keys:
             self.insert(key)
 

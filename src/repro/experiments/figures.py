@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.common.errors import ConfigurationError
 from repro.experiments.harness import (
     DEFAULT_MEMORIES_KB,
     HEAVY_CHANGER_FRACTION,
@@ -404,7 +405,7 @@ def figure_difference(
     elif mode == "inclusion":
         left, right = inclusion_split(trace)
     else:
-        raise ValueError("mode must be 'overlap' or 'inclusion'")
+        raise ConfigurationError("mode must be 'overlap' or 'inclusion'")
     truth = gt.multiset_difference(gt.frequencies(left), gt.frequencies(right))
 
     def davinci(kb: float) -> float:

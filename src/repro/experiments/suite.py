@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.common.errors import ConfigurationError
 from repro.experiments.figures import (
     figure_cardinality,
     figure_difference,
@@ -98,7 +99,9 @@ def run_full_evaluation(
     selected = panels if panels is not None else FULL_PANEL_ORDER
     unknown = [name for name in selected if name not in runners]
     if unknown:
-        raise ValueError(f"unknown panels: {unknown}; choose from {FULL_PANEL_ORDER}")
+        raise ConfigurationError(
+            f"unknown panels: {unknown}; choose from {FULL_PANEL_ORDER}"
+        )
 
     results: Dict[str, SweepResult] = {}
     for name in selected:

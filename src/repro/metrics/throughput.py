@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List
 
+from repro.common.errors import ConfigurationError
+
 
 @dataclass(frozen=True)
 class ThroughputResult:
@@ -39,7 +41,7 @@ def measure_insert_throughput(
     """Time ``insert`` over ``trace`` (optionally repeated) with a
     monotonic high-resolution clock."""
     if repeats < 1:
-        raise ValueError("repeats must be >= 1")
+        raise ConfigurationError("repeats must be >= 1")
     start = time.perf_counter()
     for _ in range(repeats):
         for key in trace:

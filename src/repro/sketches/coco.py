@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from repro.common.hashing import hash64, spread_seeds
+from repro.common.hashing import hash64, resolve_rng, spread_seeds
 from repro.common.validation import require_positive
 from repro.sketches.base import HeavyHitterSketch, MemoryModel
 
@@ -36,7 +36,7 @@ class CocoSketch(HeavyHitterSketch):
             [None] * width for _ in range(rows)
         ]
         self.counts: List[List[int]] = [[0] * width for _ in range(rows)]
-        self._rng = rng if rng is not None else random.Random(seed ^ 0xC0C0)
+        self._rng = resolve_rng(seed ^ 0xC0C0, rng)
 
     @classmethod
     def from_memory(cls, memory_bytes: float, rows: int = 2, seed: int = 1):

@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Tuple
 
+from repro.common.errors import IncompatibleSketchError
 from repro.common.hashing import HashFamily, SignFamily
 from repro.common.validation import require_positive
 from repro.sketches.base import (
@@ -67,7 +68,9 @@ class CountSketch(InnerProductSketch):
             self.rows != other.rows
             or self.width != other.width
         ):
-            raise ValueError("inner products need identically shaped sketches")
+            raise IncompatibleSketchError(
+                "inner products need identically shaped sketches"
+            )
         dots = sorted(
             float(
                 sum(

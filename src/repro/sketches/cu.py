@@ -37,11 +37,17 @@ class CUSketch(FrequencySketch):
     def insert(self, key: int, count: int = 1) -> None:
         self.insertions += 1
         self.memory_accesses += self.rows
-        positions = [
-            (row, self._hashes.index(row, key)) for row in range(self.rows)
-        ]
-        target = min(self.counters[row][col] for row, col in positions) + count
-        for row, col in positions:
+        # Hot path: one shared hash pass, explicit min scan, no per-item
+        # comprehension allocation (SK005).
+        positions = self._hashes.indexes(key)
+        target = self.counters[0][positions[0]]
+        for row in range(1, self.rows):
+            value = self.counters[row][positions[row]]
+            if value < target:
+                target = value
+        target += count
+        for row in range(self.rows):
+            col = positions[row]
             if self.counters[row][col] < target:
                 self.counters[row][col] = target
 

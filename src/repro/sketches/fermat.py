@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import IncompatibleSketchError
+from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily
 from repro.common.primes import DEFAULT_PRIME, from_field_signed, mod_inverse, validate_prime
 from repro.common.validation import require_positive
@@ -72,7 +72,7 @@ class FermatSketch(InvertibleSketch):
         self.memory_accesses += self.rows
         self._decode_cache = None
         if not 1 <= key < self.max_key:
-            raise ValueError(
+            raise ConfigurationError(
                 f"key {key} outside the decodable domain [1, {self.max_key})"
             )
         p = self.prime

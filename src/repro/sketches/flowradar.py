@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List
 
-from repro.common.errors import IncompatibleSketchError
+from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily
 from repro.common.validation import require_positive
 from repro.sketches.base import InvertibleSketch
@@ -107,7 +107,7 @@ class FlowRadar(InvertibleSketch):
 
     def insert(self, key: int, count: int = 1) -> None:
         if key < 1:
-            raise ValueError("FlowRadar keys must be positive integers")
+            raise ConfigurationError("FlowRadar keys must be positive integers")
         self.insertions += 1
         self.memory_accesses += self._FILTER_HASHES
         self._decode_cache = None

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.hashing import fingerprint, hash64, spread_seeds
+from repro.common.hashing import fingerprint, hash64, resolve_rng, spread_seeds
 from repro.common.validation import require_positive
 from repro.sketches.base import HeavyHitterSketch, MemoryModel
 
@@ -55,7 +55,7 @@ class HeavyKeeper(HeavyHitterSketch):
         ]
         self.counts: List[List[int]] = [[0] * width for _ in range(rows)]
         self._candidates: Dict[int, int] = {}
-        self._rng = rng if rng is not None else random.Random(seed ^ 0x4B4B)
+        self._rng = resolve_rng(seed ^ 0x4B4B, rng)
 
     @classmethod
     def from_memory(

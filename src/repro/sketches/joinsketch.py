@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+from repro.common.errors import IncompatibleSketchError
 from repro.core.frequent_part import FrequentPart
 from repro.sketches.base import InnerProductSketch, MemoryModel
 from repro.sketches.count_sketch import CountSketch
@@ -99,7 +100,9 @@ class JoinSketch(InnerProductSketch):
 
     def inner_product(self, other: "JoinSketch") -> float:
         if self._config != other._config:
-            raise ValueError("join sketches must share a configuration")
+            raise IncompatibleSketchError(
+                "join sketches must share a configuration"
+            )
         heavy_a = self._heavy_keys()
         heavy_b = other._heavy_keys()
         keys: Set[int] = set(heavy_a) | set(heavy_b)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional
 
-from repro.common.errors import IncompatibleSketchError
+from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily, hash64
 from repro.common.validation import require_positive
 from repro.sketches.base import InvertibleSketch
@@ -59,7 +59,7 @@ class LossRadar(InvertibleSketch):
     # ------------------------------------------------------------------ #
     def insert(self, key: int, count: int = 1) -> None:
         if key < 1:
-            raise ValueError("LossRadar keys must be positive integers")
+            raise ConfigurationError("LossRadar keys must be positive integers")
         self.insertions += 1
         self.memory_accesses += self.num_hashes
         self._decode_cache = None

@@ -18,6 +18,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, Set, Tuple
 
+from repro.common.errors import IncompatibleSketchError
 from repro.sketches.base import InnerProductSketch
 from repro.sketches.count_sketch import CountHeap, CountSketch
 
@@ -87,7 +88,7 @@ class SkimmedSketch(InnerProductSketch):
             self._inner.sketch.rows != other._inner.sketch.rows
             or self._inner.sketch.width != other._inner.sketch.width
         ):
-            raise ValueError("skimmed sketches must share a shape")
+            raise IncompatibleSketchError("skimmed sketches must share a shape")
         heavy_a, resid_a = self._skim()
         heavy_b, resid_b = other._skim()
         keys: Set[int] = set(heavy_a) | set(heavy_b)

@@ -1,0 +1,19 @@
+"""SK001 fixture: unreduced arithmetic written into field-residue state.
+
+Never imported — parsed by tests/analysis/test_sk001_field_arithmetic.py.
+"""
+
+
+class BadFermat:
+    def __init__(self, rows, width, prime):
+        self.prime = prime
+        self.ids = [[0] * width for _ in range(rows)]
+
+    def encode(self, row, j, key, count):
+        # Both statements leave the residue unreduced: SK001 twice.
+        self.ids[row][j] = self.ids[row][j] + count * key
+        self.ids[row][j] += count * key
+
+    def negate(self, row, j):
+        # Unary minus is arithmetic too.
+        self.ids[row][j] = -self.ids[row][j]

@@ -1,0 +1,26 @@
+"""SK001 fixture: every field write reduced in the same statement."""
+
+
+def to_field(value, prime):
+    return value % prime
+
+
+class GoodFermat:
+    def __init__(self, rows, width, prime):
+        self.prime = prime
+        # Whole-array (re)bindings are structural, not element writes.
+        self.ids = [[0] * width for _ in range(rows)]
+
+    def encode(self, row, j, key, count):
+        p = self.prime
+        self.ids[row][j] = (self.ids[row][j] + count * key) % p
+
+    def renormalize(self, row, j):
+        self.ids[row][j] %= self.prime
+
+    def encode_via_helper(self, row, j, delta):
+        self.ids[row][j] = to_field(self.ids[row][j] + delta, self.prime)
+
+    def copy_is_not_arithmetic(self, row, j, value):
+        # A plain (non-arithmetic) store needs no reduction.
+        self.ids[row][j] = value

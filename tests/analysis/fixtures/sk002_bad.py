@@ -1,0 +1,27 @@
+"""SK002 fixture: global-state randomness in library-style code."""
+
+import random
+
+import numpy as np
+from random import randint
+
+
+def jitter():
+    return random.random()
+
+
+def shuffled(items):
+    random.shuffle(items)
+    return items
+
+
+def make_rng():
+    return random.Random()
+
+
+def numpy_draw():
+    return np.random.rand(3)
+
+
+def pick(limit):
+    return randint(0, limit)

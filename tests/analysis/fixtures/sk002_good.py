@@ -1,0 +1,22 @@
+"""SK002 fixture: seeded, injected randomness only."""
+
+import random
+
+
+def make_rng(seed, rng=None):
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+class Sampler:
+    def __init__(self, seed, rng=None):
+        self._rng = rng if rng is not None else random.Random(seed ^ 0x51)
+
+    def draw(self):
+        # Drawing from an injected instance is fine — the receiver is not
+        # the ``random`` module.
+        return self._rng.random()
+
+    def pick(self, items):
+        return self._rng.choice(items)

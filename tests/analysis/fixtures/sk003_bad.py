@@ -1,0 +1,19 @@
+"""SK003 fixture: foreign raises, bare except, assert."""
+
+
+def checked(value):
+    assert value > 0, "value must be positive"
+    return value
+
+
+def load(mapping, key):
+    try:
+        return mapping[key]
+    except:  # noqa: E722
+        return None
+
+
+def validate(width):
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return width

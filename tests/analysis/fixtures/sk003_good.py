@@ -1,0 +1,41 @@
+"""SK003 fixture: ReproError-family raises only, concrete excepts."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class ShapeError(ReproError):
+    # A local subclass of an allowed exception is itself allowed
+    # (resolved transitively by the rule).
+    pass
+
+
+class DeepShapeError(ShapeError):
+    pass
+
+
+def validate(width):
+    if width <= 0:
+        raise ShapeError("width must be positive")
+    return width
+
+
+def validate_deep(width):
+    if width <= 0:
+        raise DeepShapeError("width must be positive")
+    return width
+
+
+def reraise(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        raise ShapeError(f"missing key {key!r}") from None
+
+
+def passthrough(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        raise  # bare re-raise is fine

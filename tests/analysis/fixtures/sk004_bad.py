@@ -1,0 +1,30 @@
+"""SK004 fixture: merge-family methods touching counters unchecked."""
+
+
+class IncompatibleSketchError(ValueError):
+    pass
+
+
+class BadSketch:
+    def __init__(self, width):
+        self.width = width
+        self.counters = [0] * width
+
+    def merged(self, other):
+        # No compatibility evidence anywhere: SK004.
+        result = BadSketch(self.width)
+        for j in range(self.width):
+            result.counters[j] = self.counters[j] + other.counters[j]
+        return result
+
+    def subtracted(self, other):
+        # Check exists but only after the counters were written: SK004.
+        result = BadSketch(self.width)
+        for j in range(self.width):
+            result.counters[j] = self.counters[j] - other.counters[j]
+        self.check_compatible(other)
+        return result
+
+    def check_compatible(self, other):
+        if self.width != other.width:
+            raise IncompatibleSketchError("width mismatch")

@@ -1,0 +1,40 @@
+"""SK004 fixture: compatibility established before any counter write."""
+
+
+class IncompatibleSketchError(ValueError):
+    pass
+
+
+class GoodSketch:
+    def __init__(self, width):
+        self.width = width
+        self.counters = [0] * width
+
+    def check_compatible(self, other):
+        if self.width != other.width:
+            raise IncompatibleSketchError("width mismatch")
+
+    def merged(self, other):
+        self.check_compatible(other)
+        result = GoodSketch(self.width)
+        for j in range(self.width):
+            result.counters[j] = self.counters[j] + other.counters[j]
+        return result
+
+    def subtracted(self, other):
+        # Inline-raise style counts as evidence too.
+        if self.width != other.width:
+            raise IncompatibleSketchError("width mismatch")
+        result = GoodSketch(self.width)
+        for j in range(self.width):
+            result.counters[j] = self.counters[j] - other.counters[j]
+        return result
+
+
+class Wrapper:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def union_with(self, other):
+        # Pure delegation writes no counters; safety is the delegate's job.
+        return Wrapper(self.inner.merged(other.inner))

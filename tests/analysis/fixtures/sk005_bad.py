@@ -1,0 +1,14 @@
+"""SK005 fixture: allocation, handlers and floats in the per-item path."""
+
+
+class BadCounter:
+    def __init__(self, width):
+        self.slots = [0] * width
+
+    def insert(self, key, count=1):
+        try:
+            positions = [hash(key) % len(self.slots) for _ in range(2)]
+        except TypeError:
+            return
+        for j in positions:
+            self.slots[j] += int(count * 1.5)

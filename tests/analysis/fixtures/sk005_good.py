@@ -1,0 +1,25 @@
+"""SK005 fixture: a clean per-item hot path."""
+
+#: float constants belong at module level, not in the hot path
+DECAY_BASE = 1.08
+
+
+class GoodCounter:
+    def __init__(self, width):
+        # Comprehensions at construction time are fine.
+        self.slots = [0 for _ in range(width)]
+
+    def insert(self, key, count=1):
+        j = hash(key) % len(self.slots)
+        self.slots[j] += count
+
+    def insert_all(self, keys):
+        # Batch helpers are out of scope; they may amortize allocations.
+        sizes = [1 for _ in keys]
+        for key, size in zip(keys, sizes):
+            self.insert(key, size)
+
+
+def insert(table, key):
+    # Module-level functions named ``insert`` are not hot-path methods.
+    table[key] = [key for _ in range(1)]

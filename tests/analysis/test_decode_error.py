@@ -1,0 +1,55 @@
+"""DecodeError.partial: typed, documented, and round-trippable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DecodeError, ReproError
+from repro.core.infrequent_part import InfrequentPart
+
+
+def _stalling_ifp() -> InfrequentPart:
+    """A tiny IFP overloaded until peeling provably stalls."""
+    ifp = InfrequentPart(rows=2, width=2, seed=9)
+    key = 1
+    while ifp.decode().complete:
+        ifp.insert(key, 1)
+        key += 1
+        assert key < 200, "could not construct a stalling decode"
+    return ifp
+
+
+def test_default_partial_is_an_empty_dict():
+    error = DecodeError("nothing recovered")
+    assert error.partial == {}
+    assert isinstance(error.partial, dict)
+
+
+def test_strict_decode_raises_with_typed_partial():
+    ifp = _stalling_ifp()
+    with pytest.raises(DecodeError) as excinfo:
+        ifp.decode(strict=True)
+    partial = excinfo.value.partial
+    assert isinstance(partial, dict)
+    for key, count in partial.items():
+        assert isinstance(key, int) and not isinstance(key, bool)
+        assert 1 <= key < ifp.max_key  # element IDs live in the key domain
+        assert isinstance(count, int) and count != 0  # signed counts
+
+
+def test_partial_matches_the_non_strict_decode():
+    ifp = _stalling_ifp()
+    relaxed = ifp.decode(strict=False).counts
+    with pytest.raises(DecodeError) as excinfo:
+        ifp.decode(strict=True)
+    assert excinfo.value.partial == relaxed
+
+
+def test_raise_catch_roundtrip_preserves_partial():
+    payload = {3: 7, 12: -2}
+    try:
+        raise DecodeError("2 buckets undecodable", partial=payload)
+    except ReproError as caught:  # the package-wide catch contract
+        assert isinstance(caught, DecodeError)
+        assert caught.partial == {3: 7, 12: -2}
+        assert "undecodable" in str(caught)

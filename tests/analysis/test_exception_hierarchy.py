@@ -1,0 +1,62 @@
+"""Every raise site in repro.core uses the package exception hierarchy.
+
+The dynamic counterpart of sketchlint's SK003: instead of trusting the
+name-based static rule, resolve each raised class against
+``repro.common.errors`` and verify it is a genuine ``ReproError`` subclass
+(and keeps its stdlib compatibility base where documented).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.common import errors
+
+import repro.core
+
+CORE_DIR = Path(repro.core.__file__).parent
+CORE_FILES = sorted(CORE_DIR.rglob("*.py"))
+
+
+def _raised_class_names(tree: ast.AST):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            yield node.lineno, exc.func.id
+        elif isinstance(exc, ast.Name) and exc.id[:1].isupper():
+            yield node.lineno, exc.id
+
+
+@pytest.mark.parametrize("path", CORE_FILES, ids=lambda p: p.name)
+def test_public_raises_are_repro_errors(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for lineno, name in _raised_class_names(tree):
+        exc_class = getattr(errors, name, None)
+        assert exc_class is not None, (
+            f"{path.name}:{lineno} raises {name}, which is not part of "
+            "repro.common.errors"
+        )
+        assert issubclass(exc_class, errors.ReproError), (
+            f"{path.name}:{lineno} raises {name}, which does not derive "
+            "from ReproError"
+        )
+
+
+def test_hierarchy_keeps_stdlib_compatibility_bases():
+    # Callers that predate the hierarchy may still catch the stdlib bases.
+    assert issubclass(errors.ConfigurationError, ValueError)
+    assert issubclass(errors.IncompatibleSketchError, ValueError)
+    assert issubclass(errors.DecodeError, RuntimeError)
+    assert issubclass(errors.InvariantViolation, AssertionError)
+    for name in (
+        "ConfigurationError",
+        "DecodeError",
+        "IncompatibleSketchError",
+        "InvariantViolation",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)

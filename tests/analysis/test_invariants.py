@@ -1,0 +1,160 @@
+"""The runtime debug-invariant sanitizer (repro.common.invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import invariants as inv
+from repro.common.errors import InvariantViolation, ReproError
+from repro.core import DaVinciSketch
+from repro.core.element_filter import ElementFilter
+from repro.core.infrequent_part import InfrequentPart
+
+
+# --------------------------------------------------------------------- #
+# switch mechanics
+# --------------------------------------------------------------------- #
+def test_disabled_by_default(monkeypatch):
+    # the module-level default tracks the env var; with the variable unset
+    # (the production configuration) a refresh() lands on "off"
+    monkeypatch.delenv(inv.ENV_VAR, raising=False)
+    previous = inv.ENABLED
+    try:
+        assert inv.refresh() is False
+        assert inv.ENABLED is False
+    finally:
+        inv.set_enabled(previous)
+
+
+def test_set_enabled_returns_previous_state():
+    previous = inv.set_enabled(False)
+    try:
+        assert inv.set_enabled(True) is False
+        assert inv.ENABLED is True
+        assert inv.set_enabled(False) is True
+    finally:
+        inv.set_enabled(previous)
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [("1", True), ("true", True), ("yes", True), ("0", False), ("", False), ("false", False)],
+)
+def test_refresh_parses_the_environment_variable(monkeypatch, value, expected):
+    monkeypatch.setenv(inv.ENV_VAR, value)
+    try:
+        assert inv.refresh() is expected
+    finally:
+        monkeypatch.delenv(inv.ENV_VAR, raising=False)
+        inv.refresh()
+    assert inv.ENABLED is False
+
+
+def test_guards_are_skipped_entirely_when_disabled(small_config, monkeypatch):
+    assert inv.ENABLED is False
+
+    def boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("guard helper ran while the sanitizer was off")
+
+    monkeypatch.setattr(inv, "check_counter_int", boom)
+    monkeypatch.setattr(inv, "check_saturation", boom)
+    sketch = DaVinciSketch(small_config)
+    for key in range(1, 200):
+        sketch.insert(key % 17 + 1)
+    assert sketch.total_count == 199
+
+
+# --------------------------------------------------------------------- #
+# the check helpers
+# --------------------------------------------------------------------- #
+def test_check_raises_into_the_package_hierarchy():
+    with pytest.raises(InvariantViolation) as excinfo:
+        inv.check(False, "the message")
+    assert "the message" in str(excinfo.value)
+    assert isinstance(excinfo.value, ReproError)
+    assert isinstance(excinfo.value, AssertionError)
+    inv.check(True, "never raised")
+
+
+def test_check_field_element_bounds():
+    inv.check_field_element(0, 7, "t")
+    inv.check_field_element(6, 7, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_field_element(7, 7, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_field_element(-1, 7, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_field_element(2.0, 7, "t")  # floats are contamination
+
+
+def test_check_counter_int_rejects_floats_and_bools():
+    inv.check_counter_int(-3, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_counter_int(1.0, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_counter_int(True, "t")
+
+
+def test_range_helpers():
+    inv.check_non_negative(0, "t")
+    inv.check_bounded(5, 0, 10, "t")
+    inv.check_saturation(15, 15, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_non_negative(-1, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_bounded(11, 0, 10, "t")
+    with pytest.raises(InvariantViolation):
+        inv.check_saturation(16, 15, "t")
+
+
+# --------------------------------------------------------------------- #
+# wired guards, armed
+# --------------------------------------------------------------------- #
+def test_full_insert_path_passes_under_the_sanitizer(small_config, invariants_on):
+    sketch = DaVinciSketch(small_config)
+    for key in range(1, 500):
+        sketch.insert(key % 61 + 1)
+    assert sketch.query(1) >= 0
+    assert sketch.cardinality() > 0
+
+
+def test_insert_into_merged_sketch_is_rejected(small_config, invariants_on):
+    left = DaVinciSketch(small_config)
+    right = DaVinciSketch(small_config)
+    left.insert(1)
+    right.insert(2)
+    merged = left.union(right)
+    with pytest.raises(InvariantViolation, match="read-only"):
+        merged.insert(3)
+
+
+def test_non_integer_count_is_rejected(small_config, invariants_on):
+    sketch = DaVinciSketch(small_config)
+    with pytest.raises(InvariantViolation):
+        sketch.insert(1, count=2.5)
+
+
+def test_element_filter_offer_invariants_hold(invariants_on):
+    ef = ElementFilter(level_widths=(32, 8), level_bits=(4, 8), threshold=10, seed=3)
+    for key in range(1, 100):
+        overflow = ef.offer(key % 7 + 1, 3)
+        assert 0 <= overflow <= 3
+
+
+def test_decode_roundtrip_check_passes_on_honest_decode(invariants_on):
+    ifp = InfrequentPart(rows=3, width=64, seed=5)
+    for key in range(1, 9):
+        ifp.insert(key, key * 3)
+    result = ifp.decode()
+    assert result.complete  # light load: everything peels...
+    assert result.counts == {key: key * 3 for key in range(1, 9)}
+
+
+def test_decode_roundtrip_check_catches_mismatches(invariants_on):
+    ifp = InfrequentPart(rows=2, width=16, seed=5)
+    ifp.insert(5, 4)
+    inv.check_decode_roundtrip(ifp, {5: 4}, "t")  # honest: passes
+    with pytest.raises(InvariantViolation, match="re-encode"):
+        inv.check_decode_roundtrip(ifp, {5: 3}, "t")  # wrong count
+    with pytest.raises(InvariantViolation, match="re-encode"):
+        inv.check_decode_roundtrip(ifp, {6: 4}, "t")  # phantom key

@@ -1,0 +1,39 @@
+"""SK001 — field-arithmetic hygiene, against the fixture corpus."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture
+from tools.sketchlint.rules.sk001_field_arithmetic import FieldArithmeticRule
+
+
+def test_bad_fixture_flags_every_unreduced_write():
+    violations = lint_fixture("sk001_bad.py", FieldArithmeticRule())
+    assert len(violations) == 3
+    assert all(v.code == "SK001" for v in violations)
+    # One of them is specifically the augmented-assignment form.
+    assert any("augmented" in v.message for v in violations)
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("sk001_good.py", FieldArithmeticRule()) == []
+
+
+def test_whole_array_binding_is_exempt():
+    from tools.sketchlint.engine import lint_source
+
+    source = "self = object()\nself.ids = [[0] * 4 for _ in range(2)]\n"
+    assert lint_source(source, rules=[FieldArithmeticRule()]) == []
+
+
+def test_non_field_names_are_ignored():
+    from tools.sketchlint.engine import lint_source
+
+    source = "counters[j] = counters[j] + 1\n"
+    assert lint_source(source, rules=[FieldArithmeticRule()]) == []
+
+
+def test_modulo_augmented_assignment_is_a_reduction():
+    from tools.sketchlint.engine import lint_source
+
+    source = "ids[j] %= p\n"
+    assert lint_source(source, rules=[FieldArithmeticRule()]) == []

@@ -1,0 +1,43 @@
+"""SK002 — injected-rng discipline, against the fixture corpus."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture
+from tools.sketchlint.rules.sk002_rng import InjectedRngRule
+
+
+def test_bad_fixture_flags_all_global_state_uses():
+    violations = lint_fixture("sk002_bad.py", InjectedRngRule())
+    assert len(violations) == 5
+    messages = "\n".join(v.message for v in violations)
+    assert "random.random()" in messages  # module-level draw
+    assert "random.shuffle()" in messages  # mutating draw
+    assert "without a seed" in messages  # unseeded constructor
+    assert "np.random.rand()" in messages  # numpy global state
+    assert "random.randint" in messages  # from-import smuggling
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("sk002_good.py", InjectedRngRule()) == []
+
+
+def test_seeded_constructor_allowed():
+    from tools.sketchlint.engine import lint_source
+
+    source = "import random\nrng = random.Random(42)\n"
+    assert lint_source(source, rules=[InjectedRngRule()]) == []
+
+
+def test_numpy_default_rng_seeded_allowed():
+    from tools.sketchlint.engine import lint_source
+
+    source = "import numpy as np\nrng = np.random.default_rng(7)\n"
+    assert lint_source(source, rules=[InjectedRngRule()]) == []
+
+
+def test_aliased_import_still_tracked():
+    from tools.sketchlint.engine import lint_source
+
+    source = "import random as rnd\nx = rnd.random()\n"
+    violations = lint_source(source, rules=[InjectedRngRule()])
+    assert [v.code for v in violations] == ["SK002"]

@@ -1,0 +1,48 @@
+"""SK003 — exception discipline, against the fixture corpus."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture
+from tools.sketchlint.rules.sk003_exceptions import ExceptionDisciplineRule
+
+
+def test_bad_fixture_flags_assert_bare_except_and_foreign_raise():
+    violations = lint_fixture("sk003_bad.py", ExceptionDisciplineRule())
+    assert len(violations) == 3
+    messages = "\n".join(v.message for v in violations)
+    assert "assert" in messages
+    assert "bare 'except:'" in messages
+    assert "ValueError" in messages
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("sk003_good.py", ExceptionDisciplineRule()) == []
+
+
+def test_local_subclass_resolution_is_transitive():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "class A(ReproError):\n    pass\n"
+        "class B(A):\n    pass\n"
+        "raise B('nested subclass is allowed')\n"
+    )
+    assert lint_source(source, rules=[ExceptionDisciplineRule()]) == []
+
+
+def test_raising_caught_variable_is_not_flagged():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "try:\n    f()\nexcept KeyError as err:\n"
+        "    raise err\n"
+    )
+    assert lint_source(source, rules=[ExceptionDisciplineRule()]) == []
+
+
+def test_raising_bare_foreign_class_is_flagged():
+    from tools.sketchlint.engine import lint_source
+
+    source = "raise NotImplementedError\n"
+    violations = lint_source(source, rules=[ExceptionDisciplineRule()])
+    assert [v.code for v in violations] == ["SK003"]

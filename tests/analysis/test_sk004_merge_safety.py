@@ -1,0 +1,57 @@
+"""SK004 — merge safety, against the fixture corpus."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture
+from tools.sketchlint.rules.sk004_merge_safety import MergeSafetyRule
+
+
+def test_bad_fixture_flags_unchecked_and_late_checked_merges():
+    violations = lint_fixture("sk004_bad.py", MergeSafetyRule())
+    assert len(violations) == 2
+    messages = "\n".join(v.message for v in violations)
+    assert "'merged'" in messages and "without" in messages
+    assert "'subtracted'" in messages and "before its compatibility check" in messages
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("sk004_good.py", MergeSafetyRule()) == []
+
+
+def test_pure_delegation_passes_vacuously():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "class W:\n"
+        "    def union_with(self, other):\n"
+        "        return self.inner.merged(other.inner)\n"
+    )
+    assert lint_source(source, rules=[MergeSafetyRule()]) == []
+
+
+def test_module_level_merge_function_is_checked():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "def union(left, right):\n"
+        "    out = [0] * 4\n"
+        "    for j in range(4):\n"
+        "        out[j] = left.counters[j] + right.counters[j]\n"
+        "    return out\n"
+    )
+    violations = lint_source(source, rules=[MergeSafetyRule()])
+    assert [v.code for v in violations] == ["SK004"]
+
+
+def test_module_level_merge_with_check_first_passes():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "def union(left, right):\n"
+        "    left.check_compatible(right)\n"
+        "    out = [0] * 4\n"
+        "    for j in range(4):\n"
+        "        out[j] = left.counters[j] + right.counters[j]\n"
+        "    return out\n"
+    )
+    assert lint_source(source, rules=[MergeSafetyRule()]) == []

@@ -1,0 +1,44 @@
+"""SK005 — hot-path purity, against the fixture corpus."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture
+from tools.sketchlint.rules.sk005_hot_path import HotPathPurityRule
+
+
+def test_bad_fixture_flags_try_comprehension_and_float():
+    violations = lint_fixture("sk005_bad.py", HotPathPurityRule())
+    assert len(violations) == 3
+    messages = "\n".join(v.message for v in violations)
+    assert "try/except" in messages
+    assert "ListComp" in messages
+    assert "float literal" in messages
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("sk005_good.py", HotPathPurityRule()) == []
+
+
+def test_abstract_insert_is_skipped():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "import abc\n"
+        "class Base(abc.ABC):\n"
+        "    @abc.abstractmethod\n"
+        "    def insert(self, key, count=1):\n"
+        "        return [0.5 for _ in range(2)]\n"
+    )
+    assert lint_source(source, rules=[HotPathPurityRule()]) == []
+
+
+def test_update_method_is_also_hot():
+    from tools.sketchlint.engine import lint_source
+
+    source = (
+        "class S:\n"
+        "    def update(self, key):\n"
+        "        self.weights[key] = 0.25\n"
+    )
+    violations = lint_source(source, rules=[HotPathPurityRule()])
+    assert [v.code for v in violations] == ["SK005"]

@@ -1,0 +1,1 @@
+"""Development tooling for the repro package (not shipped with the wheel)."""

@@ -1,0 +1,51 @@
+"""sketchlint — domain-specific static analysis for sketch data structures.
+
+The DaVinci reproduction is three linear/field-arithmetic components whose
+bugs are *silent*: an un-reduced ``iID`` update, a merge of incompatible
+geometries, or a float creeping into a counter produces plausible-but-wrong
+estimates rather than crashes.  Generic linters cannot see these contracts,
+so sketchlint encodes them as AST rules:
+
+=======  ==============================================================
+ code    contract
+=======  ==============================================================
+ SK001   field-arithmetic hygiene — writes to ``iID``/field-residue
+         state must be reduced ``% p`` in the same statement
+ SK002   no global-state randomness — every ``random.*`` /
+         ``np.random.*`` draw must flow through an injected, seeded rng
+ SK003   exception discipline — library code raises only ``ReproError``
+         subclasses, no bare ``except:``, no ``assert`` (stripped under
+         ``python -O``; use :mod:`repro.common.invariants` instead)
+ SK004   merge safety — ``merge``/``union``/``subtract``/``difference``
+         methods must run a compatibility check before touching counters
+ SK005   hot-path purity — per-item ``insert``/``update`` methods must
+         not contain try/except, comprehension allocation, or float
+         literals on counter state
+=======  ==============================================================
+
+Run it with ``python -m tools.sketchlint src/repro``; it exits non-zero on
+any violation.  Violations can be suppressed per line with a
+``# sketchlint: disable=SK001`` (comma-separated codes, or ``all``)
+trailing comment.
+"""
+
+from tools.sketchlint.engine import (
+    LintReport,
+    Rule,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from tools.sketchlint.rules import ALL_RULES, rules_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rules_by_code",
+]

@@ -1,0 +1,7 @@
+"""``python -m tools.sketchlint`` dispatch."""
+
+import sys
+
+from tools.sketchlint.cli import main
+
+sys.exit(main())

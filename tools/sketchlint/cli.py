@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m tools.sketchlint <paths>``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse error — the same
+convention as ruff/mypy, so CI treats all three gates identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.sketchlint.engine import lint_paths
+from tools.sketchlint.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sketchlint",
+        description="Domain-specific static analysis for sketch data structures.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        type=Path,
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for cls in ALL_RULES:
+        print(f"{cls.code}  {cls.summary}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    missing: List[Path] = [path for path in args.paths if not path.exists()]
+    if missing:
+        print(
+            f"sketchlint: path(s) not found: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        report = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"sketchlint: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in report.violations:
+        print(violation.render())
+    for error in report.parse_errors:
+        print(error, file=sys.stderr)
+    if not args.quiet:
+        print(
+            f"sketchlint: {report.files_checked} file(s) checked, "
+            f"{len(report.violations)} violation(s)"
+        )
+    if report.parse_errors:
+        return 2
+    return 0 if not report.violations else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""The sketchlint engine: rule protocol, pragma handling, file walking.
+
+A *rule* is an object with a ``code`` (``SK001`` ...), a one-line
+``summary``, and a ``check(tree, context)`` method yielding
+:class:`Violation` instances.  The engine owns everything rules should not
+have to care about: file discovery, source parsing, per-line suppression
+pragmas, and report aggregation.
+
+Suppression: a trailing comment ``# sketchlint: disable=SK003`` silences
+the named codes (comma separated; ``all`` silences every rule) for
+violations reported *on that physical line*.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+_PRAGMA = re.compile(r"#\s*sketchlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a concrete source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    path: str
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def name(self) -> str:
+        """Base filename, e.g. ``infrequent_part.py``."""
+        return Path(self.path).name
+
+
+class Rule:
+    """Base class for sketchlint rules (subclasses override ``check``)."""
+
+    code: str = "SK000"
+    summary: str = ""
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError  # sketchlint: disable=SK003
+
+    # Helper for subclasses ------------------------------------------------
+    def violation(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            message=message,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+        )
+
+
+@dataclass
+class LintReport:
+    """Aggregated violations across one lint invocation."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def render(self) -> str:
+        out = [v.render() for v in self.violations]
+        out.extend(self.parse_errors)
+        out.append(
+            f"sketchlint: {self.files_checked} file(s) checked, "
+            f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join(out)
+
+
+def _suppressed_codes(line: str) -> Set[str]:
+    """Codes suppressed by a ``# sketchlint: disable=...`` pragma, if any."""
+    match = _PRAGMA.search(line)
+    if not match:
+        return set()
+    return {token.strip().upper() for token in match.group(1).split(",") if token.strip()}
+
+
+def _apply_pragmas(
+    violations: Iterable[Violation], lines: Sequence[str]
+) -> List[Violation]:
+    kept = []
+    for violation in violations:
+        index = violation.line - 1
+        if 0 <= index < len(lines):
+            suppressed = _suppressed_codes(lines[index])
+            if "ALL" in suppressed or violation.code.upper() in suppressed:
+                continue
+        kept.append(violation)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint a source string; returns the (pragma-filtered) violations."""
+    from tools.sketchlint.rules import ALL_RULES
+
+    active = list(rules) if rules is not None else [cls() for cls in ALL_RULES]
+    tree = ast.parse(source, filename=path)
+    context = FileContext(path=path, source=source)
+    collected: List[Violation] = []
+    for rule in active:
+        collected.extend(rule.check(tree, context))
+    collected = _apply_pragmas(collected, context.lines)
+    collected.sort(key=lambda v: (v.path, v.line, v.column, v.code))
+    return collected
+
+
+def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint one file on disk."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path), rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into the ordered set of ``.py`` files."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``select`` restricts the run to the given rule codes (case-insensitive);
+    unknown codes raise ``ValueError`` so typos in CI configs fail loudly.
+    """
+    from tools.sketchlint.rules import ALL_RULES, rules_by_code
+
+    if select is not None:
+        registry = rules_by_code()
+        unknown = [code for code in select if code.upper() not in registry]
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+        active: List[Rule] = [registry[code.upper()]() for code in select]
+    elif rules is not None:
+        active = list(rules)
+    else:
+        active = [cls() for cls in ALL_RULES]
+
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        report.files_checked += 1
+        try:
+            report.violations.extend(lint_file(file_path, active))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{file_path}: syntax error: {exc}")
+    return report

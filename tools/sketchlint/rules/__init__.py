@@ -1,0 +1,36 @@
+"""Rule registry: one module per checker, discovered statically."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from tools.sketchlint.engine import Rule
+from tools.sketchlint.rules.sk001_field_arithmetic import FieldArithmeticRule
+from tools.sketchlint.rules.sk002_rng import InjectedRngRule
+from tools.sketchlint.rules.sk003_exceptions import ExceptionDisciplineRule
+from tools.sketchlint.rules.sk004_merge_safety import MergeSafetyRule
+from tools.sketchlint.rules.sk005_hot_path import HotPathPurityRule
+
+ALL_RULES: List[Type[Rule]] = [
+    FieldArithmeticRule,
+    InjectedRngRule,
+    ExceptionDisciplineRule,
+    MergeSafetyRule,
+    HotPathPurityRule,
+]
+
+
+def rules_by_code() -> Dict[str, Type[Rule]]:
+    """Map rule codes (``SK001`` ...) to their classes."""
+    return {cls.code: cls for cls in ALL_RULES}
+
+
+__all__ = [
+    "ALL_RULES",
+    "rules_by_code",
+    "FieldArithmeticRule",
+    "InjectedRngRule",
+    "ExceptionDisciplineRule",
+    "MergeSafetyRule",
+    "HotPathPurityRule",
+]

@@ -1,0 +1,134 @@
+"""SK001 — field-arithmetic hygiene.
+
+The infrequent part and the Fermat sketches store ``iID`` residues in the
+prime field: every *element write* into that state must be reduced modulo
+the field prime **in the same statement**, otherwise a later decode sees an
+out-of-range residue and silently mis-inverts (the count is plausible, the
+key is wrong — the worst failure mode an invertible sketch has).
+
+Checked targets are subscript stores whose root name is field state
+(``ids``, ``iid``, ``id_sum`` — case-insensitive), e.g.::
+
+    self.ids[row][j] = (self.ids[row][j] + count * key) % p   # ok
+    self.ids[row][j] = self.ids[row][j] + count * key          # SK001
+    self.ids[row][j] += count * key                            # SK001
+    self.ids[row][j] %= p                                      # ok
+
+Whole-array (re)bindings (``self.ids = [[0] * w ...]``) are structural and
+exempt; so is a top-level call to the sanctioned reducer ``to_field``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from tools.sketchlint.engine import FileContext, Rule, Violation
+
+#: names whose subscripted stores are treated as field-residue state
+FIELD_STATE_NAMES = frozenset({"ids", "iid", "id_sum", "idsum"})
+
+#: arithmetic operators that can push a residue out of the field
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.Div, ast.FloorDiv)
+
+#: functions accepted as an explicit in-statement reduction
+_SANCTIONED_REDUCERS = frozenset({"to_field"})
+
+
+def _subscript_root(node: ast.expr) -> Optional[str]:
+    """The root field name of a subscript chain, if any.
+
+    ``self.ids[row][j]`` → ``ids``; ``ids[j]`` → ``ids``; anything whose
+    chain does not bottom out in a recognized field name → ``None``.
+    """
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    if isinstance(current, ast.Attribute):
+        name = current.attr
+    elif isinstance(current, ast.Name):
+        name = current.id
+    else:
+        return None
+    return name if name.lower() in FIELD_STATE_NAMES else None
+
+
+def _contains_arithmetic(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, _ARITH_OPS):
+            return True
+        if isinstance(sub, ast.UnaryOp) and isinstance(sub.op, (ast.USub, ast.UAdd)):
+            return True
+    return False
+
+
+def _is_reduced(rhs: ast.expr) -> bool:
+    """True when the statement's value is reduced at its top level."""
+    if isinstance(rhs, ast.BinOp) and isinstance(rhs.op, ast.Mod):
+        return True
+    if isinstance(rhs, ast.Call):
+        func = rhs.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name in _SANCTIONED_REDUCERS:
+            return True
+    return False
+
+
+class FieldArithmeticRule(Rule):
+    """SK001: writes into ``iID`` field state must be reduced ``% p``."""
+
+    code = "SK001"
+    summary = "field-residue writes must be reduced modulo p in the same statement"
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AugAssign):
+                yield from self._check_augassign(node, context)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(node, context)
+
+    # ------------------------------------------------------------------ #
+    def _field_targets(self, node: ast.stmt) -> Iterator[Tuple[ast.expr, str]]:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]  # type: ignore[attr-defined]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                root = _subscript_root(target)
+                if root is not None:
+                    yield target, root
+
+    def _check_augassign(
+        self, node: ast.AugAssign, context: FileContext
+    ) -> Iterator[Violation]:
+        if not isinstance(node.target, ast.Subscript):
+            return
+        root = _subscript_root(node.target)
+        if root is None:
+            return
+        if isinstance(node.op, ast.Mod):
+            return  # ``ids[j] %= p`` is itself a reduction
+        if isinstance(node.op, _ARITH_OPS):
+            yield self.violation(
+                context,
+                node,
+                f"augmented arithmetic on field state '{root}' cannot be "
+                "reduced in the same statement; write "
+                f"'{root}[...] = ({root}[...] <op> ...) % p' instead",
+            )
+
+    def _check_assign(self, node: ast.stmt, context: FileContext) -> Iterator[Violation]:
+        value = getattr(node, "value", None)
+        if value is None:
+            return
+        for _target, root in self._field_targets(node):
+            if _contains_arithmetic(value) and not _is_reduced(value):
+                yield self.violation(
+                    context,
+                    node,
+                    f"arithmetic written into field state '{root}' is not "
+                    "reduced '% p' at the top level of the statement",
+                )

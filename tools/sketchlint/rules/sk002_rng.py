@@ -1,0 +1,173 @@
+"""SK002 — no global-state randomness in library code.
+
+Reproducibility (and every accuracy figure in the paper) depends on the
+experiment harness controlling *all* randomness through seeds.  A stray
+``random.random()`` or ``np.random.rand()`` draws from interpreter-global
+state: results change run to run and sketches constructed with the same
+seed stop being merge-identical.
+
+Allowed:
+
+* constructing a *seeded* generator — ``random.Random(seed)``,
+  ``np.random.default_rng(seed)`` — typically inside
+  :func:`repro.common.hashing.resolve_rng`;
+* drawing from an injected instance (``self._rng.random()`` — the receiver
+  is not the ``random`` module).
+
+Flagged:
+
+* any module-level draw: ``random.random()``, ``random.shuffle(...)``,
+  ``np.random.rand()``, ``np.random.seed(...)``, ...;
+* unseeded constructors: ``random.Random()``, ``np.random.default_rng()``;
+* importing draw functions directly (``from random import random``),
+  which hides the global state behind a local name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.sketchlint.engine import FileContext, Rule, Violation
+
+#: draw functions of the stdlib ``random`` module (non-exhaustive list not
+#: needed — any attribute other than a constructor is flagged)
+_STDLIB_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+#: numpy.random entry points that construct (rather than draw from) state
+_NUMPY_CONSTRUCTORS = frozenset({"default_rng", "Generator", "RandomState"})
+
+#: ``from random import X`` names that smuggle global state
+_STDLIB_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "betavariate",
+        "gammavariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+
+class InjectedRngRule(Rule):
+    """SK002: randomness must flow through an injected, seeded rng."""
+
+    code = "SK002"
+    summary = "random.*/np.random.* must flow through an injected, seeded rng"
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        random_aliases: Set[str] = set()
+        nprandom_aliases: Set[str] = set()
+        numpy_aliases: Set[str] = set()
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+                    elif alias.name == "numpy.random":
+                        nprandom_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    for alias in node.names:
+                        if alias.name == "random":
+                            nprandom_aliases.add(alias.asname or "random")
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name in _STDLIB_DRAWS:
+                            yield self.violation(
+                                context,
+                                node,
+                                f"importing 'random.{alias.name}' binds "
+                                "global-state randomness to a local name; "
+                                "inject a seeded random.Random instead",
+                            )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(
+                node, context, random_aliases, nprandom_aliases, numpy_aliases
+            )
+
+    # ------------------------------------------------------------------ #
+    def _check_call(
+        self,
+        node: ast.Call,
+        context: FileContext,
+        random_aliases: Set[str],
+        nprandom_aliases: Set[str],
+        numpy_aliases: Set[str],
+    ) -> Iterator[Violation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        has_args = bool(node.args or node.keywords)
+
+        # random.<attr>(...)
+        if isinstance(base, ast.Name) and base.id in random_aliases:
+            if func.attr in _STDLIB_CONSTRUCTORS:
+                if not has_args:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"random.{func.attr}() without a seed is "
+                        "non-deterministic; pass an explicit seed",
+                    )
+                return
+            yield self.violation(
+                context,
+                node,
+                f"module-level random.{func.attr}() draws from global "
+                "state; use an injected, seeded rng "
+                "(common.hashing.resolve_rng)",
+            )
+            return
+
+        # <np>.random.<attr>(...) or <npr>.<attr>(...)
+        is_numpy_random = (
+            isinstance(base, ast.Name) and base.id in nprandom_aliases
+        ) or (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+        )
+        if not is_numpy_random:
+            return
+        if func.attr in _NUMPY_CONSTRUCTORS:
+            if func.attr != "Generator" and not has_args:
+                yield self.violation(
+                    context,
+                    node,
+                    f"np.random.{func.attr}() without a seed is "
+                    "non-deterministic; pass an explicit seed",
+                )
+            return
+        yield self.violation(
+            context,
+            node,
+            f"np.random.{func.attr}() uses numpy's global state; "
+            "construct np.random.default_rng(seed) and draw from it",
+        )

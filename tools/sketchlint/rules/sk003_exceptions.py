@@ -1,0 +1,140 @@
+"""SK003 — exception discipline.
+
+Library code must fail in ways callers can rely on:
+
+* every raise uses a :class:`repro.common.errors.ReproError` subclass, so
+  ``except ReproError`` catches everything the package originates while
+  foreign bugs (TypeError from a caller's mistake) propagate untouched;
+* no bare ``except:`` — it swallows ``KeyboardInterrupt``/``SystemExit``
+  and hides the silent-corruption bugs this linter exists to catch;
+* no ``assert`` statements — they vanish under ``python -O`` exactly when
+  a production deployment switches optimizations on.  Use
+  :func:`repro.common.invariants.check` (raises, never stripped) instead.
+
+Subclasses of the allowed exceptions defined in the *same file* are
+accepted, so a module may introduce its own ``ReproError`` child without
+touching the linter.  ``raise`` / ``raise exc`` re-raises are accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.sketchlint.engine import FileContext, Rule, Violation
+
+#: the package's exception hierarchy (see src/repro/common/errors.py)
+ALLOWED_EXCEPTIONS = frozenset(
+    {
+        "ReproError",
+        "ConfigurationError",
+        "DecodeError",
+        "IncompatibleSketchError",
+        "InvariantViolation",
+    }
+)
+
+
+def _local_subclasses(tree: ast.AST) -> Set[str]:
+    """Names of classes in this module deriving from an allowed exception.
+
+    Resolved transitively within the file (``A(ReproError)`` then
+    ``B(A)``), in definition order; cross-file hierarchies need the parent
+    imported by its canonical name, which the package style already does.
+    """
+    allowed = set(ALLOWED_EXCEPTIONS)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name in allowed:
+                continue
+            for base in node.bases:
+                name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else ""
+                )
+                if name in allowed:
+                    allowed.add(node.name)
+                    changed = True
+                    break
+    return allowed
+
+
+class ExceptionDisciplineRule(Rule):
+    """SK003: only ReproError subclasses; no bare except; no assert."""
+
+    code = "SK003"
+    summary = "raise only ReproError subclasses; no bare except; no assert"
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        allowed = _local_subclasses(tree)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    context,
+                    node,
+                    "assert is stripped under 'python -O'; use "
+                    "repro.common.invariants.check() or an explicit raise",
+                )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    context,
+                    node,
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt "
+                    "and masks corruption; catch a concrete exception",
+                )
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(node, context, allowed)
+
+    # ------------------------------------------------------------------ #
+    def _check_raise(
+        self, node: ast.Raise, context: FileContext, allowed: Set[str]
+    ) -> Iterator[Violation]:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise inside a handler
+        if isinstance(exc, ast.Name):
+            # ``raise err`` — almost always re-raising a caught/constructed
+            # object; class names are checked when called, so only flag
+            # raising a *class* we know to be foreign.
+            if exc.id not in allowed and exc.id in _KNOWN_FOREIGN:
+                yield self.violation(
+                    context, node, f"raising foreign exception class {exc.id}"
+                )
+            return
+        if not isinstance(exc, ast.Call):
+            return
+        func = exc.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if not name or name in allowed:
+            return
+        yield self.violation(
+            context,
+            node,
+            f"library code must raise ReproError subclasses, not {name}; "
+            "see repro.common.errors",
+        )
+
+
+#: builtin exception classes occasionally raised bare (``raise ValueError``)
+_KNOWN_FOREIGN = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "RuntimeError",
+        "OSError",
+        "IOError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "NotImplementedError",
+        "StopIteration",
+        "AssertionError",
+    }
+)

@@ -1,0 +1,162 @@
+"""SK004 — merge safety.
+
+Mergeable sketches are *linear*: union and difference are counter-wise
+add/subtract, which is only meaningful between identically-hashed,
+identically-shaped structures.  Combining two sketches that differ in
+geometry or seed does not crash — it produces a well-formed structure full
+of meaningless counters.  Every ``merge``/``union``/``subtract``/
+``difference`` method must therefore establish compatibility *before* it
+touches any counter state.
+
+Accepted evidence of a compatibility check (must precede the first
+counter write):
+
+* a call to a method/function whose name contains ``check_compatible`` or
+  ``check_same_type``;
+* an explicit ``raise IncompatibleSketchError(...)`` /
+  ``raise ConfigurationError(...)`` (the inline-``if`` style some
+  baselines use).
+
+Counter writes are subscript stores (``result.counts[r][c] = ...``) and
+attribute stores on objects other than ``self`` (``out.positive = ...``,
+``result.registers = [...]``).  Methods that only *delegate* (e.g. CSOA's
+``union_with`` calling its constituent's checked ``merge``) touch no
+counters and pass vacuously.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from tools.sketchlint.engine import FileContext, Rule, Violation
+
+#: method/function names treated as merge-family operations
+MERGE_METHOD_NAMES = frozenset(
+    {
+        "merge",
+        "merged",
+        "subtract",
+        "subtracted",
+        "union",
+        "difference",
+        "union_with",
+        "difference_with",
+    }
+)
+
+_CHECK_TOKENS = ("check_compatible", "check_same_type")
+_CHECK_RAISES = frozenset({"IncompatibleSketchError", "ConfigurationError"})
+
+
+def _is_abstract(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = decorator.attr if isinstance(decorator, ast.Attribute) else (
+            decorator.id if isinstance(decorator, ast.Name) else ""
+        )
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _first_compat_check(node: ast.FunctionDef) -> Optional[int]:
+    """Line of the earliest compatibility-check evidence, if any."""
+    best: Optional[int] = None
+    for sub in ast.walk(node):
+        line: Optional[int] = None
+        if isinstance(sub, ast.Call):
+            name = _call_name(sub)
+            if any(token in name for token in _CHECK_TOKENS):
+                line = sub.lineno
+        elif isinstance(sub, ast.Raise) and isinstance(sub.exc, ast.Call):
+            if _call_name(sub.exc) in _CHECK_RAISES:
+                line = sub.lineno
+        if line is not None and (best is None or line < best):
+            best = line
+    return best
+
+
+def _counter_writes(node: ast.FunctionDef) -> List[Tuple[int, str]]:
+    """(line, description) of statements writing counter state."""
+    writes: List[Tuple[int, str]] = []
+    for sub in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            targets = [sub.target]
+        for target in targets:
+            flattened = (
+                list(target.elts) if isinstance(target, ast.Tuple) else [target]
+            )
+            for item in flattened:
+                if isinstance(item, ast.Subscript):
+                    writes.append((sub.lineno, "subscript store"))
+                elif isinstance(item, ast.Attribute):
+                    base = item.value
+                    if isinstance(base, ast.Name) and base.id != "self":
+                        writes.append(
+                            (sub.lineno, f"attribute store on '{base.id}'")
+                        )
+    return writes
+
+
+class MergeSafetyRule(Rule):
+    """SK004: merge-family methods check compatibility before counters."""
+
+    code = "SK004"
+    summary = "merge/union/subtract/difference must check compatibility first"
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name in MERGE_METHOD_NAMES
+                        and not _is_abstract(item)
+                    ):
+                        yield from self._check_method(item, context)
+            elif isinstance(node, ast.Module):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name in MERGE_METHOD_NAMES
+                        and len(item.args.args) >= 2
+                    ):
+                        yield from self._check_method(item, context)
+
+    # ------------------------------------------------------------------ #
+    def _check_method(
+        self, node: ast.FunctionDef, context: FileContext
+    ) -> Iterator[Violation]:
+        writes = _counter_writes(node)
+        if not writes:
+            return  # pure delegation — safety is the delegate's job
+        first_write = min(line for line, _ in writes)
+        check_line = _first_compat_check(node)
+        if check_line is None:
+            yield self.violation(
+                context,
+                node,
+                f"merge-family method '{node.name}' touches counters without "
+                "any compatibility check (call check_compatible / raise "
+                "IncompatibleSketchError before writing)",
+            )
+        elif check_line > first_write:
+            yield self.violation(
+                context,
+                node,
+                f"merge-family method '{node.name}' writes counters on line "
+                f"{first_write} before its compatibility check on line "
+                f"{check_line}",
+            )
