@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint typecheck sketchlint test test-debug check
+.PHONY: lint typecheck sketchlint test test-debug bench-ingest check
 
 lint:
 	ruff check src tools
@@ -20,5 +20,10 @@ test:
 
 test-debug:
 	REPRO_DEBUG_INVARIANTS=1 $(PYTHON) -m pytest tests/core tests/analysis -q
+
+# acceptance benchmark: 1M-item Zipf(1.1) stream, batched path must be
+# >= 2x the per-item loop and byte-identical in state
+bench-ingest:
+	$(PYTHON) benchmarks/bench_ingest.py --min-speedup 2.0
 
 check: lint typecheck sketchlint test

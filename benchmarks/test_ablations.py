@@ -22,7 +22,11 @@ MEMORY_KB = 6.0
 
 def _are_for(config, trace, truth):
     sketch = DaVinciSketch(config)
-    sketch.insert_all(trace)
+    # per-item: the ablation sweeps eviction-dynamics knobs, so the trace
+    # must replay the paper's per-packet insert schedule (batch aggregation
+    # collapses repeats and would flatten the lambda/threshold effects)
+    for key in trace:
+        sketch.insert(key)
     return average_relative_error(truth, sketch.query)
 
 
@@ -94,7 +98,8 @@ def test_ablation_decode_cross_validation(run_once):
     def measure():
         config = DaVinciConfig.from_memory_kb(MEMORY_KB, seed=BENCH_SEED + 1)
         sketch = DaVinciSketch(config)
-        sketch.insert_all(trace)
+        for key in trace:  # per-packet schedule (see _are_for)
+            sketch.insert(key)
         validated = sketch.decode_result()
         raw = sketch.ifp.decode(validator=None)
         false_validated = sum(1 for key in validated.counts if key not in truth)

@@ -17,7 +17,13 @@ MEMORY_KB = 6.0
 
 
 class _InstrumentedDaVinci(DaVinciSketch):
-    """Counts where each insertion's routing terminated."""
+    """Counts where each insertion's routing terminated.
+
+    Hooks both demotion paths: the per-item ``_push_to_filter`` (the
+    regime the paper's cost model describes) and the batched
+    ``_push_to_filter_batch`` (which returns the IFP promotions so the
+    decomposition stays exact under chunk aggregation).
+    """
 
     def __init__(self, config):
         super().__init__(config)
@@ -33,16 +39,32 @@ class _InstrumentedDaVinci(DaVinciSketch):
         if self.memory_accesses - accesses_before > self.ef.num_levels:
             self.reached_ifp += 1
 
+    def _push_to_filter_batch(self, demoted):
+        self.reached_ef += len(demoted)
+        overflow = super()._push_to_filter_batch(demoted)
+        self.reached_ifp += len(overflow)
+        return overflow
+
 
 def test_ama_decomposition(run_once):
     def measure():
         config = DaVinciConfig.from_memory_kb(MEMORY_KB, seed=BENCH_SEED + 1)
         sketch = _InstrumentedDaVinci(config)
         trace = load_trace("caida", scale=BENCH_SCALE, seed=BENCH_SEED)
-        sketch.insert_all(trace)
+        # the paper's cost model is per *insertion*, so drive the per-item
+        # path explicitly (insert_all now routes through the aggregating
+        # batch fast path, which deliberately does fewer structure touches)
+        for key in trace:
+            sketch.insert(key)
         total = sketch.insertions
+
+        batched = DaVinciSketch(
+            DaVinciConfig.from_memory_kb(MEMORY_KB, seed=BENCH_SEED + 1)
+        )
+        batched.insert_all(trace)
         return {
             "ama": sketch.average_memory_access(),
+            "batched_ama": batched.average_memory_access(),
             "p_fp_only": 1.0 - sketch.reached_ef / total,
             "p_ef": (sketch.reached_ef - sketch.reached_ifp) / total,
             "p_ifp": sketch.reached_ifp / total,
@@ -58,6 +80,7 @@ def test_ama_decomposition(run_once):
         "\n".join(
             [
                 f"measured AMA          : {stats['ama']:.2f}",
+                f"batched-ingest AMA    : {stats['batched_ama']:.2f}",
                 f"insertions ending in FP : {stats['p_fp_only']:.1%}",
                 f"... reaching the EF     : {stats['p_ef']:.1%}",
                 f"... reaching the IFP    : {stats['p_ifp']:.1%}",
@@ -70,6 +93,9 @@ def test_ama_decomposition(run_once):
     # because most insertions terminate early in the frequent part
     assert stats["ama"] < stats["ceiling"]
     assert stats["ama"] < 8.0  # paper measured 6.68 in the same regime
+    # chunk aggregation collapses repeats before touching the structure,
+    # so the batched path can only reduce the per-pair access average
+    assert stats["batched_ama"] <= stats["ama"]
     assert stats["p_fp_only"] > 0.4
     assert abs(
         stats["p_fp_only"] + stats["p_ef"] + stats["p_ifp"] - 1.0

@@ -6,6 +6,7 @@ from repro.common.errors import (
     IncompatibleSketchError,
     InvariantViolation,
     ReproError,
+    SketchModeError,
 )
 from repro.common.hashing import (
     HashFamily,
@@ -33,6 +34,7 @@ __all__ = [
     "IncompatibleSketchError",
     "InvariantViolation",
     "ReproError",
+    "SketchModeError",
     "HashFamily",
     "SignFamily",
     "fingerprint",

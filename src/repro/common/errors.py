@@ -67,3 +67,15 @@ class IncompatibleSketchError(ReproError, ValueError):
     require identical geometry and hash seeds; anything else would produce
     silently meaningless counters, so we refuse loudly.
     """
+
+
+class SketchModeError(ReproError, RuntimeError):
+    """A write was attempted against a sketch whose query mode forbids it.
+
+    Union results (``additive`` mode) and difference results (``signed``
+    mode) are read-only: their element filters no longer satisfy the
+    first-``T`` retention invariant that :meth:`DaVinciSketch.insert`
+    relies on, so inserting into them would silently corrupt every later
+    query.  The guard is unconditional — one string compare on the hot
+    path — unlike the opt-in debug sanitizer.
+    """

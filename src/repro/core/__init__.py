@@ -2,9 +2,11 @@
 
 from repro.core.config import DaVinciConfig
 from repro.core.davinci import (
+    DEFAULT_BATCH_CHUNK,
     MODE_ADDITIVE,
     MODE_SIGNED,
     MODE_STANDARD,
+    VALID_MODES,
     DaVinciSketch,
 )
 from repro.core.element_filter import ElementFilter
@@ -17,9 +19,11 @@ from repro.core.windowed import WindowedDaVinci
 __all__ = [
     "DaVinciConfig",
     "DaVinciSketch",
+    "DEFAULT_BATCH_CHUNK",
     "MODE_ADDITIVE",
     "MODE_SIGNED",
     "MODE_STANDARD",
+    "VALID_MODES",
     "ElementFilter",
     "FPOutcome",
     "FrequentPart",

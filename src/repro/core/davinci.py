@@ -31,10 +31,15 @@ A sketch is in one of three *query modes*:
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.common import invariants as _inv
-from repro.common.errors import ConfigurationError, IncompatibleSketchError
+from repro.common.errors import (
+    ConfigurationError,
+    IncompatibleSketchError,
+    SketchModeError,
+)
 from repro.core.config import DaVinciConfig
 from repro.core.element_filter import ElementFilter
 from repro.core.frequent_part import FrequentPart
@@ -44,6 +49,24 @@ from repro.sketches.base import Sketch
 MODE_STANDARD = "standard"
 MODE_ADDITIVE = "additive"
 MODE_SIGNED = "signed"
+
+#: every mode a sketch can legally be in (serialization validates against it)
+VALID_MODES = (MODE_STANDARD, MODE_ADDITIVE, MODE_SIGNED)
+
+#: default number of pairs aggregated per :meth:`DaVinciSketch.insert_batch`
+#: chunk.  The chunk size is the fidelity/throughput knob: aggregation
+#: collapses a key's repeats within a chunk into one weighted insert, which
+#: amortizes hashing but also means the frequent part sees one arrival (one
+#: ``ecnt`` step, one eviction opportunity) where the per-item loop saw
+#: many.  The resulting state is still *exactly* the weighted sequential
+#: loop over the aggregates (the byte-identity contract), but it is not
+#: the per-packet eviction schedule — accuracy experiments that reproduce
+#: the paper's streaming figures drive :meth:`DaVinciSketch.insert`
+#: per item instead (see ``repro.experiments.harness.fill``).  65536
+#: maximizes throughput for bulk loads (the measured 2.5x+ over the
+#: per-item loop); lower it toward 1 to converge on the per-item loop
+#: exactly.
+DEFAULT_BATCH_CHUNK = 1 << 16
 
 
 class DaVinciSketch(Sketch):
@@ -107,15 +130,22 @@ class DaVinciSketch(Sketch):
     # insertion
     # ------------------------------------------------------------------ #
     def insert(self, key: object, count: int = 1) -> None:
-        """Record ``count`` occurrences of ``key`` (Algorithms 1 + 2)."""
+        """Record ``count`` occurrences of ``key`` (Algorithms 1 + 2).
+
+        Only standard-mode sketches accept insertions: the element filter
+        of a union/difference result no longer holds exactly the first
+        ``T`` units of each promoted element, so writing into one would
+        silently corrupt every later query.  The guard is unconditional
+        (one string compare), not gated behind the debug sanitizer.
+        """
+        if self.mode != MODE_STANDARD:
+            raise SketchModeError(
+                "DaVinciSketch.insert: only standard-mode sketches accept "
+                "insertions (merged/signed sketches are read-only)"
+            )
         key = self.canonical_key(key)
         if _inv.ENABLED:
             _inv.check_counter_int(count, "DaVinciSketch.insert count")
-            _inv.check(
-                self.mode == MODE_STANDARD,
-                "DaVinciSketch.insert: only standard-mode sketches accept "
-                "insertions (merged/signed sketches are read-only)",
-            )
         self.insertions += 1
         self.total_count += count
         self._decode_cache = None
@@ -127,10 +157,102 @@ class DaVinciSketch(Sketch):
         demoted_key, demoted_count = outcome.demoted
         self._push_to_filter(demoted_key, demoted_count)
 
-    def insert_all(self, keys: Iterable[int]) -> None:
-        """Insert a stream of single occurrences."""
-        for key in keys:
-            self.insert(key)
+    def insert_all(
+        self, keys: Iterable[object], chunk_size: int = DEFAULT_BATCH_CHUNK
+    ) -> None:
+        """Insert a stream of single occurrences via the batched fast path.
+
+        Equivalent to inserting each chunk's per-key totals in first-seen
+        order (see :meth:`insert_batch` for the exact contract); pass
+        ``chunk_size=1`` to force the per-item path.
+        """
+        self.insert_batch(((key, 1) for key in keys), chunk_size=chunk_size)
+
+    def insert_batch(
+        self,
+        pairs: Iterable[Tuple[object, int]],
+        chunk_size: int = DEFAULT_BATCH_CHUNK,
+    ) -> None:
+        """Record many ``(key, count)`` pairs through the batched fast path.
+
+        The stream is consumed in chunks of up to ``chunk_size`` pairs.
+        Each chunk is pre-aggregated into per-key totals (first-seen key
+        order), and the resulting state is **byte-identical** to calling
+        ``insert(key, total)`` sequentially for those totals — eviction
+        order, element-filter absorb arithmetic and decode-cache semantics
+        included.  A batch therefore treats its pairs as simultaneous
+        arrivals: a key occurring twice in one chunk enters the frequent
+        part once with its summed count, exactly as a ``count=k`` insert
+        does today.
+
+        What the fast path amortizes over the sequential loop:
+
+        * ``canonical_key`` fingerprints are memoized per chunk (string /
+          bytes / out-of-domain keys hash once, not once per occurrence);
+        * frequent-part updates are grouped per bucket with the bucket
+          bookkeeping bound to locals (:meth:`FrequentPart.insert_batch`);
+        * demoted elements flow through level-hoisted, position-memoized
+          element-filter offers (:meth:`ElementFilter.offer_batch`) and
+          batched infrequent-part encodes with shared hash/sign caches;
+        * the decode cache is invalidated once per chunk, not per item.
+        """
+        if self.mode != MODE_STANDARD:
+            raise SketchModeError(
+                "DaVinciSketch.insert_batch: only standard-mode sketches "
+                "accept insertions (merged/signed sketches are read-only)"
+            )
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        iterator = iter(pairs)
+        while True:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                break
+            self._insert_chunk(chunk)
+
+    def _insert_chunk(self, chunk: List[Tuple[object, int]]) -> None:
+        """Aggregate and ingest one chunk (the batched hot loop)."""
+        domain = self.ifp.max_key
+        canonical = self.canonical_key
+        fingerprints: Dict[object, int] = {}
+        aggregated: Dict[int, int] = {}
+        chunk_total = 0
+        for raw_key, count in chunk:
+            if _inv.ENABLED:
+                _inv.check_counter_int(count, "DaVinciSketch.insert_batch count")
+            if (
+                isinstance(raw_key, int)
+                and not isinstance(raw_key, bool)
+                and 1 <= raw_key < domain
+            ):
+                key = raw_key
+            elif isinstance(raw_key, (int, str, bytes)) and not isinstance(
+                raw_key, bool
+            ):
+                cached = fingerprints.get(raw_key)
+                if cached is None:
+                    cached = canonical(raw_key)
+                    fingerprints[raw_key] = cached
+                key = cached
+            else:  # unhashable key types (e.g. bytearray): no memoization
+                key = canonical(raw_key)
+            aggregated[key] = aggregated.get(key, 0) + count
+            chunk_total += count
+
+        # ``insertions`` counts offered pairs (one per :meth:`insert` call
+        # the per-item loop would have made), so throughput and AMA stay
+        # comparable across ingestion paths; aggregation only changes the
+        # number of structure touches, which ``memory_accesses`` reflects.
+        self.insertions += len(chunk)
+        self.total_count += chunk_total
+        self._decode_cache = None
+
+        demoted, accesses = self.fp.insert_batch(list(aggregated.items()))
+        self.memory_accesses += accesses
+        if demoted:
+            self._push_to_filter_batch(
+                [(key, count) for _position, key, count in demoted]
+            )
 
     def _push_to_filter(self, key: int, count: int) -> None:
         """Route a demoted element through the EF, overflow to the IFP."""
@@ -139,6 +261,22 @@ class DaVinciSketch(Sketch):
         if overflow > 0:
             self.memory_accesses += self.ifp.rows
             self.ifp.insert(key, overflow)
+
+    def _push_to_filter_batch(
+        self, demoted: List[Tuple[int, int]]
+    ) -> List[Tuple[int, int]]:
+        """Route demoted elements through the EF in arrival order, batched.
+
+        Returns the ``(key, overflow)`` pairs that were promoted into the
+        infrequent part (instrumented subclasses use this to decompose
+        where insertions terminate).
+        """
+        self.memory_accesses += len(demoted) * self.ef.num_levels
+        overflow = self.ef.offer_batch(demoted)
+        if overflow:
+            self.memory_accesses += len(overflow) * self.ifp.rows
+            self.ifp.insert_batch(overflow)
+        return overflow
 
     # ------------------------------------------------------------------ #
     # decoding (Algorithm 5, cached)

@@ -24,7 +24,7 @@ counter (the signed generalization of the CM minimum).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common import invariants as _inv
 from repro.common.errors import ConfigurationError, IncompatibleSketchError
@@ -161,6 +161,83 @@ class ElementFilter:
                 "ElementFilter.offer retained mass (first-T invariant)",
             )
         return overflow
+
+    def offer_batch(
+        self,
+        items: Sequence[Tuple[int, int]],
+        positions_cache: Optional[Dict[int, List[int]]] = None,
+    ) -> List[Tuple[int, int]]:
+        """Offer many ``(key, count)`` pairs; return the overflow pairs.
+
+        Sequential-equivalent to calling :meth:`offer` once per pair in
+        order (the absorb arithmetic is order-sensitive under counter
+        collisions, so the pairs are processed strictly in sequence), but
+        amortized for the batched ingestion fast path:
+
+        * the level arrays, their caps and the hash family are bound to
+          locals once per batch instead of once per pair;
+        * each key's mapped positions are hashed once and memoized in
+          ``positions_cache`` (callers may share one cache across a whole
+          ingestion chunk — a key demoted by the frequent part and touched
+          again later in the same chunk hashes exactly once).
+
+        Returns ``[(key, overflow)]`` for every pair whose overflow was
+        positive, in arrival order — exactly the promotions the caller
+        must forward to the infrequent part.
+        """
+        if positions_cache is None:
+            positions_cache = {}
+        overflows: List[Tuple[int, int]] = []
+        levels = self.levels
+        caps = self.level_caps
+        threshold = self.threshold
+        saturated_floor = max(caps)
+        indexes = self._hashes.indexes
+        for key, count in items:
+            positions = positions_cache.get(key)
+            if positions is None:
+                positions = indexes(key)
+                positions_cache[key] = positions
+            current: Optional[int] = None
+            for level, j in enumerate(positions):
+                value = levels[level][j]
+                if value >= caps[level]:
+                    continue
+                if current is None or value < current:
+                    current = value
+            if current is None:
+                current = saturated_floor
+            if current >= threshold:
+                overflows.append((key, count))
+                continue
+            absorbed = threshold - current
+            if count < absorbed:
+                absorbed = count
+            for level, j in enumerate(positions):
+                cap = caps[level]
+                counters = levels[level]
+                value = counters[j]
+                if value >= cap:
+                    continue
+                value += absorbed
+                counters[j] = value if value < cap else cap
+                if _inv.ENABLED:
+                    _inv.check_saturation(
+                        counters[j], cap, "ElementFilter.offer_batch level counter"
+                    )
+            if _inv.ENABLED:
+                _inv.check_bounded(
+                    count - absorbed, 0, count, "ElementFilter.offer_batch overflow"
+                )
+                _inv.check_bounded(
+                    current + absorbed,
+                    0,
+                    threshold,
+                    "ElementFilter.offer_batch retained mass (first-T invariant)",
+                )
+            if count > absorbed:
+                overflows.append((key, count - absorbed))
+        return overflows
 
     def is_promoted(self, key: int) -> bool:
         """Whether the filter estimate says ``key`` crossed the threshold."""

@@ -16,7 +16,7 @@ isolation and lets the set operations reuse the same bucket mechanics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common import invariants as _inv
 from repro.common.errors import IncompatibleSketchError
@@ -40,6 +40,17 @@ class FPOutcome:
     case: int
     demoted: Optional[Tuple[int, int]] = None
     accesses: int = 0
+
+
+def _entry_count(entry: List[Any]) -> int:
+    """Sort key for eviction candidates (same tie-break as ``min_entry``)."""
+    count: int = entry[1]
+    return count
+
+
+def _demotion_position(demotion: Tuple[int, int, int]) -> int:
+    """Sort key restoring arrival order of batched demotions."""
+    return demotion[0]
 
 
 class Bucket:
@@ -151,6 +162,81 @@ class FrequentPart:
 
         # case 4: the newcomer itself is deemed infrequent
         return FPOutcome(case=4, demoted=(key, count), accesses=full_scan)
+
+    # ------------------------------------------------------------------ #
+    # batched insertion (the ingestion fast path)
+    # ------------------------------------------------------------------ #
+    def insert_batch(
+        self, items: Sequence[Tuple[int, int]]
+    ) -> Tuple[List[Tuple[int, int, int]], int]:
+        """Insert many ``(key, count)`` pairs; return demotions + accesses.
+
+        Sequential-equivalent to calling :meth:`insert` once per pair in
+        order — the resulting bucket state is byte-identical — but the
+        pairs are grouped by destination bucket first, so each bucket's
+        entry list, capacity and eviction bookkeeping are bound to locals
+        exactly once per touched bucket instead of once per pair, and no
+        per-pair :class:`FPOutcome` is allocated.
+
+        Buckets are independent, so cross-bucket processing order cannot
+        change FP state; demotion order *does* matter downstream (the
+        element filter's absorb arithmetic is order-sensitive under
+        counter collisions), so each demotion is tagged with its pair's
+        arrival position and the returned list is sorted back into arrival
+        order.
+
+        Returns ``(demoted, accesses)`` where ``demoted`` is a list of
+        ``(position, key, count)`` triples in arrival order and
+        ``accesses`` is the summed logical memory-word count, both exactly
+        as the sequential loop would have produced.
+        """
+        grouped: Dict[int, List[Tuple[int, int, int]]] = {}
+        bucket_of = self.bucket_index
+        for position, (key, count) in enumerate(items):
+            if _inv.ENABLED:
+                _inv.check_counter_int(count, "FrequentPart.insert_batch count")
+                _inv.check(
+                    count >= 1, "FrequentPart.insert_batch: count must be >= 1"
+                )
+            grouped.setdefault(bucket_of(key), []).append((position, key, count))
+
+        demoted: List[Tuple[int, int, int]] = []
+        accesses = 0
+        capacity = self.entries_per_bucket
+        full_scan = capacity + 2  # entries + ecnt + flag
+        lambda_evict = self.lambda_evict
+        buckets = self.buckets
+        for bucket_index, ops in grouped.items():
+            bucket = buckets[bucket_index]
+            entries = bucket.entries
+            for position, key, count in ops:
+                resident = None
+                for scanned, entry in enumerate(entries):
+                    if entry[0] == key:  # case 1: already resident
+                        entry[1] += count
+                        accesses += scanned + 1
+                        resident = entry
+                        break
+                if resident is not None:
+                    continue
+                if len(entries) < capacity:  # case 2: room
+                    accesses += len(entries) + 1
+                    entries.append([key, count, False])
+                    continue
+                accesses += full_scan
+                bucket.ecnt += 1
+                victim = min(entries, key=_entry_count)
+                if bucket.ecnt > lambda_evict * victim[1]:  # case 3: evict
+                    demoted.append((position, victim[0], victim[1]))
+                    victim[0] = key
+                    victim[1] = count
+                    victim[2] = True  # the newcomer may have prior mass below
+                    bucket.flag = True
+                    bucket.ecnt = 0
+                else:  # case 4: the newcomer itself is deemed infrequent
+                    demoted.append((position, key, count))
+        demoted.sort(key=_demotion_position)
+        return demoted, accesses
 
     # ------------------------------------------------------------------ #
     # queries

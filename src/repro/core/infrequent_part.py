@@ -31,7 +31,7 @@ difference sketches decode to signed per-element deltas.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common import invariants as _inv
 from repro.common.errors import ConfigurationError, IncompatibleSketchError
@@ -109,6 +109,66 @@ class InfrequentPart:
                 _inv.check_counter_int(
                     self.counts[row][j], "InfrequentPart.insert icnt"
                 )
+
+    def insert_batch(
+        self,
+        items: Sequence[Tuple[int, int]],
+        positions_cache: Optional[Dict[int, List[int]]] = None,
+        signs_cache: Optional[Dict[int, List[int]]] = None,
+    ) -> None:
+        """Encode many ``(key, count)`` pairs (batched Algorithm 2).
+
+        The field updates are commutative, so this is state-identical to
+        calling :meth:`insert` per pair in any order; pairs are still
+        processed in sequence for determinism.  The amortizations over the
+        sequential loop:
+
+        * the ``ids``/``counts`` arrays, prime and hash/sign families are
+          bound to locals once per batch;
+        * per-key row positions and ±1 signs are hashed once and memoized
+          in the optional caches (shareable across an ingestion chunk).
+        """
+        if positions_cache is None:
+            positions_cache = {}
+        if signs_cache is None:
+            signs_cache = {}
+        p = self.prime
+        rows = self.rows
+        max_key = self.max_key
+        ids = self.ids
+        counts = self.counts
+        indexes = self._hashes.indexes
+        signs_of = self._signs.signs
+        for key, count in items:
+            if not 1 <= key < max_key:
+                raise ConfigurationError(
+                    f"key {key} outside the decodable domain [1, {max_key}); "
+                    "fingerprint longer keys first"
+                )
+            if _inv.ENABLED:
+                _inv.check_counter_int(count, "InfrequentPart.insert_batch count")
+            positions = positions_cache.get(key)
+            if positions is None:
+                positions = indexes(key)
+                positions_cache[key] = positions
+            signs = signs_cache.get(key)
+            if signs is None:
+                signs = signs_of(key)
+                signs_cache[key] = signs
+            delta = count * key
+            for row in range(rows):
+                j = positions[row]
+                id_row = ids[row]
+                count_row = counts[row]
+                id_row[j] = (id_row[j] + delta) % p
+                count_row[j] += signs[row] * count
+                if _inv.ENABLED:
+                    _inv.check_field_element(
+                        id_row[j], p, "InfrequentPart.insert_batch iID"
+                    )
+                    _inv.check_counter_int(
+                        count_row[j], "InfrequentPart.insert_batch icnt"
+                    )
 
     # ------------------------------------------------------------------ #
     # fast (non-inverting) query — Count-Sketch style

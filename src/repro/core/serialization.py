@@ -20,7 +20,7 @@ from typing import Any, Dict
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import DaVinciConfig
-from repro.core.davinci import DaVinciSketch
+from repro.core.davinci import MODE_SIGNED, VALID_MODES, DaVinciSketch
 
 #: bumped when the wire format changes incompatibly
 STATE_VERSION = 1
@@ -84,9 +84,27 @@ def from_state(state: Dict[str, Any]) -> DaVinciSketch:
         prime=raw["prime"],
         seed=raw["seed"],
     )
+    mode = state.get("mode")
+    if mode not in VALID_MODES:
+        raise ConfigurationError(
+            f"unknown sketch mode {mode!r}; expected one of {VALID_MODES} "
+            "(an unvalidated mode would silently fall through query "
+            "dispatch to the standard path)"
+        )
+    total_count = state.get("total_count")
+    if isinstance(total_count, bool) or not isinstance(total_count, int):
+        raise ConfigurationError(
+            f"total_count must be an integer, got {total_count!r}"
+        )
+    if total_count < 0 and mode != MODE_SIGNED:
+        raise ConfigurationError(
+            f"negative total_count {total_count} is only meaningful for "
+            "signed (difference) sketches"
+        )
+
     sketch = DaVinciSketch(config)
-    sketch.mode = state["mode"]
-    sketch.total_count = state["total_count"]
+    sketch.mode = mode
+    sketch.total_count = total_count
 
     buckets_state = state["frequent_part"]
     if len(buckets_state) != config.fp_buckets:

@@ -5,11 +5,17 @@ The heavy-changer task (and most operational monitoring) is defined over
 utility owns the window lifecycle so applications don't have to:
 
 * :meth:`WindowedDaVinci.insert` feeds the current window and rotates it
-  automatically every ``window_size`` items (or on explicit
-  :meth:`rotate`, e.g. from a timer);
+  automatically every ``window_size`` units of **stream mass** (occupancy
+  is weighted by ``count``, so a weighted insert advances the window by
+  its full weight; an insert larger than a window is split across
+  consecutive windows) — or on explicit :meth:`rotate`, e.g. from a timer;
+* :meth:`insert_batch` / :meth:`insert_all` feed the same lifecycle
+  through :meth:`DaVinciSketch.insert_batch`'s amortized fast path, with
+  batches cut at window boundaries so window contents match the
+  equivalent per-pair loop exactly;
 * :meth:`heavy_changers` compares the two most recent *closed* windows;
-* :meth:`merged_view` folds all retained windows into one union sketch
-  for long-horizon queries;
+* :meth:`merged_view` folds all retained windows into one additive-mode
+  union sketch for long-horizon queries;
 * per-window sketches remain accessible for any other task.
 
 All windows share one :class:`~repro.core.config.DaVinciConfig`, so every
@@ -20,11 +26,11 @@ is well-defined.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import DaVinciConfig
-from repro.core.davinci import DaVinciSketch
+from repro.core.davinci import DEFAULT_BATCH_CHUNK, MODE_ADDITIVE, DaVinciSketch
 from repro.core.tasks.heavy import heavy_changers
 
 
@@ -45,6 +51,7 @@ class WindowedDaVinci:
         self.window_size = window_size
         self.retain = retain
         self.current: DaVinciSketch = DaVinciSketch(config)
+        #: stream mass (sum of inserted counts) in the current window
         self._in_current: int = 0
         #: most recent closed windows, newest last
         self.closed: Deque[DaVinciSketch] = deque(maxlen=retain)
@@ -55,15 +62,84 @@ class WindowedDaVinci:
     # stream side
     # ------------------------------------------------------------------ #
     def insert(self, key: object, count: int = 1) -> None:
-        """Feed the current window; rotate when it reaches window_size."""
-        self.current.insert(key, count)
-        self._in_current += 1
+        """Feed the current window; rotate on every ``window_size`` of mass.
+
+        Occupancy is weighted by ``count`` — a count-1000 insert fills ten
+        100-unit windows, not 1/100 of one.  An insert larger than the
+        remaining window capacity is split: the current window receives
+        exactly its remaining capacity, rotates, and the rest spills into
+        the following window(s).
+        """
+        if count < 1:
+            raise ConfigurationError(
+                "windowed insert count must be a positive integer"
+            )
+        window_size = self.window_size
+        remaining = count
+        while remaining > 0:
+            room = window_size - self._in_current
+            take = remaining if remaining < room else room
+            self.current.insert(key, take)
+            self._in_current += take
+            remaining -= take
+            if self._in_current >= window_size:
+                self.rotate()
+
+    def insert_all(
+        self, keys: Iterable[object], chunk_size: int = DEFAULT_BATCH_CHUNK
+    ) -> None:
+        """Insert a stream of single occurrences via the batched fast path."""
+        self.insert_batch(((key, 1) for key in keys), chunk_size=chunk_size)
+
+    def insert_batch(
+        self,
+        pairs: Iterable[Tuple[object, int]],
+        chunk_size: int = DEFAULT_BATCH_CHUNK,
+    ) -> None:
+        """Feed many ``(key, count)`` pairs through the batched fast path.
+
+        Pairs are split at window boundaries by cumulative count, so each
+        window receives exactly the mass the per-pair :meth:`insert` loop
+        would have given it; within a window the sub-pairs are forwarded
+        to :meth:`DaVinciSketch.insert_batch` (aggregation never crosses a
+        window boundary).
+        """
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        window_size = self.window_size
+        buffer: List[Tuple[object, int]] = []
+        buffered = 0
+        for key, count in pairs:
+            if count < 1:
+                raise ConfigurationError(
+                    "windowed insert count must be a positive integer"
+                )
+            remaining = count
+            while remaining > 0:
+                room = window_size - self._in_current - buffered
+                take = remaining if remaining < room else room
+                buffer.append((key, take))
+                buffered += take
+                remaining -= take
+                if self._in_current + buffered >= window_size:
+                    self._flush(buffer, buffered, chunk_size)
+                    buffer = []
+                    buffered = 0
+            if len(buffer) >= chunk_size:
+                self._flush(buffer, buffered, chunk_size)
+                buffer = []
+                buffered = 0
+        if buffer:
+            self._flush(buffer, buffered, chunk_size)
+
+    def _flush(
+        self, buffer: List[Tuple[object, int]], buffered: int, chunk_size: int
+    ) -> None:
+        """Ingest one window-bounded slice and rotate if the window filled."""
+        self.current.insert_batch(buffer, chunk_size=chunk_size)
+        self._in_current += buffered
         if self._in_current >= self.window_size:
             self.rotate()
-
-    def insert_all(self, keys: Iterable[object]) -> None:
-        for key in keys:
-            self.insert(key)
 
     def rotate(self) -> DaVinciSketch:
         """Close the current window and start a fresh one.
@@ -104,14 +180,16 @@ class WindowedDaVinci:
         """Union of every retained closed window plus the live one.
 
         Gives a long-horizon sketch for frequency/HH/cardinality queries
-        spanning the retention period.
+        spanning the retention period.  Always returns a fresh
+        *additive-mode* sketch — never an alias of a live window, and with
+        a consistent mode even when nothing was ever inserted (an empty
+        union is still a union).
         """
         view = DaVinciSketch(self.config)
+        view.mode = MODE_ADDITIVE
         for window in list(self.closed) + [self.current]:
             if window.total_count == 0:
                 continue
-            # always union (even with the empty seed) so the returned view
-            # is a fresh sketch, never an alias of a live window
             view = view.union(window)
         return view
 

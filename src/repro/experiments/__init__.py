@@ -25,6 +25,7 @@ from repro.experiments.harness import (
     SweepResult,
     build_davinci,
     fill,
+    fill_pairs,
     heavy_threshold,
     run_sweep,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "SweepResult",
     "build_davinci",
     "fill",
+    "fill_pairs",
     "heavy_threshold",
     "run_sweep",
     "DEFAULT_CASES_KB",

@@ -15,7 +15,7 @@ actually depend on — while keeping pure-Python runtimes in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core import DaVinciConfig, DaVinciSketch
 
@@ -89,8 +89,37 @@ def build_davinci(memory_kb: float, seed: int = 1, **config_kwargs) -> DaVinciSk
 
 
 def fill(sketch, trace: Sequence[int]):
-    """Insert the whole trace and hand the sketch back (fluent helper)."""
-    sketch.insert_all(trace)
+    """Insert the whole trace item by item and hand the sketch back.
+
+    Accuracy experiments model the paper's per-packet streaming: every
+    trace item is one ``insert`` call, for every sketch alike.  That keeps
+    DaVinci's eviction sampling identical to the paper's Algorithm 1 *and*
+    keeps the comparison against the per-item baselines fair.  Use
+    :func:`fill_pairs` (or ``insert_all``/``insert_batch`` directly) when
+    throughput matters more than replaying the exact per-packet eviction
+    schedule — the batch path pre-aggregates each chunk, which is
+    byte-identical to the weighted sequential loop over the aggregates but
+    collapses a key's repeats into one eviction opportunity per chunk.
+    """
+    for key in trace:
+        sketch.insert(key)
+    return sketch
+
+
+def fill_pairs(sketch, pairs: Iterable[Tuple[object, int]]):
+    """Weighted-fill from ``(key, count)`` pairs (fluent helper).
+
+    Routes through ``insert_batch`` when the sketch provides one (the
+    DaVinci batched fast path — e.g. pairs streamed by
+    :func:`repro.workloads.iter_counts`); otherwise falls back to one
+    weighted ``insert`` per pair.
+    """
+    batch = getattr(sketch, "insert_batch", None)
+    if batch is not None:
+        batch(pairs)
+        return sketch
+    for key, count in pairs:
+        sketch.insert(key, count)
     return sketch
 
 

@@ -61,9 +61,13 @@ class Sketch(ABC):
         self.memory_accesses = 0
         self.insertions = 0
 
-    def insert_all(self, keys: Iterable[int]) -> None:
+    def insert_all(self, keys: Iterable[object]) -> None:
         """Insert a stream of single occurrences (every sketch subclass
-        defines ``insert``; cardinality-only sketches included)."""
+        defines ``insert``; cardinality-only sketches included).
+
+        Typed over ``Iterable[object]`` so overrides that accept richer key
+        domains (e.g. :meth:`repro.core.davinci.DaVinciSketch.insert_all`,
+        which canonicalizes strings/bytes) stay signature-compatible."""
         insert = getattr(self, "insert")
         for key in keys:
             insert(key)

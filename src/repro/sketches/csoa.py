@@ -16,7 +16,7 @@ unified DaVinci structure.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.common.hashing import spread_seeds
 from repro.core.tasks.entropy import entropy_of_distribution
@@ -76,7 +76,7 @@ class CSOA(Sketch):
             + self.join.memory_accesses
         )
 
-    def insert_all(self, keys) -> None:
+    def insert_all(self, keys: Iterable[object]) -> None:
         for key in keys:
             self.insert(key)
 

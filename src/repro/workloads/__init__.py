@@ -21,9 +21,11 @@ from repro.workloads.traces import (
     trace_from_spec,
 )
 from repro.workloads.io import (
+    iter_counts,
     iter_trace,
     read_counts,
     read_trace,
+    unit_pairs,
     weighted_inserts,
     write_counts,
     write_trace,
@@ -50,9 +52,11 @@ __all__ = [
     "generate_keys",
     "zipf_probabilities",
     "zipf_trace",
+    "iter_counts",
     "iter_trace",
     "read_counts",
     "read_trace",
+    "unit_pairs",
     "weighted_inserts",
     "write_counts",
     "write_trace",

@@ -90,6 +90,52 @@ def read_counts(path: Union[str, os.PathLike]) -> Dict[Key, int]:
     return counts
 
 
+def iter_counts(
+    path: Union[str, os.PathLike],
+) -> Iterator[Tuple[Key, int]]:
+    """Stream ``(key, count)`` pairs from a counts-format CSV.
+
+    The streaming sibling of :func:`read_counts`: pairs are yielded in
+    file order without materializing the frequency map, so a multi-GB
+    trace export can be fed straight into
+    :meth:`repro.core.davinci.DaVinciSketch.insert_batch` (which
+    aggregates repeated keys chunk-by-chunk on its own).  Zero-count rows
+    are skipped, matching :func:`weighted_inserts`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.rsplit(",", 1)
+            if len(parts) != 2:
+                raise ConfigurationError(
+                    f"{path}:{number}: expected 'key,count', got {line!r}"
+                )
+            key = _parse_key(parts[0])
+            try:
+                count = int(parts[1])
+            except ValueError:
+                raise ConfigurationError(
+                    f"{path}:{number}: count must be an integer"
+                ) from None
+            if count < 0:
+                raise ConfigurationError(f"{path}:{number}: negative count")
+            if count > 0:
+                yield key, count
+
+
+def unit_pairs(trace: Iterable[Key]) -> Iterator[Tuple[Key, int]]:
+    """Adapt a key stream to the ``(key, 1)`` pair shape of the batch API.
+
+    Lets keys-format traces (:func:`read_trace` / :func:`iter_trace`) feed
+    pair-shaped consumers — ``DaVinciSketch.insert_batch``,
+    ``WindowedDaVinci.insert_batch`` — without an intermediate list.
+    """
+    for key in trace:
+        yield key, 1
+
+
 def write_counts(
     path: Union[str, os.PathLike], counts: Dict[Key, int]
 ) -> int:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common import invariants as inv
-from repro.common.errors import InvariantViolation, ReproError
+from repro.common.errors import InvariantViolation, ReproError, SketchModeError
 from repro.core import DaVinciSketch
 from repro.core.element_filter import ElementFilter
 from repro.core.infrequent_part import InfrequentPart
@@ -124,8 +124,28 @@ def test_insert_into_merged_sketch_is_rejected(small_config, invariants_on):
     left.insert(1)
     right.insert(2)
     merged = left.union(right)
-    with pytest.raises(InvariantViolation, match="read-only"):
+    with pytest.raises(SketchModeError, match="read-only"):
         merged.insert(3)
+    with pytest.raises(SketchModeError, match="read-only"):
+        merged.insert_batch([(3, 1)])
+
+
+def test_merged_sketch_rejection_does_not_need_the_sanitizer(small_config):
+    # the mode guard must hold even with the debug sanitizer off (the
+    # production configuration); it is a correctness guard, not a check
+    previous = inv.set_enabled(False)
+    try:
+        left = DaVinciSketch(small_config)
+        right = DaVinciSketch(small_config)
+        left.insert(1)
+        right.insert(2)
+        for sealed in (left.union(right), left.difference(right)):
+            with pytest.raises(SketchModeError, match="read-only"):
+                sealed.insert(3)
+            with pytest.raises(SketchModeError, match="read-only"):
+                sealed.insert_all([3, 4])
+    finally:
+        inv.set_enabled(previous)
 
 
 def test_non_integer_count_is_rejected(small_config, invariants_on):

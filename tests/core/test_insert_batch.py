@@ -1,0 +1,153 @@
+"""The batched ingestion fast path (``DaVinciSketch.insert_batch``).
+
+The contract under test is *sequential equivalence*: for every chunk, the
+batch path must leave the sketch in a state byte-identical (``to_state``)
+to the sequential ``insert`` loop over that chunk's first-seen-order
+aggregated ``(key, count)`` pairs — eviction decisions, element-filter
+absorption and infrequent-part encodes included.
+"""
+
+from collections import Counter, OrderedDict
+
+import pytest
+
+from repro.common import invariants as inv
+from repro.common.errors import ConfigurationError, SketchModeError
+from repro.core import DaVinciSketch
+from repro.core.serialization import to_state
+from tests.conftest import make_zipf_stream
+
+
+def sequential_reference(config, pairs, chunk_size):
+    """The ground-truth loop: aggregate each chunk, insert sequentially."""
+    sketch = DaVinciSketch(config)
+    pairs = list(pairs)
+    for start in range(0, len(pairs), chunk_size):
+        aggregated = OrderedDict()
+        for key, count in pairs[start : start + chunk_size]:
+            aggregated[key] = aggregated.get(key, 0) + count
+        for key, count in aggregated.items():
+            sketch.insert(key, count)
+    return sketch
+
+
+class TestSequentialEquivalence:
+    def test_unit_stream_matches_per_item_loop(self, small_config, zipf_stream):
+        batched = DaVinciSketch(small_config)
+        batched.insert_all(zipf_stream, chunk_size=512)
+        reference = sequential_reference(
+            small_config, [(key, 1) for key in zipf_stream], 512
+        )
+        assert to_state(batched) == to_state(reference)
+
+    def test_weighted_pairs_match(self, small_config):
+        stream = make_zipf_stream(num_keys=120, num_items=1500, seed=9)
+        pairs = [(key, (key % 7) + 1) for key in stream]
+        batched = DaVinciSketch(small_config)
+        batched.insert_batch(pairs, chunk_size=256)
+        reference = sequential_reference(small_config, pairs, 256)
+        assert to_state(batched) == to_state(reference)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 10_000])
+    def test_every_chunking_is_equivalent(self, small_config, chunk_size):
+        stream = make_zipf_stream(num_keys=80, num_items=800, seed=5)
+        pairs = [(key, 1) for key in stream]
+        batched = DaVinciSketch(small_config)
+        batched.insert_batch(pairs, chunk_size=chunk_size)
+        reference = sequential_reference(small_config, pairs, chunk_size)
+        assert to_state(batched) == to_state(reference)
+
+    def test_chunk_size_one_is_the_per_item_loop(self, small_config, zipf_stream):
+        # with chunk_size=1 no aggregation can happen, so the batch path
+        # must equal the plain sequential insert loop exactly
+        batched = DaVinciSketch(small_config)
+        batched.insert_all(zipf_stream[:600], chunk_size=1)
+        reference = DaVinciSketch(small_config)
+        for key in zipf_stream[:600]:
+            reference.insert(key)
+        assert to_state(batched) == to_state(reference)
+
+    def test_string_and_bytes_keys(self, small_config):
+        pairs = []
+        for index in range(400):
+            pairs.append((f"flow-{index % 37}", 1))
+            pairs.append((b"blob-%d" % (index % 11), 2))
+        batched = DaVinciSketch(small_config)
+        batched.insert_batch(pairs, chunk_size=64)
+        reference = sequential_reference(small_config, pairs, 64)
+        assert to_state(batched) == to_state(reference)
+
+    def test_queries_agree_with_truth_shape(self, small_config, zipf_stream):
+        truth = Counter(zipf_stream)
+        batched = DaVinciSketch(small_config)
+        batched.insert_all(zipf_stream)
+        assert batched.total_count == len(zipf_stream)
+        heavy = truth.most_common(3)
+        for key, count in heavy:
+            assert batched.query(key) == pytest.approx(count, rel=0.25)
+
+
+class TestAccounting:
+    def test_insertions_count_offered_pairs(self, small_config, zipf_stream):
+        batched = DaVinciSketch(small_config)
+        batched.insert_all(zipf_stream)
+        assert batched.insertions == len(zipf_stream)
+        assert batched.total_count == len(zipf_stream)
+
+    def test_batched_path_does_fewer_accesses(self, small_config, zipf_stream):
+        per_item = DaVinciSketch(small_config)
+        for key in zipf_stream:
+            per_item.insert(key)
+        batched = DaVinciSketch(small_config)
+        batched.insert_all(zipf_stream)
+        assert batched.memory_accesses < per_item.memory_accesses
+
+    def test_decode_cache_invalidated(self, small_config):
+        sketch = DaVinciSketch(small_config)
+        sketch.insert_batch([(key, 1) for key in range(1, 40)])
+        first = sketch.decode_counts()
+        sketch.insert_batch([(key, 25) for key in range(100, 140)])
+        second = sketch.decode_counts()
+        assert first is not second
+
+
+class TestValidation:
+    def test_rejects_nonpositive_chunk_size(self, small_config):
+        sketch = DaVinciSketch(small_config)
+        with pytest.raises(ConfigurationError):
+            sketch.insert_batch([(1, 1)], chunk_size=0)
+
+    def test_rejects_bool_keys_like_insert(self, small_config):
+        sketch = DaVinciSketch(small_config)
+        with pytest.raises(ConfigurationError):
+            sketch.insert_batch([(True, 1)])
+
+    def test_mode_guard_without_sanitizer(self, small_config):
+        # the guard is a correctness gate, not a debug check: it must fire
+        # with the invariant sanitizer forced off (the production default)
+        previous = inv.set_enabled(False)
+        try:
+            left = DaVinciSketch(small_config)
+            right = DaVinciSketch(small_config)
+            left.insert(1)
+            right.insert(2)
+            merged = left.union(right)
+            signed = left.difference(right)
+            for sealed in (merged, signed):
+                with pytest.raises(SketchModeError):
+                    sealed.insert(3)
+                with pytest.raises(SketchModeError):
+                    sealed.insert_batch([(3, 1)])
+                with pytest.raises(SketchModeError):
+                    sealed.insert_all([3])
+        finally:
+            inv.set_enabled(previous)
+
+    def test_mode_error_is_catchable_as_repro_error(self, small_config):
+        from repro.common.errors import ReproError
+
+        left, right = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        left.insert(1)
+        right.insert(2)
+        with pytest.raises(ReproError):
+            left.union(right).insert(3)

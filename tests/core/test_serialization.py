@@ -58,6 +58,43 @@ class TestRoundtrip:
         twin.insert(1)
         assert twin.query(1) == before + 1
 
+    def test_additive_mode_roundtrip(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 20 + [3] * 4)
+        b.insert_all([2] * 15 + [3] * 6)
+        merged = a.union(b)
+        twin = from_state(to_state(merged))
+        assert twin.mode == "additive"
+        assert twin.total_count == merged.total_count
+        for key in (1, 2, 3):
+            assert twin.query(key) == merged.query(key)
+        # the union of unions still works after the round-trip
+        assert twin.union(a).query(1) == merged.union(a).query(1)
+
+    def test_signed_roundtrip_preserves_negative_ef_counters(
+        self, small_config
+    ):
+        # drive enough mass through b that the EF difference goes negative
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all(list(range(1, 40)))
+        b.insert_batch([(key, 5) for key in range(1, 40)])
+        delta = a.difference(b)
+        assert any(
+            value < 0 for level in delta.ef.levels for value in level
+        ), "fixture failed to produce negative filter counters"
+        twin = from_state(to_state(delta))
+        assert twin.ef.levels == delta.ef.levels
+        assert twin.mode == "signed"
+        assert twin.total_count == delta.total_count < 0
+        for key in (1, 5, 17):
+            assert twin.query(key) == delta.query(key)
+
+    def test_batch_built_sketch_roundtrips(self, small_config, zipf_stream):
+        sketch = DaVinciSketch(small_config)
+        sketch.insert_all(zipf_stream, chunk_size=512)
+        twin = from_state(to_state(sketch))
+        assert to_state(twin) == to_state(sketch)
+
 
 class TestValidation:
     def test_rejects_non_state(self):
@@ -103,6 +140,49 @@ class TestValidation:
         state["frequent_part"][0]["entries"] = [[1, 2]]  # missing flag
         with pytest.raises(ConfigurationError):
             from_state(state)
+
+    @pytest.mark.parametrize(
+        "mode", ["", "merged", "ADDITIVE", "standard ", None, 3]
+    )
+    def test_rejects_unknown_modes(self, sketch, mode):
+        # an unvalidated mode would silently fall through query dispatch
+        # to the standard path — reject it at the wire boundary instead
+        state = to_state(sketch)
+        state["mode"] = mode
+        with pytest.raises(ConfigurationError, match="mode"):
+            from_state(state)
+
+    def test_missing_mode_is_rejected(self, sketch):
+        state = to_state(sketch)
+        del state["mode"]
+        with pytest.raises(ConfigurationError, match="mode"):
+            from_state(state)
+
+    @pytest.mark.parametrize("total", ["12", 3.0, None, True])
+    def test_rejects_non_integer_total_count(self, sketch, total):
+        state = to_state(sketch)
+        state["total_count"] = total
+        with pytest.raises(ConfigurationError, match="total_count"):
+            from_state(state)
+
+    @pytest.mark.parametrize("mode", ["standard", "additive"])
+    def test_rejects_negative_total_count_outside_signed_mode(
+        self, sketch, mode
+    ):
+        state = to_state(sketch)
+        state["mode"] = mode
+        state["total_count"] = -5
+        with pytest.raises(ConfigurationError, match="negative"):
+            from_state(state)
+
+    def test_accepts_negative_total_count_in_signed_mode(self, small_config):
+        a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)
+        a.insert_all([1] * 2)
+        b.insert_all([1] * 9)
+        delta = a.difference(b)
+        assert delta.total_count == -7
+        twin = from_state(to_state(delta))
+        assert twin.total_count == -7
 
 
 class TestTopK:

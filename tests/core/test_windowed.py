@@ -3,6 +3,8 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.core import MODE_ADDITIVE
+from repro.core.serialization import to_state
 from repro.core.windowed import WindowedDaVinci
 
 
@@ -42,6 +44,68 @@ class TestLifecycle:
         with pytest.raises(ConfigurationError):
             WindowedDaVinci(small_config, window_size=10, retain=0)
 
+    def test_rejects_nonpositive_counts(self, windows):
+        with pytest.raises(ConfigurationError):
+            windows.insert(1, count=0)
+        with pytest.raises(ConfigurationError):
+            windows.insert(1, count=-3)
+        with pytest.raises(ConfigurationError):
+            windows.insert_batch([(1, 0)])
+
+
+class TestCountWeightedOccupancy:
+    def test_weighted_insert_advances_by_its_weight(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=3)
+        ring.insert(1, count=60)
+        assert ring.windows_closed == 0
+        ring.insert(2, count=40)  # exactly fills the window
+        assert ring.windows_closed == 1
+        assert ring.latest().total_count == 100
+        assert ring.current.total_count == 0
+
+    def test_insert_larger_than_window_is_split(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=5)
+        ring.insert(9, count=1000)  # ten full windows of a single key
+        assert ring.windows_closed == 10
+        assert ring.current.total_count == 0
+        for window in ring.closed:
+            assert window.total_count == 100
+            assert window.query(9) == 100
+
+    def test_split_insert_spills_the_remainder(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=3)
+        ring.insert(1, count=70)
+        ring.insert(2, count=50)  # 30 closes window 1, 20 spills
+        assert ring.windows_closed == 1
+        assert ring.latest().query(1) == 70
+        assert ring.latest().query(2) == 30
+        assert ring.current.query(2) == 20
+
+    def test_batch_respects_window_boundaries(self, small_config):
+        # the batched path must give each window exactly the mass the
+        # per-item loop would — compare the closed windows' full state
+        per_item = WindowedDaVinci(small_config, window_size=97, retain=5)
+        batched = WindowedDaVinci(small_config, window_size=97, retain=5)
+        pairs = [((index % 23) + 1, (index % 5) + 1) for index in range(200)]
+        for key, count in pairs:
+            per_item.insert(key, count)
+        batched.insert_batch(pairs, chunk_size=32)
+        assert batched.windows_closed == per_item.windows_closed
+        assert batched._in_current == per_item._in_current
+        for mine, theirs in zip(batched.closed, per_item.closed):
+            assert to_state(mine) == to_state(theirs)
+
+    def test_insert_all_matches_per_item_loop(self, small_config):
+        per_item = WindowedDaVinci(small_config, window_size=64, retain=4)
+        batched = WindowedDaVinci(small_config, window_size=64, retain=4)
+        stream = [(index % 31) + 1 for index in range(500)]
+        for key in stream:
+            per_item.insert(key)
+        batched.insert_all(stream, chunk_size=50)
+        assert batched.windows_closed == per_item.windows_closed
+        for mine, theirs in zip(batched.closed, per_item.closed):
+            assert to_state(mine) == to_state(theirs)
+
 
 class TestAccessors:
     def test_latest_previous_before_rotation(self, windows):
@@ -77,6 +141,26 @@ class TestTasks:
     def test_merged_view_empty(self, windows):
         view = windows.merged_view()
         assert view.total_count == 0
+        # an empty union is still a union: the mode must be consistent
+        # with the non-empty case so downstream dispatch doesn't flip
+        assert view.mode == MODE_ADDITIVE
+
+    def test_merged_view_mode_is_always_additive(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=3)
+        assert ring.merged_view().mode == MODE_ADDITIVE
+        ring.insert_all([5] * 30)  # live window only
+        assert ring.merged_view().mode == MODE_ADDITIVE
+        ring.insert_all([5] * 170)  # at least one closed window
+        assert ring.merged_view().mode == MODE_ADDITIVE
+
+    def test_merged_view_never_aliases_live_windows(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=3)
+        ring.insert_all([4] * 30)
+        view = ring.merged_view()
+        assert view is not ring.current
+        before = view.query(4)
+        ring.insert_all([4] * 10)
+        assert view.query(4) == before
 
     def test_window_sketches_support_all_tasks(self, small_config):
         ring = WindowedDaVinci(small_config, window_size=300, retain=2)

@@ -6,6 +6,7 @@ from repro.experiments.harness import (
     SweepResult,
     build_davinci,
     fill,
+    fill_pairs,
     heavy_threshold,
     run_sweep,
 )
@@ -63,6 +64,19 @@ class TestHarnessHelpers:
     def test_fill_is_fluent(self):
         sketch = fill(build_davinci(4.0), [1, 2, 3])
         assert sketch.total_count == 3
+
+    def test_fill_pairs_uses_the_batch_path(self):
+        sketch = fill_pairs(build_davinci(4.0), [(1, 10), (2, 5), (1, 1)])
+        assert sketch.total_count == 16
+        assert sketch.query(1) == 11
+
+    def test_fill_pairs_falls_back_to_per_pair_inserts(self):
+        from repro.sketches import CountMinSketch
+
+        sketch = fill_pairs(
+            CountMinSketch.from_memory(4096, seed=3), [(1, 10), (2, 5)]
+        )
+        assert sketch.query(1) >= 10
 
     def test_heavy_threshold(self):
         assert heavy_threshold(100_000, 0.001) == 100

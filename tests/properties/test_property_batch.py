@@ -1,0 +1,70 @@
+"""Property: ``insert_batch`` is state-equivalent to the sequential loop.
+
+Hypothesis drives randomized streams (keys, weights, chunk sizes) through
+both ingestion paths and requires the serialized states to be identical —
+the strongest possible equivalence (FP entry order, eviction flags, EF
+counters and IFP residues all included), not just query agreement.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.core.serialization import to_state
+
+keys = st.integers(min_value=1, max_value=60)
+counts = st.integers(min_value=1, max_value=40)
+pair_streams = st.lists(st.tuples(keys, counts), min_size=0, max_size=250)
+chunk_sizes = st.integers(min_value=1, max_value=300)
+
+
+def make_config(seed: int = 11) -> DaVinciConfig:
+    return DaVinciConfig(
+        fp_buckets=8,
+        fp_entries=4,
+        ef_level_widths=(128, 32),
+        ef_level_bits=(4, 8),
+        ifp_rows=3,
+        ifp_width=32,
+        filter_threshold=10,
+        seed=seed,
+    )
+
+
+def sequential_reference(pairs, chunk_size):
+    sketch = DaVinciSketch(make_config())
+    for start in range(0, len(pairs), chunk_size):
+        aggregated = OrderedDict()
+        for key, count in pairs[start : start + chunk_size]:
+            aggregated[key] = aggregated.get(key, 0) + count
+        for key, count in aggregated.items():
+            sketch.insert(key, count)
+    return sketch
+
+
+class TestBatchEquivalence:
+    @given(pairs=pair_streams, chunk_size=chunk_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_state_identical_to_sequential_loop(self, pairs, chunk_size):
+        batched = DaVinciSketch(make_config())
+        batched.insert_batch(pairs, chunk_size=chunk_size)
+        reference = sequential_reference(pairs, chunk_size)
+        assert to_state(batched) == to_state(reference)
+
+    @given(stream=st.lists(keys, min_size=0, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_all_mass_and_query_conservation(self, stream):
+        batched = DaVinciSketch(make_config())
+        batched.insert_all(stream)
+        assert batched.total_count == len(stream)
+        assert batched.insertions == len(stream)
+
+    @given(pairs=pair_streams, chunk_size=chunk_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_batch_never_does_more_accesses(self, pairs, chunk_size):
+        batched = DaVinciSketch(make_config())
+        batched.insert_batch(pairs, chunk_size=chunk_size)
+        reference = sequential_reference(pairs, chunk_size)
+        assert batched.memory_accesses == reference.memory_accesses

@@ -4,9 +4,11 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.workloads.io import (
+    iter_counts,
     iter_trace,
     read_counts,
     read_trace,
+    unit_pairs,
     weighted_inserts,
     write_counts,
     write_trace,
@@ -92,3 +94,47 @@ class TestCountsFormat:
         assert sketch.query(1) == 100
         assert sketch.query(3) == 5
         assert sketch.total_count == 105
+
+
+class TestStreamingPairs:
+    def test_iter_counts_streams_file_order(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        path.write_text("# header\n1,5\nflow-a,7\n1,2\n2,0\n")
+        assert list(iter_counts(path)) == [(1, 5), ("flow-a", 7), (1, 2)]
+
+    def test_iter_counts_agrees_with_read_counts(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        write_counts(path, {1: 10, 2: 3, "flow-a": 7})
+        streamed = {}
+        for key, count in iter_counts(path):
+            streamed[key] = streamed.get(key, 0) + count
+        assert streamed == read_counts(path)
+
+    def test_iter_counts_validates_like_read_counts(self, tmp_path):
+        path = tmp_path / "counts.csv"
+        path.write_text("1,many\n")
+        with pytest.raises(ConfigurationError):
+            list(iter_counts(path))
+        path.write_text("1,-3\n")
+        with pytest.raises(ConfigurationError):
+            list(iter_counts(path))
+
+    def test_iter_counts_feeds_insert_batch(self, tmp_path, small_config):
+        from repro.core import DaVinciSketch
+
+        path = tmp_path / "counts.csv"
+        write_counts(path, {1: 100, 3: 5})
+        sketch = DaVinciSketch(small_config)
+        sketch.insert_batch(iter_counts(path))
+        assert sketch.query(1) == 100
+        assert sketch.query(3) == 5
+
+    def test_unit_pairs_adapts_key_streams(self, small_config):
+        from repro.core import DaVinciSketch
+
+        trace = [5] * 10 + [6] * 3
+        sketch = DaVinciSketch(small_config)
+        sketch.insert_batch(unit_pairs(trace))
+        assert sketch.query(5) == 10
+        assert sketch.query(6) == 3
+        assert sketch.total_count == 13

@@ -31,6 +31,7 @@ ALLOWED_EXCEPTIONS = frozenset(
         "DecodeError",
         "IncompatibleSketchError",
         "InvariantViolation",
+        "SketchModeError",
     }
 )
 
