@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint typecheck sketchlint test test-debug bench-ingest check
+.PHONY: lint typecheck sketchlint test test-debug faults bench-ingest \
+	bench-checkpoint check
 
 lint:
 	ruff check src tools
@@ -21,9 +22,21 @@ test:
 test-debug:
 	REPRO_DEBUG_INVARIANTS=1 $(PYTHON) -m pytest tests/core tests/analysis -q
 
+# fault-injection suite: crash recovery, corruption taxonomy and decode
+# degradation, all with runtime invariant checks switched on
+faults:
+	REPRO_DEBUG_INVARIANTS=1 $(PYTHON) -m pytest tests/runtime \
+		tests/core/test_degrade.py \
+		tests/core/test_serialization_integrity.py -q
+
 # acceptance benchmark: 1M-item Zipf(1.1) stream, batched path must be
 # >= 2x the per-item loop and byte-identical in state
 bench-ingest:
 	$(PYTHON) benchmarks/bench_ingest.py --min-speedup 2.0
+
+# acceptance benchmark: durable ingestion must stay within 10% of the
+# plain batched run at the default cadence, byte-identically
+bench-checkpoint:
+	$(PYTHON) benchmarks/bench_checkpoint.py --max-overhead 0.10
 
 check: lint typecheck sketchlint test

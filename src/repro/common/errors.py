@@ -39,13 +39,16 @@ class DecodeError(ReproError, RuntimeError):
         per-element totals (negative entries are possible for difference
         sketches).  Always a ``dict``: callers may iterate it without a
         ``None`` check; an empty dict means nothing was recoverable.
+        Stored as a **defensive copy** of the caller's mapping, so later
+        peeling or mutation of the source dict can never retroactively
+        change an already-raised error's payload.
     """
 
     def __init__(
         self, message: str, partial: Optional[Dict[int, int]] = None
     ) -> None:
         super().__init__(message)
-        self.partial: Dict[int, int] = partial if partial is not None else {}
+        self.partial: Dict[int, int] = dict(partial) if partial is not None else {}
 
 
 class InvariantViolation(ReproError, AssertionError):
@@ -66,6 +69,47 @@ class IncompatibleSketchError(ReproError, ValueError):
     Mergeable sketches (union, difference, heavy-changer subtraction)
     require identical geometry and hash seeds; anything else would produce
     silently meaningless counters, so we refuse loudly.
+    """
+
+
+class StateCorruptionError(ConfigurationError):
+    """A serialized sketch state failed an integrity check.
+
+    Raised by :func:`repro.core.serialization.from_state` (and the
+    byte-level :func:`~repro.core.serialization.from_wire`) when a state
+    blob is *corrupted* — embedded digest mismatch, undecodable bytes,
+    a version-2 payload missing its mandatory digest, or deep-validation
+    failures (counters outside their level's bit range, field residues
+    outside ``[0, p)``, and the like).  Distinct from the *malformed*
+    (wrong structure → :class:`ConfigurationError`) and *incompatible*
+    (unknown version → :class:`ConfigurationError`) cases so collectors
+    can quarantine bad uploads instead of retrying them.
+
+    Subclasses :class:`ConfigurationError` so the long-standing
+    ``except ConfigurationError`` contract around ``from_state`` keeps
+    catching every rejected payload.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Durable ingestion could not checkpoint, journal, or recover.
+
+    Raised by :mod:`repro.runtime` when a checkpoint directory is in a
+    state that cannot be safely recovered from: a corrupted (non-tail)
+    journal record, a checkpoint file whose embedded CRC does not match,
+    or inconsistent sequence numbers between checkpoint and journal.
+    A *torn tail* — the final journal record cut short by a crash — is
+    **not** an error; recovery discards it by design.
+    """
+
+
+class UnverifiedStateWarning(UserWarning):
+    """A version-1 sketch state was loaded without integrity protection.
+
+    Version-1 states predate the embedded digest; they still load for
+    backward compatibility, but corruption in them is undetectable.
+    Emitted (never raised) by :func:`repro.core.serialization.from_state`
+    so operators can find and re-serialize legacy blobs.
     """
 
 

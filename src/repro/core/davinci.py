@@ -32,7 +32,16 @@ A sketch is in one of three *query modes*:
 from __future__ import annotations
 
 from itertools import islice
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    overload,
+)
 
 from repro.common import invariants as _inv
 from repro.common.errors import (
@@ -41,6 +50,7 @@ from repro.common.errors import (
     SketchModeError,
 )
 from repro.core.config import DaVinciConfig
+from repro.core.degrade import DegradationPolicy, DegradedResult, execute
 from repro.core.element_filter import ElementFilter
 from repro.core.frequent_part import FrequentPart
 from repro.core.infrequent_part import DecodeResult, InfrequentPart
@@ -305,9 +315,34 @@ class DaVinciSketch(Sketch):
     # ------------------------------------------------------------------ #
     # frequency query (Algorithm 4)
     # ------------------------------------------------------------------ #
-    def query(self, key: object) -> int:
-        """Estimated (signed, for difference sketches) frequency of ``key``."""
-        key = self.canonical_key(key)
+    @overload
+    def query(self, key: object) -> int: ...
+
+    @overload
+    def query(
+        self, key: object, *, policy: DegradationPolicy
+    ) -> DegradedResult[int]: ...
+
+    def query(
+        self, key: object, *, policy: Optional[DegradationPolicy] = None
+    ) -> Union[int, DegradedResult[int]]:
+        """Estimated (signed, for difference sketches) frequency of ``key``.
+
+        With a :class:`~repro.core.degrade.DegradationPolicy`, the answer
+        is wrapped in a :class:`~repro.core.degrade.DegradedResult` whose
+        flag reports whether this sketch's decode had stalled (a stalled
+        decode routes promoted keys through the noisier fast query).
+        """
+        if policy is not None:
+            return execute(
+                (self,),
+                lambda: self._query_value(self.canonical_key(key)),
+                policy,
+                fallback=lambda: 0,
+            )
+        return self._query_value(self.canonical_key(key))
+
+    def _query_value(self, key: int) -> int:
         if self.mode == MODE_SIGNED:
             return self._query_signed(key)
         if self.mode == MODE_ADDITIVE:
@@ -357,10 +392,22 @@ class DaVinciSketch(Sketch):
     # ------------------------------------------------------------------ #
     # task facade — implementations live in repro.core.tasks
     # ------------------------------------------------------------------ #
-    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+    @overload
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]: ...
+
+    @overload
+    def heavy_hitters(
+        self, threshold: int, *, policy: DegradationPolicy
+    ) -> DegradedResult[Dict[int, int]]: ...
+
+    def heavy_hitters(
+        self, threshold: int, *, policy: Optional[DegradationPolicy] = None
+    ) -> Union[Dict[int, int], DegradedResult[Dict[int, int]]]:
         """Elements whose estimated |frequency| is at least ``threshold``."""
         from repro.core.tasks.heavy import heavy_hitters
 
+        if policy is not None:
+            return heavy_hitters(self, threshold, policy=policy)
         return heavy_hitters(self, threshold)
 
     def top_k(self, k: int) -> List[Tuple[int, int]]:
@@ -390,30 +437,89 @@ class DaVinciSketch(Sketch):
 
         return from_state(state)
 
-    def cardinality(self) -> float:
+    @overload
+    def cardinality(self) -> float: ...
+
+    @overload
+    def cardinality(
+        self, *, policy: DegradationPolicy
+    ) -> DegradedResult[float]: ...
+
+    def cardinality(
+        self, *, policy: Optional[DegradationPolicy] = None
+    ) -> Union[float, DegradedResult[float]]:
         """Estimated number of distinct elements."""
         from repro.core.tasks.cardinality import cardinality
 
+        if policy is not None:
+            return cardinality(self, policy=policy)
         return cardinality(self)
 
+    @overload
     def distribution(
-        self, max_size: Optional[int] = None, em_level: int = 0
-    ) -> Dict[int, float]:
+        self, max_size: Optional[int] = ..., em_level: int = ...
+    ) -> Dict[int, float]: ...
+
+    @overload
+    def distribution(
+        self,
+        max_size: Optional[int] = ...,
+        em_level: int = ...,
+        *,
+        policy: DegradationPolicy,
+    ) -> DegradedResult[Dict[int, float]]: ...
+
+    def distribution(
+        self,
+        max_size: Optional[int] = None,
+        em_level: int = 0,
+        *,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> Union[Dict[int, float], DegradedResult[Dict[int, float]]]:
         """Estimated flow-size distribution ``{size: #elements}``."""
         from repro.core.tasks.distribution import distribution
 
+        if policy is not None:
+            return distribution(
+                self, max_size=max_size, em_level=em_level, policy=policy
+            )
         return distribution(self, max_size=max_size, em_level=em_level)
 
-    def entropy(self) -> float:
+    @overload
+    def entropy(self) -> float: ...
+
+    @overload
+    def entropy(self, *, policy: DegradationPolicy) -> DegradedResult[float]: ...
+
+    def entropy(
+        self, *, policy: Optional[DegradationPolicy] = None
+    ) -> Union[float, DegradedResult[float]]:
         """Estimated (natural-log) entropy of the multiset."""
         from repro.core.tasks.entropy import entropy
 
+        if policy is not None:
+            return entropy(self, policy=policy)
         return entropy(self)
 
-    def inner_join(self, other: "DaVinciSketch") -> float:
+    @overload
+    def inner_join(self, other: "DaVinciSketch") -> float: ...
+
+    @overload
+    def inner_join(
+        self, other: "DaVinciSketch", *, policy: DegradationPolicy
+    ) -> DegradedResult[float]: ...
+
+    def inner_join(
+        self,
+        other: "DaVinciSketch",
+        *,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> Union[float, DegradedResult[float]]:
         """Estimated join size Σ_e f(e)·g(e) against ``other``."""
         from repro.core.tasks.innerjoin import inner_join
 
+        if policy is not None:
+            return inner_join(self, other, policy=policy)
         return inner_join(self, other)
 
     def second_moment(self) -> float:
@@ -426,16 +532,46 @@ class DaVinciSketch(Sketch):
 
         return inner_join(self, self)
 
-    def union(self, other: "DaVinciSketch") -> "DaVinciSketch":
+    @overload
+    def union(self, other: "DaVinciSketch") -> "DaVinciSketch": ...
+
+    @overload
+    def union(
+        self, other: "DaVinciSketch", *, policy: DegradationPolicy
+    ) -> DegradedResult["DaVinciSketch"]: ...
+
+    def union(
+        self,
+        other: "DaVinciSketch",
+        *,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> Union["DaVinciSketch", DegradedResult["DaVinciSketch"]]:
         """The union sketch (Algorithm 3)."""
         from repro.core.setops import union
 
+        if policy is not None:
+            return union(self, other, policy=policy)
         return union(self, other)
 
-    def difference(self, other: "DaVinciSketch") -> "DaVinciSketch":
+    @overload
+    def difference(self, other: "DaVinciSketch") -> "DaVinciSketch": ...
+
+    @overload
+    def difference(
+        self, other: "DaVinciSketch", *, policy: DegradationPolicy
+    ) -> DegradedResult["DaVinciSketch"]: ...
+
+    def difference(
+        self,
+        other: "DaVinciSketch",
+        *,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> Union["DaVinciSketch", DegradedResult["DaVinciSketch"]]:
         """The signed difference sketch (self − other)."""
         from repro.core.setops import difference
 
+        if policy is not None:
+            return difference(self, other, policy=policy)
         return difference(self, other)
 
     # ------------------------------------------------------------------ #

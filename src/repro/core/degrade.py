@@ -1,0 +1,161 @@
+"""Graceful decode degradation: explicit policies instead of silent guesses.
+
+The infrequent part's peeling decode (Algorithm 5) can stall — overloaded
+buckets, hostile merges, or plain bad luck leave residual buckets that no
+longer peel.  Every IFP decode consumer (frequency, heavy hitters/changers,
+cardinality, distribution, entropy, inner join, union, difference) then
+faces the same choice: raise, silently fall back to the EF/fast-query
+estimates, or answer with an explicit quality flag.  Before this module the
+package silently fell back; now the caller picks a
+:class:`DegradationPolicy` and gets a :class:`DegradedResult` whose
+``degraded``/``reason`` fields say exactly what happened:
+
+``STRICT``
+    Only act on fully-decoded state.  A stalled peel raises
+    :class:`~repro.common.errors.DecodeError` carrying the partial counts
+    (:attr:`DecodeError.partial`), even for tasks whose estimator would
+    not have consulted the decoded keys — conservative by design, so a
+    collector can quarantine a measurement point uniformly.
+``DEGRADE``
+    Compute with the documented fallbacks (``DecodeError.partial`` + the
+    element-filter/fast-query estimates) and return the result flagged
+    ``degraded=True`` with a human-readable ``reason``.
+``BEST_EFFORT``
+    Like ``DEGRADE``, but guaranteed to return: a
+    :class:`~repro.common.errors.DecodeError` escaping the computation is
+    converted into the task's neutral fallback value, and non-finite
+    floats are clamped to the fallback.  For dashboards that must render
+    *something* under any fault.
+
+Passing ``policy=None`` (the default everywhere) preserves the historical
+behavior: plain values, silent fallbacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generic,
+    Optional,
+    Sequence,
+    TypeVar,
+)
+
+from repro.common.errors import DecodeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.davinci import DaVinciSketch
+
+T = TypeVar("T")
+
+
+class DegradationPolicy(Enum):
+    """How a task should react to an incomplete infrequent-part decode."""
+
+    STRICT = "strict"
+    DEGRADE = "degrade"
+    BEST_EFFORT = "best_effort"
+
+
+@dataclass(frozen=True)
+class DegradedResult(Generic[T]):
+    """A task answer with an explicit quality flag.
+
+    Attributes
+    ----------
+    value:
+        The task's answer (same type the un-wrapped task returns).
+    degraded:
+        ``True`` when any involved sketch's decode was incomplete or a
+        fallback value was substituted; ``False`` means the answer is
+        exactly what a clean run would have produced.
+    reason:
+        Human-readable description of the degradation (``None`` when
+        ``degraded`` is ``False``).
+    """
+
+    value: T
+    degraded: bool = False
+    reason: Optional[str] = None
+
+    def unwrap(self) -> T:
+        """The raw value (convenience for call sites that ignore flags)."""
+        return self.value
+
+
+def stall_reason(sketches: Sequence["DaVinciSketch"]) -> Optional[str]:
+    """Describe every stalled decode among ``sketches`` (None = all clean)."""
+    reasons = []
+    for index, sketch in enumerate(sketches):
+        result = sketch.decode_result()
+        if not result.complete:
+            reasons.append(
+                f"sketch[{index}]: {result.residual_buckets} residual IFP "
+                f"buckets undecoded ({len(result.counts)} keys recovered)"
+            )
+    if not reasons:
+        return None
+    return "; ".join(reasons)
+
+
+def merged_partial(sketches: Sequence["DaVinciSketch"]) -> Dict[int, int]:
+    """Union of the partial decode payloads of ``sketches``."""
+    partial: Dict[int, int] = {}
+    for sketch in sketches:
+        partial.update(sketch.decode_result().counts)
+    return partial
+
+
+def finite_or(fallback: float) -> Callable[[float], float]:
+    """A sanitizer replacing NaN/inf floats with ``fallback``."""
+
+    def sanitize(value: float) -> float:
+        return value if math.isfinite(value) else fallback
+
+    return sanitize
+
+
+def execute(
+    sketches: Sequence["DaVinciSketch"],
+    compute: Callable[[], T],
+    policy: DegradationPolicy,
+    fallback: Callable[[], T],
+    sanitize: Optional[Callable[[T], T]] = None,
+) -> DegradedResult[T]:
+    """Run ``compute`` under ``policy``; the single degradation choke point.
+
+    ``sketches`` are the inputs whose decode completeness defines whether
+    the answer is degraded.  ``fallback`` provides the neutral value
+    ``BEST_EFFORT`` substitutes when ``compute`` itself raises
+    :class:`DecodeError`; ``sanitize`` (optional) repairs non-finite
+    values under ``BEST_EFFORT``.
+    """
+    reason = stall_reason(sketches)
+    if policy is DegradationPolicy.STRICT and reason is not None:
+        raise DecodeError(
+            f"decode incomplete under STRICT policy: {reason}",
+            partial=merged_partial(sketches),
+        )
+    degraded = reason is not None
+    try:
+        value = compute()
+    except DecodeError as error:
+        if policy is not DegradationPolicy.BEST_EFFORT:
+            raise
+        value = fallback()
+        degraded = True
+        reason = (reason + "; " if reason else "") + f"decode error: {error}"
+    if sanitize is not None and policy is DegradationPolicy.BEST_EFFORT:
+        repaired = sanitize(value)
+        if repaired is not value and repaired != value:
+            degraded = True
+            reason = (reason + "; " if reason else "") + (
+                "non-finite value replaced by fallback"
+            )
+        value = repaired
+    return DegradedResult(value=value, degraded=degraded, reason=reason)

@@ -24,7 +24,7 @@ semantics: positive deltas are "more in A", negative "more in B".
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union, overload
 
 from repro.core.davinci import (
     MODE_ADDITIVE,
@@ -32,6 +32,7 @@ from repro.core.davinci import (
     MODE_STANDARD,
     DaVinciSketch,
 )
+from repro.core.degrade import DegradationPolicy, DegradedResult, execute
 
 
 def _merged_bucket_entries(
@@ -49,8 +50,38 @@ def _merged_bucket_entries(
     return entries
 
 
-def union(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
-    """Return a DaVinci sketch summarizing the multiset union (Alg. 3)."""
+@overload
+def union(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch: ...
+
+
+@overload
+def union(
+    a: DaVinciSketch, b: DaVinciSketch, *, policy: DegradationPolicy
+) -> DegradedResult[DaVinciSketch]: ...
+
+
+def union(
+    a: DaVinciSketch,
+    b: DaVinciSketch,
+    *,
+    policy: Optional[DegradationPolicy] = None,
+) -> Union[DaVinciSketch, DegradedResult[DaVinciSketch]]:
+    """Return a DaVinci sketch summarizing the multiset union (Alg. 3).
+
+    With a :class:`~repro.core.degrade.DegradationPolicy`, the *result*
+    sketch's decodability is probed: a merged infrequent part that no
+    longer peels flags the union as degraded (``STRICT`` raises), since
+    per-key queries on it fall back to the noisier fast-query estimates.
+    """
+    result = _union_value(a, b)
+    if policy is not None:
+        return execute(
+            (result,), lambda: result, policy, fallback=lambda: result
+        )
+    return result
+
+
+def _union_value(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
     a.check_compatible(b)
     result = a.empty_like()
     result.mode = MODE_ADDITIVE
@@ -82,13 +113,40 @@ def union(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
     return result
 
 
-def difference(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
+@overload
+def difference(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch: ...
+
+
+@overload
+def difference(
+    a: DaVinciSketch, b: DaVinciSketch, *, policy: DegradationPolicy
+) -> DegradedResult[DaVinciSketch]: ...
+
+
+def difference(
+    a: DaVinciSketch,
+    b: DaVinciSketch,
+    *,
+    policy: Optional[DegradationPolicy] = None,
+) -> Union[DaVinciSketch, DegradedResult[DaVinciSketch]]:
     """Return the signed difference sketch ``a − b``.
 
     Supports arbitrary overlap (neither input needs to contain the other):
     querying the result for a key yields ``f_a(key) − f_b(key)``, positive
     when the key is heavier in ``a``.
+
+    With a :class:`~repro.core.degrade.DegradationPolicy`, the result
+    sketch's decodability is probed exactly as in :func:`union`.
     """
+    result = _difference_value(a, b)
+    if policy is not None:
+        return execute(
+            (result,), lambda: result, policy, fallback=lambda: result
+        )
+    return result
+
+
+def _difference_value(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
     a.check_compatible(b)
     result = a.empty_like()
     result.mode = MODE_SIGNED

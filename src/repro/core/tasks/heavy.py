@@ -16,18 +16,53 @@ heavy to absent (living only in window 1's FP) is still examined.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional, Union, overload
 
 from repro.common.errors import ConfigurationError
+from repro.core.degrade import DegradationPolicy, DegradedResult, execute
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.davinci import DaVinciSketch
 
 
-def heavy_hitters(sketch: "DaVinciSketch", threshold: int) -> Dict[int, int]:
-    """Keys whose estimated |frequency| is at least ``threshold``."""
+@overload
+def heavy_hitters(sketch: "DaVinciSketch", threshold: int) -> Dict[int, int]: ...
+
+
+@overload
+def heavy_hitters(
+    sketch: "DaVinciSketch", threshold: int, *, policy: DegradationPolicy
+) -> DegradedResult[Dict[int, int]]: ...
+
+
+def heavy_hitters(
+    sketch: "DaVinciSketch",
+    threshold: int,
+    *,
+    policy: Optional[DegradationPolicy] = None,
+) -> Union[Dict[int, int], DegradedResult[Dict[int, int]]]:
+    """Keys whose estimated |frequency| is at least ``threshold``.
+
+    With a :class:`~repro.core.degrade.DegradationPolicy`, the candidate
+    map is wrapped in a :class:`~repro.core.degrade.DegradedResult` —
+    a stalled decode means borderline candidates living only in the
+    infrequent part may be missing (see :mod:`repro.core.degrade`).
+    """
     if threshold <= 0:
         raise ConfigurationError("threshold must be positive")
+    if policy is not None:
+        return execute(
+            (sketch,),
+            lambda: _heavy_hitters_value(sketch, threshold),
+            policy,
+            fallback=lambda: {},
+        )
+    return _heavy_hitters_value(sketch, threshold)
+
+
+def _heavy_hitters_value(
+    sketch: "DaVinciSketch", threshold: int
+) -> Dict[int, int]:
     return {
         key: estimate
         for key, estimate in sketch.known_keys().items()
@@ -35,19 +70,59 @@ def heavy_hitters(sketch: "DaVinciSketch", threshold: int) -> Dict[int, int]:
     }
 
 
+@overload
 def heavy_changers(
     window_a: "DaVinciSketch", window_b: "DaVinciSketch", threshold: int
-) -> Dict[int, int]:
+) -> Dict[int, int]: ...
+
+
+@overload
+def heavy_changers(
+    window_a: "DaVinciSketch",
+    window_b: "DaVinciSketch",
+    threshold: int,
+    *,
+    policy: DegradationPolicy,
+) -> DegradedResult[Dict[int, int]]: ...
+
+
+def heavy_changers(
+    window_a: "DaVinciSketch",
+    window_b: "DaVinciSketch",
+    threshold: int,
+    *,
+    policy: Optional[DegradationPolicy] = None,
+) -> Union[Dict[int, int], DegradedResult[Dict[int, int]]]:
     """Keys whose frequency changed by at least ``threshold`` across windows.
 
     Returns ``{key: signed change}`` with positive values meaning the key
     grew from window ``b`` to window ``a``... more precisely the value is
     ``f_a(key) − f_b(key)`` as estimated on the difference sketch.
+
+    With a :class:`~repro.core.degrade.DegradationPolicy`, both windows
+    *and* the derived difference sketch are checked for decode stalls and
+    the change map is wrapped in a
+    :class:`~repro.core.degrade.DegradedResult`.
     """
     if threshold <= 0:
         raise ConfigurationError("threshold must be positive")
     delta = window_a.difference(window_b)
+    if policy is not None:
+        return execute(
+            (window_a, window_b, delta),
+            lambda: _heavy_changers_value(window_a, window_b, delta, threshold),
+            policy,
+            fallback=lambda: {},
+        )
+    return _heavy_changers_value(window_a, window_b, delta, threshold)
 
+
+def _heavy_changers_value(
+    window_a: "DaVinciSketch",
+    window_b: "DaVinciSketch",
+    delta: "DaVinciSketch",
+    threshold: int,
+) -> Dict[int, int]:
     candidates = set(delta.fp.as_dict())
     candidates.update(delta.decode_counts())
     candidates.update(window_a.fp.as_dict())

@@ -1,0 +1,30 @@
+"""Durable ingestion runtime for DaVinci sketches.
+
+:mod:`repro.runtime` owns the operational concerns that sit *around* the
+core sketch: keeping a long-running ingestion safe against process
+crashes without giving up the batched fast path or byte-exact semantics.
+
+The one public entry point is
+:class:`~repro.runtime.ingestor.CheckpointingIngestor` — a wrapper over
+:meth:`~repro.core.davinci.DaVinciSketch.insert_batch` that journals
+every chunk to a write-ahead log before applying it and periodically
+persists an atomic, checksummed checkpoint.  Reopening the same
+directory after a crash replays the journal tail and yields a sketch
+whose :meth:`~repro.core.davinci.DaVinciSketch.to_state` is
+byte-identical to an uninterrupted run over the same stream.
+
+See ``docs/DURABILITY.md`` for the on-disk formats and the recovery
+walkthrough.
+"""
+
+from repro.runtime.ingestor import (
+    CHECKPOINT_FILENAME,
+    JOURNAL_FILENAME,
+    CheckpointingIngestor,
+)
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "JOURNAL_FILENAME",
+    "CheckpointingIngestor",
+]

@@ -1,0 +1,24 @@
+"""Deterministic fault-injection helpers for durability testing.
+
+Everything in :mod:`repro.testing` exists to *break* the runtime on
+purpose — simulated crashes at exact durable steps, bit-flips and
+truncations of wire blobs, forced decode stalls — so the recovery,
+integrity and degradation paths are exercised by real failures instead
+of mocks.  Nothing here is imported by production code.
+"""
+
+from repro.testing.faults import (
+    CrashInjector,
+    InjectedCrash,
+    flip_bit,
+    forced_peel_stall,
+    truncate,
+)
+
+__all__ = [
+    "CrashInjector",
+    "InjectedCrash",
+    "flip_bit",
+    "forced_peel_stall",
+    "truncate",
+]

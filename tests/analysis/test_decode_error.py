@@ -53,3 +53,27 @@ def test_raise_catch_roundtrip_preserves_partial():
         assert isinstance(caught, DecodeError)
         assert caught.partial == {3: 7, 12: -2}
         assert "undecodable" in str(caught)
+
+
+def test_partial_is_defensively_copied_from_the_caller():
+    """Pin the copy-in contract: later mutation of the caller's dict must
+    not retroactively change an already-raised error's payload."""
+    payload = {3: 7}
+    error = DecodeError("stalled", partial=payload)
+    payload[12] = -2
+    payload[3] = 999
+    assert error.partial == {3: 7}
+
+
+def test_partial_mutation_never_aliases_caller_data():
+    payload = {3: 7}
+    error = DecodeError("stalled", partial=payload)
+    error.partial[5] = 1
+    assert payload == {3: 7}
+
+
+def test_none_partial_still_yields_a_fresh_dict_per_instance():
+    first = DecodeError("a")
+    second = DecodeError("b")
+    first.partial[1] = 1
+    assert second.partial == {}

@@ -6,7 +6,12 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.core import DaVinciSketch
-from repro.core.serialization import STATE_VERSION, from_state, to_state
+from repro.core.serialization import (
+    STATE_VERSION,
+    from_state,
+    sign_state,
+    to_state,
+)
 
 
 class TestRoundtrip:
@@ -106,26 +111,26 @@ class TestValidation:
     def test_rejects_wrong_version(self, sketch):
         state = to_state(sketch)
         state["version"] = STATE_VERSION + 1
-        with pytest.raises(ConfigurationError):
-            from_state(state)
+        with pytest.raises(ConfigurationError, match="version"):
+            from_state(sign_state(state))
 
     def test_rejects_mismatched_fp(self, sketch):
         state = to_state(sketch)
         state["frequent_part"] = state["frequent_part"][:-1]
         with pytest.raises(ConfigurationError):
-            from_state(state)
+            from_state(sign_state(state))
 
     def test_rejects_mismatched_ef(self, sketch):
         state = to_state(sketch)
         state["element_filter"][0] = state["element_filter"][0][:-1]
         with pytest.raises(ConfigurationError):
-            from_state(state)
+            from_state(sign_state(state))
 
     def test_rejects_mismatched_ifp(self, sketch):
         state = to_state(sketch)
         state["infrequent_part"]["ids"][0].append(0)
         with pytest.raises(ConfigurationError):
-            from_state(state)
+            from_state(sign_state(state))
 
     def test_rejects_overfull_bucket(self, sketch):
         state = to_state(sketch)
@@ -133,13 +138,13 @@ class TestValidation:
             [k, 1, False] for k in range(1, 100)
         ]
         with pytest.raises(ConfigurationError):
-            from_state(state)
+            from_state(sign_state(state))
 
     def test_rejects_malformed_entries(self, sketch):
         state = to_state(sketch)
         state["frequent_part"][0]["entries"] = [[1, 2]]  # missing flag
         with pytest.raises(ConfigurationError):
-            from_state(state)
+            from_state(sign_state(state))
 
     @pytest.mark.parametrize(
         "mode", ["", "merged", "ADDITIVE", "standard ", None, 3]
@@ -150,20 +155,20 @@ class TestValidation:
         state = to_state(sketch)
         state["mode"] = mode
         with pytest.raises(ConfigurationError, match="mode"):
-            from_state(state)
+            from_state(sign_state(state))
 
     def test_missing_mode_is_rejected(self, sketch):
         state = to_state(sketch)
         del state["mode"]
         with pytest.raises(ConfigurationError, match="mode"):
-            from_state(state)
+            from_state(sign_state(state))
 
     @pytest.mark.parametrize("total", ["12", 3.0, None, True])
     def test_rejects_non_integer_total_count(self, sketch, total):
         state = to_state(sketch)
         state["total_count"] = total
         with pytest.raises(ConfigurationError, match="total_count"):
-            from_state(state)
+            from_state(sign_state(state))
 
     @pytest.mark.parametrize("mode", ["standard", "additive"])
     def test_rejects_negative_total_count_outside_signed_mode(
@@ -173,7 +178,7 @@ class TestValidation:
         state["mode"] = mode
         state["total_count"] = -5
         with pytest.raises(ConfigurationError, match="negative"):
-            from_state(state)
+            from_state(sign_state(state))
 
     def test_accepts_negative_total_count_in_signed_mode(self, small_config):
         a, b = DaVinciSketch(small_config), DaVinciSketch(small_config)

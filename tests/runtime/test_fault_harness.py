@@ -1,0 +1,107 @@
+"""The fault injectors themselves: deterministic, reversible, honest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.davinci import DaVinciSketch
+from repro.testing import (
+    CrashInjector,
+    InjectedCrash,
+    flip_bit,
+    forced_peel_stall,
+    truncate,
+)
+
+
+class TestCrashInjector:
+    def test_crashes_on_exact_step(self):
+        injector = CrashInjector(3)
+        injector("a")
+        injector("b")
+        with pytest.raises(InjectedCrash, match="step 3"):
+            injector("c")
+        assert injector.crashed
+        assert injector.labels == ["a", "b", "c"]
+
+    def test_zero_never_crashes(self):
+        recorder = CrashInjector(0)
+        for label in ("a", "b", "c") * 10:
+            recorder(label)
+        assert not recorder.crashed
+        assert recorder.ops == 30
+
+    def test_label_filter_counts_only_matches(self):
+        injector = CrashInjector(2, only_label="checkpoint:tmp")
+        injector("journal:record")
+        injector("checkpoint:tmp")
+        injector("journal:record")
+        with pytest.raises(InjectedCrash):
+            injector("checkpoint:tmp")
+        assert injector.ops == 2
+        assert len(injector.labels) == 4
+
+
+class TestByteFaults:
+    def test_flip_bit_inverts_exactly_one_bit(self):
+        blob = bytes(range(16))
+        mutated = flip_bit(blob, 37)
+        assert len(mutated) == len(blob)
+        diff = [i for i in range(len(blob)) if mutated[i] != blob[i]]
+        assert diff == [37 // 8]
+        assert mutated[37 // 8] ^ blob[37 // 8] == 1 << (37 % 8)
+        assert flip_bit(mutated, 37) == blob  # involutive
+
+    def test_flip_bit_bounds(self):
+        with pytest.raises(ConfigurationError):
+            flip_bit(b"ab", 16)
+        with pytest.raises(ConfigurationError):
+            flip_bit(b"ab", -1)
+
+    def test_truncate(self):
+        blob = b"0123456789"
+        assert truncate(blob, 4) == b"0123"
+        assert truncate(blob, 0) == b""
+        assert truncate(blob, 10) == blob
+        with pytest.raises(ConfigurationError):
+            truncate(blob, 11)
+
+
+class TestForcedPeelStall:
+    @pytest.fixture
+    def populated(self, small_config) -> DaVinciSketch:
+        sketch = DaVinciSketch(small_config)
+        for key in range(1, 200):
+            sketch.insert(key, 25)
+        assert sketch.decode_result().complete
+        assert len(sketch.decode_counts()) > 10  # IFP actually holds keys
+        return sketch
+
+    def test_stalls_inside_and_restores_after(self, populated):
+        with forced_peel_stall(populated) as sketch:
+            result = sketch.decode_result()
+            assert not result.complete
+            assert result.counts == {}
+            assert result.residual_buckets >= 1
+        assert populated.decode_result().complete
+
+    def test_keep_partial_preserves_a_prefix_of_real_keys(self, populated):
+        real = populated.decode_counts()
+        with forced_peel_stall(populated, keep_partial=4) as sketch:
+            partial = sketch.decode_result().counts
+            assert len(partial) == 4
+            for key, count in partial.items():
+                assert real[key] == count
+
+    def test_restores_even_when_body_raises(self, populated):
+        with pytest.raises(RuntimeError, match="boom"):
+            with forced_peel_stall(populated):
+                raise RuntimeError("boom")
+        assert populated.decode_result().complete
+
+    def test_decode_cache_does_not_leak_across_boundary(self, populated):
+        populated.decode_result()  # warm the cache with the real result
+        with forced_peel_stall(populated) as sketch:
+            assert not sketch.decode_result().complete  # cache was dropped
+        assert populated.decode_result().complete  # stalled result dropped too

@@ -27,11 +27,13 @@ from tools.sketchlint.engine import FileContext, Rule, Violation
 ALLOWED_EXCEPTIONS = frozenset(
     {
         "ReproError",
+        "CheckpointError",
         "ConfigurationError",
         "DecodeError",
         "IncompatibleSketchError",
         "InvariantViolation",
         "SketchModeError",
+        "StateCorruptionError",
     }
 )
 
