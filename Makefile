@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: lint typecheck sketchlint test test-debug faults bench-ingest \
-	bench-checkpoint check
+	bench-checkpoint benchcheck coverage check
 
 lint:
 	ruff check src tools
@@ -38,5 +38,27 @@ bench-ingest:
 # plain batched run at the default cadence, byte-identically
 bench-checkpoint:
 	$(PYTHON) benchmarks/bench_checkpoint.py --max-overhead 0.10
+
+# regression gate: quick benches compared against the committed
+# full-scale baselines on their dimensionless metrics (±20% relative by
+# default; the speedup floor is absolute because quick workloads batch
+# less — see tools/benchcheck.py).  Fresh reports go to *_fresh.json so
+# the baselines are never overwritten.
+benchcheck:
+	$(PYTHON) benchmarks/bench_ingest.py --quick --min-speedup 1.0 \
+		--output BENCH_ingest_fresh.json
+	$(PYTHON) benchmarks/bench_checkpoint.py --quick --repeats 2 \
+		--max-overhead 1.0 --output BENCH_checkpoint_fresh.json
+	$(PYTHON) -m tools.benchcheck BENCH_ingest_fresh.json \
+		--baseline BENCH_ingest.json --min speedup=1.4
+	$(PYTHON) -m tools.benchcheck BENCH_checkpoint_fresh.json \
+		--baseline BENCH_checkpoint.json --max overhead_fraction=0.5
+
+# branch coverage over src/repro with the ratchet-only floor recorded in
+# pyproject.toml ([tool.repro] coverage_floor); needs pytest-cov
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-branch \
+		--cov-report=term-missing:skip-covered --cov-report=html \
+		--cov-fail-under=$$($(PYTHON) -c "import tools.covfloor as c; print(c.floor())")
 
 check: lint typecheck sketchlint test

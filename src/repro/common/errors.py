@@ -91,6 +91,18 @@ class StateCorruptionError(ConfigurationError):
     """
 
 
+class ObservabilityError(ReproError, ValueError):
+    """The metrics registry was used inconsistently.
+
+    Raised by :mod:`repro.observability` when a metric name is re-registered
+    with a different kind or label set, when a counter is decremented, or
+    when a histogram is declared with non-monotonic bucket bounds.  These
+    are programming errors at instrumentation sites, never data-dependent —
+    the registry is deliberately strict so a typo'd metric name cannot fork
+    a family silently.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """Durable ingestion could not checkpoint, journal, or recover.
 

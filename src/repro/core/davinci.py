@@ -32,6 +32,7 @@ A sketch is in one of three *query modes*:
 from __future__ import annotations
 
 from itertools import islice
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -39,6 +40,7 @@ from typing import (
     List,
     Optional,
     Tuple,
+    TypeVar,
     Union,
     overload,
 )
@@ -54,7 +56,13 @@ from repro.core.degrade import DegradationPolicy, DegradedResult, execute
 from repro.core.element_filter import ElementFilter
 from repro.core.frequent_part import FrequentPart
 from repro.core.infrequent_part import DecodeResult, InfrequentPart
+from repro.observability import instruments as _obs_instruments
+from repro.observability import metrics as _obs
+from repro.observability.instruments import DaVinciMetrics
+from repro.observability.metrics import MetricsRegistry
 from repro.sketches.base import Sketch
+
+_T = TypeVar("_T")
 
 MODE_STANDARD = "standard"
 MODE_ADDITIVE = "additive"
@@ -82,9 +90,20 @@ DEFAULT_BATCH_CHUNK = 1 << 16
 class DaVinciSketch(Sketch):
     """The versatile sketch of the paper, ready for all nine tasks."""
 
-    def __init__(self, config: DaVinciConfig) -> None:
+    #: lazily-created metrics bundle (class-level default; see
+    #: repro.observability — collection is free while disabled)
+    _obs_metrics: Optional[DaVinciMetrics] = None
+    #: injectable registry override (None → the process-global default)
+    _obs_registry: Optional[MetricsRegistry] = None
+
+    def __init__(
+        self,
+        config: DaVinciConfig,
+        metrics_registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         super().__init__()
         self.config = config
+        self._obs_registry = metrics_registry
         self.fp = FrequentPart(
             buckets=config.fp_buckets,
             entries_per_bucket=config.fp_entries,
@@ -103,11 +122,46 @@ class DaVinciSketch(Sketch):
             prime=config.prime,
             seed=config.seed + 2,
         )
+        if metrics_registry is not None:
+            # Route the parts' lazy bundles to the same private registry.
+            self.fp._obs_registry = metrics_registry
+            self.ef._obs_registry = metrics_registry
+            self.ifp._obs_registry = metrics_registry
         #: exact total of inserted counts (one 8-byte scalar; used by
         #: entropy and the distribution estimator)
         self.total_count: int = 0
         self.mode: str = MODE_STANDARD
         self._decode_cache: Optional[DecodeResult] = None
+
+    # ------------------------------------------------------------------ #
+    # observability (free while disabled)
+    # ------------------------------------------------------------------ #
+    def _observe(self) -> DaVinciMetrics:
+        """The lazily-bound metrics bundle (armed paths only)."""
+        bundle = self._obs_metrics
+        if bundle is None:
+            bundle = _obs_instruments.davinci_metrics(self._obs_registry)
+            self._obs_metrics = bundle
+        return bundle
+
+    def _record_inserts(self, pairs: int, units: int) -> None:
+        """Count accepted pairs/units (called only when armed)."""
+        bundle = self._observe()
+        bundle.inserts.inc(pairs)
+        if units >= 0:
+            bundle.items.inc(units)
+
+    def _timed_task(self, task: str, thunk: Callable[[], _T]) -> _T:
+        """Run ``thunk`` under the per-task latency histogram when armed."""
+        if not _obs.ENABLED:
+            return thunk()
+        start = perf_counter()
+        try:
+            return thunk()
+        finally:
+            self._observe().task_seconds.histogram_child(task).observe(
+                perf_counter() - start
+            )
 
     # ------------------------------------------------------------------ #
     # memory model
@@ -159,6 +213,8 @@ class DaVinciSketch(Sketch):
         self.insertions += 1
         self.total_count += count
         self._decode_cache = None
+        if _obs.ENABLED:
+            self._record_inserts(1, count)
 
         outcome = self.fp.insert(key, count)
         self.memory_accesses += outcome.accesses
@@ -256,6 +312,8 @@ class DaVinciSketch(Sketch):
         self.insertions += len(chunk)
         self.total_count += chunk_total
         self._decode_cache = None
+        if _obs.ENABLED:
+            self._record_inserts(len(chunk), chunk_total)
 
         demoted, accesses = self.fp.insert_batch(list(aggregated.items()))
         self.memory_accesses += accesses
@@ -301,11 +359,15 @@ class DaVinciSketch(Sketch):
         (stronger in our 61-bit field) residue-consistency check alone.
         """
         if self._decode_cache is None:
+            if _obs.ENABLED:
+                self._observe().cache_misses.inc()
             validator: Optional[Callable[[int], bool]] = None
             if self.mode == MODE_STANDARD:
                 threshold = self.ef.threshold
                 validator = lambda e: self.ef.query(e) >= threshold  # noqa: E731
             self._decode_cache = self.ifp.decode(validator)
+        elif _obs.ENABLED:
+            self._observe().cache_hits.inc()
         return self._decode_cache
 
     def decode_counts(self) -> Dict[int, int]:
@@ -340,6 +402,13 @@ class DaVinciSketch(Sketch):
                 policy,
                 fallback=lambda: 0,
             )
+        if _obs.ENABLED:
+            start = perf_counter()
+            value = self._query_value(self.canonical_key(key))
+            self._observe().task_seconds.histogram_child("query").observe(
+                perf_counter() - start
+            )
+            return value
         return self._query_value(self.canonical_key(key))
 
     def _query_value(self, key: int) -> int:
@@ -407,8 +476,13 @@ class DaVinciSketch(Sketch):
         from repro.core.tasks.heavy import heavy_hitters
 
         if policy is not None:
-            return heavy_hitters(self, threshold, policy=policy)
-        return heavy_hitters(self, threshold)
+            return self._timed_task(
+                "heavy_hitters",
+                lambda: heavy_hitters(self, threshold, policy=policy),
+            )
+        return self._timed_task(
+            "heavy_hitters", lambda: heavy_hitters(self, threshold)
+        )
 
     def top_k(self, k: int) -> List[Tuple[int, int]]:
         """The ``k`` elements with the largest estimated |frequency|.
@@ -419,10 +493,14 @@ class DaVinciSketch(Sketch):
         """
         if k <= 0:
             raise ConfigurationError("k must be positive")
-        ranked = sorted(
-            self.known_keys().items(), key=lambda kv: (-abs(kv[1]), kv[0])
-        )
-        return ranked[:k]
+
+        def run() -> List[Tuple[int, int]]:
+            ranked = sorted(
+                self.known_keys().items(), key=lambda kv: (-abs(kv[1]), kv[0])
+            )
+            return ranked[:k]
+
+        return self._timed_task("top_k", run)
 
     def to_state(self) -> Dict:
         """Serialize to JSON-compatible state (see repro.core.serialization)."""
@@ -452,8 +530,10 @@ class DaVinciSketch(Sketch):
         from repro.core.tasks.cardinality import cardinality
 
         if policy is not None:
-            return cardinality(self, policy=policy)
-        return cardinality(self)
+            return self._timed_task(
+                "cardinality", lambda: cardinality(self, policy=policy)
+            )
+        return self._timed_task("cardinality", lambda: cardinality(self))
 
     @overload
     def distribution(
@@ -480,10 +560,16 @@ class DaVinciSketch(Sketch):
         from repro.core.tasks.distribution import distribution
 
         if policy is not None:
-            return distribution(
-                self, max_size=max_size, em_level=em_level, policy=policy
+            return self._timed_task(
+                "distribution",
+                lambda: distribution(
+                    self, max_size=max_size, em_level=em_level, policy=policy
+                ),
             )
-        return distribution(self, max_size=max_size, em_level=em_level)
+        return self._timed_task(
+            "distribution",
+            lambda: distribution(self, max_size=max_size, em_level=em_level),
+        )
 
     @overload
     def entropy(self) -> float: ...
@@ -498,8 +584,10 @@ class DaVinciSketch(Sketch):
         from repro.core.tasks.entropy import entropy
 
         if policy is not None:
-            return entropy(self, policy=policy)
-        return entropy(self)
+            return self._timed_task(
+                "entropy", lambda: entropy(self, policy=policy)
+            )
+        return self._timed_task("entropy", lambda: entropy(self))
 
     @overload
     def inner_join(self, other: "DaVinciSketch") -> float: ...
@@ -519,8 +607,12 @@ class DaVinciSketch(Sketch):
         from repro.core.tasks.innerjoin import inner_join
 
         if policy is not None:
-            return inner_join(self, other, policy=policy)
-        return inner_join(self, other)
+            return self._timed_task(
+                "inner_join", lambda: inner_join(self, other, policy=policy)
+            )
+        return self._timed_task(
+            "inner_join", lambda: inner_join(self, other)
+        )
 
     def second_moment(self) -> float:
         """Estimated second frequency moment F₂ = Σ_e f(e)².
@@ -530,7 +622,9 @@ class DaVinciSketch(Sketch):
         """
         from repro.core.tasks.innerjoin import inner_join
 
-        return inner_join(self, self)
+        return self._timed_task(
+            "second_moment", lambda: inner_join(self, self)
+        )
 
     @overload
     def union(self, other: "DaVinciSketch") -> "DaVinciSketch": ...
@@ -550,8 +644,10 @@ class DaVinciSketch(Sketch):
         from repro.core.setops import union
 
         if policy is not None:
-            return union(self, other, policy=policy)
-        return union(self, other)
+            return self._timed_task(
+                "union", lambda: union(self, other, policy=policy)
+            )
+        return self._timed_task("union", lambda: union(self, other))
 
     @overload
     def difference(self, other: "DaVinciSketch") -> "DaVinciSketch": ...
@@ -571,8 +667,12 @@ class DaVinciSketch(Sketch):
         from repro.core.setops import difference
 
         if policy is not None:
-            return difference(self, other, policy=policy)
-        return difference(self, other)
+            return self._timed_task(
+                "difference", lambda: difference(self, other, policy=policy)
+            )
+        return self._timed_task(
+            "difference", lambda: difference(self, other)
+        )
 
     # ------------------------------------------------------------------ #
     # plumbing for the set operations

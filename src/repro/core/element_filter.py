@@ -30,10 +30,20 @@ from repro.common import invariants as _inv
 from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily
 from repro.common.validation import require_positive
+from repro.observability import instruments as _obs_instruments
+from repro.observability import metrics as _obs
+from repro.observability.instruments import ElementFilterMetrics
+from repro.observability.metrics import MetricsRegistry
 
 
 class ElementFilter:
     """An ``m``-level TowerSketch with promotion threshold ``T``."""
+
+    #: lazily-created metrics bundle (class-level default; see
+    #: repro.observability — collection is free while disabled)
+    _obs_metrics: Optional[ElementFilterMetrics] = None
+    #: injectable registry override (None → the process-global default)
+    _obs_registry: Optional[MetricsRegistry] = None
 
     def __init__(
         self,
@@ -110,6 +120,32 @@ class ElementFilter:
         return best
 
     # ------------------------------------------------------------------ #
+    # observability (free while disabled)
+    # ------------------------------------------------------------------ #
+    def _observe(self) -> ElementFilterMetrics:
+        """The lazily-bound metrics bundle (armed paths only)."""
+        bundle = self._obs_metrics
+        if bundle is None:
+            bundle = _obs_instruments.element_filter_metrics(
+                self._obs_registry, self
+            )
+            self._obs_metrics = bundle
+        return bundle
+
+    def _record_offers(
+        self, offers: int, absorbed: int, overflow: int, crossings: int
+    ) -> None:
+        """Count offered pairs and their absorb/overflow split (armed only)."""
+        bundle = self._observe()
+        bundle.offers.inc(offers)
+        if absorbed:
+            bundle.absorbed_units.inc(absorbed)
+        if overflow:
+            bundle.overflow_units.inc(overflow)
+        if crossings:
+            bundle.crossings.inc(crossings)
+
+    # ------------------------------------------------------------------ #
     # filtering with the promotion threshold
     # ------------------------------------------------------------------ #
     def offer(self, key: int, count: int) -> int:
@@ -137,6 +173,8 @@ class ElementFilter:
         if current is None:
             current = max(self.level_caps)
         if current >= self.threshold:
+            if _obs.ENABLED:
+                self._record_offers(1, 0, count, 0)
             return count
         absorbed = min(count, self.threshold - current)
         for level, j in enumerate(positions):
@@ -160,6 +198,9 @@ class ElementFilter:
                 self.threshold,
                 "ElementFilter.offer retained mass (first-T invariant)",
             )
+        if _obs.ENABLED:
+            crossed = 1 if current + absorbed >= self.threshold else 0
+            self._record_offers(1, absorbed, overflow, crossed)
         return overflow
 
     def offer_batch(
@@ -193,6 +234,11 @@ class ElementFilter:
         threshold = self.threshold
         saturated_floor = max(caps)
         indexes = self._hashes.indexes
+        # Metrics tallies (locals; recorded once per batch when armed —
+        # the disabled path pays one hoisted flag read for the batch)
+        observing = _obs.ENABLED
+        absorbed_total = 0
+        crossings = 0
         for key, count in items:
             positions = positions_cache.get(key)
             if positions is None:
@@ -213,6 +259,10 @@ class ElementFilter:
             absorbed = threshold - current
             if count < absorbed:
                 absorbed = count
+            if observing:
+                absorbed_total += absorbed
+                if current + absorbed >= threshold:
+                    crossings += 1
             for level, j in enumerate(positions):
                 cap = caps[level]
                 counters = levels[level]
@@ -237,6 +287,13 @@ class ElementFilter:
                 )
             if count > absorbed:
                 overflows.append((key, count - absorbed))
+        if observing:
+            overflow_total = 0
+            for _key, amount in overflows:
+                overflow_total += amount
+            self._record_offers(
+                len(items), absorbed_total, overflow_total, crossings
+            )
         return overflows
 
     def is_promoted(self, key: int) -> bool:

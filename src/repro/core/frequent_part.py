@@ -22,6 +22,10 @@ from repro.common import invariants as _inv
 from repro.common.errors import IncompatibleSketchError
 from repro.common.hashing import hash64
 from repro.common.validation import require_positive
+from repro.observability import instruments as _obs_instruments
+from repro.observability import metrics as _obs
+from repro.observability.instruments import FrequentPartMetrics
+from repro.observability.metrics import MetricsRegistry
 
 
 @dataclass
@@ -92,6 +96,12 @@ class Bucket:
 class FrequentPart:
     """The FP hash table (Algorithm 1)."""
 
+    #: lazily-created metrics bundle (class-level default so structures
+    #: built via ``__new__`` in :meth:`empty_like` stay valid)
+    _obs_metrics: Optional[FrequentPartMetrics] = None
+    #: injectable registry override (None → the process-global default)
+    _obs_registry: Optional[MetricsRegistry] = None
+
     def __init__(
         self,
         buckets: int,
@@ -115,6 +125,51 @@ class FrequentPart:
         return hash64(key, self._seed) % self.num_buckets
 
     # ------------------------------------------------------------------ #
+    # observability (see repro.observability; free while disabled)
+    # ------------------------------------------------------------------ #
+    def _observe(self) -> FrequentPartMetrics:
+        """The lazily-bound metrics bundle (armed paths only)."""
+        bundle = self._obs_metrics
+        if bundle is None:
+            bundle = _obs_instruments.frequent_part_metrics(
+                self._obs_registry, self
+            )
+            self._obs_metrics = bundle
+        return bundle
+
+    def _record_case(self, case: int) -> None:
+        """Count one Algorithm-1 outcome (called only when armed)."""
+        bundle = self._observe()
+        bundle.inserts.inc()
+        bundle.cases.counter_child(str(case)).inc()
+        if case == 3:
+            bundle.evictions.inc()
+            bundle.demotions.inc()
+        elif case == 4:
+            bundle.demotions.inc()
+
+    def _record_batch(
+        self, total: int, case2: int, case3: int, demoted: int
+    ) -> None:
+        """Count one batch's outcome tallies (called only when armed)."""
+        bundle = self._observe()
+        bundle.inserts.inc(total)
+        case4 = demoted - case3
+        case1 = total - case2 - demoted
+        cases = bundle.cases
+        if case1:
+            cases.counter_child("1").inc(case1)
+        if case2:
+            cases.counter_child("2").inc(case2)
+        if case3:
+            cases.counter_child("3").inc(case3)
+            bundle.evictions.inc(case3)
+        if case4:
+            cases.counter_child("4").inc(case4)
+        if demoted:
+            bundle.demotions.inc(demoted)
+
+    # ------------------------------------------------------------------ #
     # insertion (Algorithm 1)
     # ------------------------------------------------------------------ #
     def insert(self, key: int, count: int = 1) -> FPOutcome:
@@ -136,11 +191,15 @@ class FrequentPart:
                     _inv.check_non_negative(
                         entry[1], "FrequentPart entry count after case 1"
                     )
+                if _obs.ENABLED:
+                    self._record_case(1)
                 return FPOutcome(case=1, accesses=position + 1)
 
         if len(bucket.entries) < self.entries_per_bucket:  # case 2: room
             scanned = len(bucket.entries) + 1
             bucket.entries.append([key, count, False])
+            if _obs.ENABLED:
+                self._record_case(2)
             return FPOutcome(case=2, accesses=scanned)
 
         full_scan = self.entries_per_bucket + 2  # entries + ecnt + flag
@@ -158,9 +217,13 @@ class FrequentPart:
             victim[2] = True  # the newcomer may have prior mass below
             bucket.flag = True
             bucket.ecnt = 0
+            if _obs.ENABLED:
+                self._record_case(3)
             return FPOutcome(case=3, demoted=demoted, accesses=full_scan)
 
         # case 4: the newcomer itself is deemed infrequent
+        if _obs.ENABLED:
+            self._record_case(4)
         return FPOutcome(case=4, demoted=(key, count), accesses=full_scan)
 
     # ------------------------------------------------------------------ #
@@ -206,6 +269,13 @@ class FrequentPart:
         full_scan = capacity + 2  # entries + ecnt + flag
         lambda_evict = self.lambda_evict
         buckets = self.buckets
+        # Metrics: only case-3 needs an in-loop tally; the other branch
+        # counts are derived after the loop (case 2 from the occupancy
+        # delta, case 4 from the demotion count), so the disabled path
+        # adds nothing to the per-pair work.
+        observing = _obs.ENABLED
+        evictions = 0
+        entries_before = len(self) if observing else 0
         for bucket_index, ops in grouped.items():
             bucket = buckets[bucket_index]
             entries = bucket.entries
@@ -233,9 +303,18 @@ class FrequentPart:
                     victim[2] = True  # the newcomer may have prior mass below
                     bucket.flag = True
                     bucket.ecnt = 0
+                    if observing:
+                        evictions += 1
                 else:  # case 4: the newcomer itself is deemed infrequent
                     demoted.append((position, key, count))
         demoted.sort(key=_demotion_position)
+        if observing:
+            self._record_batch(
+                len(items),
+                len(self) - entries_before,
+                evictions,
+                len(demoted),
+            )
         return demoted, accesses
 
     # ------------------------------------------------------------------ #

@@ -38,6 +38,10 @@ from repro.common.errors import ConfigurationError, IncompatibleSketchError
 from repro.common.hashing import HashFamily, SignFamily
 from repro.common.primes import DEFAULT_PRIME, mod_inverse, validate_prime
 from repro.common.validation import require_positive
+from repro.observability import instruments as _obs_instruments
+from repro.observability import metrics as _obs
+from repro.observability.instruments import InfrequentPartMetrics
+from repro.observability.metrics import MetricsRegistry
 
 
 class DecodeResult:
@@ -58,6 +62,12 @@ class DecodeResult:
 
 class InfrequentPart:
     """The counting Fermat sketch (Algorithms 2 and 5)."""
+
+    #: lazily-created metrics bundle (class-level default; see
+    #: repro.observability — collection is free while disabled)
+    _obs_metrics: Optional[InfrequentPartMetrics] = None
+    #: injectable registry override (None → the process-global default)
+    _obs_registry: Optional[MetricsRegistry] = None
 
     def __init__(
         self,
@@ -86,6 +96,46 @@ class InfrequentPart:
         self.counts: List[List[int]] = [[0] * width for _ in range(rows)]
 
     # ------------------------------------------------------------------ #
+    # observability (free while disabled)
+    # ------------------------------------------------------------------ #
+    def _observe(self) -> InfrequentPartMetrics:
+        """The lazily-bound metrics bundle (armed paths only)."""
+        bundle = self._obs_metrics
+        if bundle is None:
+            bundle = _obs_instruments.infrequent_part_metrics(
+                self._obs_registry, self
+            )
+            self._obs_metrics = bundle
+        return bundle
+
+    def _record_inserts(self, pairs: int, units: int) -> None:
+        """Count encoded pairs/units (called only when armed)."""
+        bundle = self._observe()
+        bundle.inserts.inc(pairs)
+        if units >= 0:  # difference paths may legally encode negatives
+            bundle.inserted_units.inc(units)
+
+    def _record_decode(
+        self,
+        complete: bool,
+        residual: int,
+        visits: int,
+        peeled: int,
+        failures: int,
+    ) -> None:
+        """Record one full Algorithm-5 peel (called only when armed)."""
+        bundle = self._observe()
+        bundle.decodes.inc()
+        if complete:
+            bundle.decode_complete.inc()
+        else:
+            bundle.decode_incomplete.inc()
+        bundle.peel_rounds.inc(visits)
+        bundle.peeled_buckets.inc(peeled)
+        bundle.peel_failures.inc(failures)
+        bundle.residual_buckets.set(residual)
+
+    # ------------------------------------------------------------------ #
     # insertion (Algorithm 2)
     # ------------------------------------------------------------------ #
     def insert(self, key: int, count: int) -> None:
@@ -97,6 +147,8 @@ class InfrequentPart:
             )
         if _inv.ENABLED:
             _inv.check_counter_int(count, "InfrequentPart.insert count")
+        if _obs.ENABLED:
+            self._record_inserts(1, count)
         p = self.prime
         for row in range(self.rows):
             j = self._hashes.index(row, key)
@@ -139,6 +191,8 @@ class InfrequentPart:
         counts = self.counts
         indexes = self._hashes.indexes
         signs_of = self._signs.signs
+        observing = _obs.ENABLED
+        observed_units = 0
         for key, count in items:
             if not 1 <= key < max_key:
                 raise ConfigurationError(
@@ -155,6 +209,8 @@ class InfrequentPart:
             if signs is None:
                 signs = signs_of(key)
                 signs_cache[key] = signs
+            if observing:
+                observed_units += count
             delta = count * key
             for row in range(rows):
                 j = positions[row]
@@ -169,6 +225,8 @@ class InfrequentPart:
                     _inv.check_counter_int(
                         count_row[j], "InfrequentPart.insert_batch icnt"
                     )
+        if observing:
+            self._record_inserts(len(items), observed_units)
 
     # ------------------------------------------------------------------ #
     # fast (non-inverting) query — Count-Sketch style
@@ -214,6 +272,8 @@ class InfrequentPart:
             if (count * candidate) % p != iid % p:
                 continue
             if validator is not None and not validator(candidate):
+                if _obs.ENABLED:
+                    self._observe().crossval_rejections.inc()
                 continue
             return candidate, count
         return None
@@ -281,13 +341,23 @@ class InfrequentPart:
         )
         # Each bucket may be re-enqueued every time a peel touches it; the
         # visit budget below bounds pathological ping-ponging.
-        budget = max(64, 8 * self.rows * self.width)
+        initial_budget = max(64, 8 * self.rows * self.width)
+        budget = initial_budget
+        observing = _obs.ENABLED
+        peeled = 0
+        failures = 0
         while queue and budget > 0:
             budget -= 1
             row, col = queue.popleft()
             decoded = self._try_decode_bucket(row, col, validator)
             if decoded is None:
+                if observing and (
+                    self.counts[row][col] != 0 or self.ids[row][col] != 0
+                ):
+                    failures += 1
                 continue
+            if observing:
+                peeled += 1
             key, count = decoded
             counts[key] = counts.get(key, 0) + count
             if counts[key] == 0:
@@ -304,6 +374,14 @@ class InfrequentPart:
             for col in range(self.width)
             if self.counts[row][col] != 0 or self.ids[row][col] != 0
         )
+        if observing:
+            self._record_decode(
+                residual == 0,
+                residual,
+                initial_budget - budget,
+                peeled,
+                failures,
+            )
         return DecodeResult(counts, complete=residual == 0, residual_buckets=residual)
 
     # ------------------------------------------------------------------ #

@@ -10,11 +10,18 @@ Usage (any panel, any dataset, any scale, from a shell)::
 
 The output is the same text rendering the benchmark suite prints, so a
 shell user can regenerate a single figure without invoking pytest.
+
+Every subcommand accepts ``--metrics PATH``: it arms
+:mod:`repro.observability` for the duration of the run and writes the
+default registry's :func:`~repro.observability.metrics.snapshot` to
+``PATH`` as JSON afterwards (``-`` prints to stdout) — a machine-readable
+telemetry artifact to ride along with the figure text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -43,7 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    figure = subparsers.add_parser("figure", help="one Figure 4/5/6 panel")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="arm metric collection for the run and write a JSON snapshot "
+        "of the default registry to PATH ('-' for stdout)",
+    )
+
+    figure = subparsers.add_parser(
+        "figure", help="one Figure 4/5/6 panel", parents=[common]
+    )
     figure.add_argument("panel", choices=sorted(PANEL_RUNNERS))
     figure.add_argument("--dataset", default="caida")
     figure.add_argument("--scale", type=float, default=0.01)
@@ -62,11 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="frequency panel only (Fig. 7c uses aae)",
     )
 
-    fig1 = subparsers.add_parser("figure1", help="flow-size CDFs (Fig. 1)")
+    fig1 = subparsers.add_parser(
+        "figure1", help="flow-size CDFs (Fig. 1)", parents=[common]
+    )
     fig1.add_argument("--scale", type=float, default=0.01)
     fig1.add_argument("--seed", type=int, default=0)
 
-    overall = subparsers.add_parser("overall", help="Fig. 8 (AMA/throughput/memory)")
+    overall = subparsers.add_parser(
+        "overall", help="Fig. 8 (AMA/throughput/memory)", parents=[common]
+    )
     overall.add_argument("--scale", type=float, default=0.01)
     overall.add_argument(
         "--cases", type=_float_list, default=list(DEFAULT_CASES_KB)
@@ -74,7 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     overall.add_argument("--seed", type=int, default=0)
     overall.add_argument("--dataset", default="caida")
 
-    table3 = subparsers.add_parser("table3", help="Table III (9 tasks × cases)")
+    table3 = subparsers.add_parser(
+        "table3", help="Table III (9 tasks × cases)", parents=[common]
+    )
     table3.add_argument("--scale", type=float, default=0.01)
     table3.add_argument(
         "--cases", type=_float_list, default=list(DEFAULT_CASES_KB)
@@ -85,9 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_metrics_snapshot(path: str) -> None:
+    """Dump the default registry's snapshot as JSON to ``path``/stdout."""
+    from repro.observability import metrics as obs
+
+    payload = json.dumps(obs.snapshot(), indent=2, sort_keys=True)
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    metrics_path: Optional[str] = getattr(args, "metrics", None)
+    if metrics_path is None:
+        return _dispatch(args)
+    from repro.observability import metrics as obs
 
+    with obs.enabled():
+        code = _dispatch(args)
+        _write_metrics_snapshot(metrics_path)
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figure":
         runner = PANEL_RUNNERS[args.panel]
         kwargs = dict(

@@ -1,0 +1,70 @@
+"""Observability for the DaVinci reproduction: metrics + structured traces.
+
+Two complementary facilities, both dependency-free:
+
+* :mod:`repro.observability.metrics` — monotonic counters, gauges (value
+  or live-callback), fixed-bucket histograms and labeled families in a
+  strict :class:`MetricsRegistry`, with ``snapshot()`` (plain dict) and
+  ``render_prometheus()`` (text exposition format) exports.  One
+  process-global default registry; every instrumented component accepts
+  an injectable override.
+* :mod:`repro.observability.tracing` — a bounded :class:`TraceSink` of
+  structured :class:`TraceEvent` records, wired into the fault injectors
+  so tests assert on observed sequences.
+
+Collection is off by default and free when off: instrumented hot paths
+guard every record behind ``if _obs.ENABLED:`` (the same single
+attribute-load discipline as :mod:`repro.common.invariants`).  Arm it
+with ``REPRO_METRICS=1``, :func:`set_enabled`, or the scoped
+:func:`enabled` context manager::
+
+    from repro import observability as obs
+
+    with obs.enabled():
+        sketch.insert_all(stream)
+    print(obs.render_prometheus())
+
+The metric-name catalog lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    enabled,
+    get_default_registry,
+    refresh,
+    render_prometheus,
+    set_default_registry,
+    set_enabled,
+    snapshot,
+)
+from repro.observability.tracing import (
+    TraceEvent,
+    TraceSink,
+    get_default_trace_sink,
+    set_default_trace_sink,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceSink",
+    "enabled",
+    "get_default_registry",
+    "get_default_trace_sink",
+    "refresh",
+    "render_prometheus",
+    "set_default_registry",
+    "set_default_trace_sink",
+    "set_enabled",
+    "snapshot",
+]

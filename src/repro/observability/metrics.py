@@ -1,0 +1,779 @@
+"""Zero-dependency metrics: counters, gauges, histograms, labeled families.
+
+The registry is the observability core of the package: every instrumented
+layer (frequent part, element filter, infrequent part, the DaVinci facade
+and the durable ingestor) records into a :class:`MetricsRegistry` — by
+default one process-global registry, overridable per sketch/ingestor for
+multi-tenant processes and hermetic tests.
+
+Design constraints, in order:
+
+1. **The disabled path is free.**  Instrumented call sites are guarded by
+   the module-level :data:`ENABLED` flag exactly like the debug sanitizer
+   (``if _obs.ENABLED:`` — one attribute load and a falsy branch, no call,
+   no argument evaluation).  Arm it with ``REPRO_METRICS=1`` in the
+   environment, :func:`set_enabled`, or the :func:`enabled` context
+   manager.
+2. **Zero dependencies.**  Counters are plain Python ints behind ``inc``;
+   histograms are fixed-bucket (Prometheus-style cumulative ``le``
+   buckets); the exporter emits the Prometheus text exposition format
+   from scratch.
+3. **Strict registration.**  A metric name maps to exactly one kind and
+   one label set forever; conflicts raise
+   :class:`~repro.common.errors.ObservabilityError` instead of silently
+   forking a family.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain dicts — JSON-ready
+artifacts for the experiments CLI and CI — and
+:meth:`MetricsRegistry.render_prometheus` produces a scrapeable text page.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.common.errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "ENABLED",
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "enabled",
+    "get_default_registry",
+    "render_prometheus",
+    "set_default_registry",
+    "set_enabled",
+    "snapshot",
+]
+
+#: environment variable that arms metrics collection at import time
+ENV_VAR = "REPRO_METRICS"
+
+#: master switch — read *by name* at each call site (``_obs.ENABLED``) so
+#: :func:`set_enabled` takes effect without re-importing call sites.  When
+#: False (the default) instrumented hot paths cost one attribute load and
+#: a falsy branch per guard, nothing more.
+ENABLED: bool = os.environ.get(ENV_VAR, "").strip() not in (
+    "",
+    "0",
+    "false",
+    "False",
+)
+
+#: Prometheus-style default latency buckets (seconds), tuned down for
+#: sketch-query latencies which sit in the micro-to-millisecond range
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+Number = Union[int, float]
+LabelValues = Tuple[str, ...]
+
+
+def set_enabled(flag: bool) -> bool:
+    """Arm or disarm metrics collection; returns the previous state."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(flag)
+    return previous
+
+
+def refresh() -> bool:
+    """Re-read :data:`ENV_VAR` from the environment; returns the new state."""
+    set_enabled(
+        os.environ.get(ENV_VAR, "").strip() not in ("", "0", "false", "False")
+    )
+    return ENABLED
+
+
+@contextmanager
+def enabled(flag: bool = True) -> Iterator[None]:
+    """Scope metrics collection: ``with metrics.enabled(): ...``."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+_LABEL_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+def _validate_name(name: str) -> str:
+    if (
+        not name
+        or name[0].isdigit()
+        or not all(ch in _NAME_OK for ch in name)
+    ):
+        raise ObservabilityError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _validate_label_names(labels: Sequence[str]) -> Tuple[str, ...]:
+    validated = []
+    for label in labels:
+        if (
+            not label
+            or label[0].isdigit()
+            or label.startswith("__")
+            or not all(ch in _LABEL_OK for ch in label)
+        ):
+            raise ObservabilityError(
+                f"invalid label name {label!r}: must match "
+                "[a-zA-Z_][a-zA-Z0-9_]* and not start with __"
+            )
+        validated.append(label)
+    if len(set(validated)) != len(validated):
+        raise ObservabilityError(f"duplicate label names in {labels!r}")
+    return tuple(validated)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Number) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, bool):  # bools are ints; normalize
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _label_suffix(
+    label_names: Tuple[str, ...], label_values: LabelValues
+) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing value (Prometheus ``counter``)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "label_names", "label_values", "value")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Tuple[str, ...] = (),
+        label_values: LabelValues = (),
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help = help_text
+        self.label_names = label_names
+        self.label_values = label_values
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0 — counters only go up)."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (inc({amount!r}))"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up, down, or track a live callback."""
+
+    kind = "gauge"
+
+    __slots__ = (
+        "name",
+        "help",
+        "label_names",
+        "label_values",
+        "value",
+        "_callback",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Tuple[str, ...] = (),
+        label_values: LabelValues = (),
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help = help_text
+        self.label_names = label_names
+        self.label_values = label_values
+        self.value: Number = 0
+        self._callback: Optional[Callable[[], Number]] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def set_function(self, callback: Optional[Callable[[], Number]]) -> None:
+        """Track a live value: ``callback()`` is read at snapshot time.
+
+        Re-binding replaces the previous callback (last bound wins) — in a
+        process hosting several sketches, give each its own registry via
+        the per-sketch override instead of sharing callback gauges.
+        """
+        self._callback = callback
+
+    def read(self) -> Number:
+        if self._callback is not None:
+            return self._callback()
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+        self._callback = None
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative ``le`` buckets + sum + count)."""
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name",
+        "help",
+        "label_names",
+        "label_values",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "sum",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Tuple[str, ...] = (),
+        label_values: LabelValues = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help = help_text
+        self.label_names = label_names
+        self.label_values = label_values
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(
+            later <= earlier for earlier, later in zip(bounds, bounds[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name} bucket bounds must be non-empty and "
+                f"strictly increasing, got {buckets!r}"
+            )
+        self.bounds = bounds
+        #: non-cumulative per-bucket counts; index len(bounds) is +Inf
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.sum += value
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
+        while lo < hi:  # first bound >= value (bisect, inlined: no import)
+            mid = (lo + hi) // 2
+            if bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.bucket_counts[lo] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[str, int]]:
+        """``[(le_label, cumulative_count)]`` ending with ``+Inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((_format_value(bound), running))
+        out.append(("+Inf", self.count))
+        return out
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricFamily:
+    """A labeled family: one name, many children keyed by label values."""
+
+    __slots__ = (
+        "name",
+        "help",
+        "kind",
+        "label_names",
+        "buckets",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = _validate_name(name)
+        self.kind = kind
+        self.help = help_text
+        self.label_names = _validate_label_names(label_names)
+        if not self.label_names:
+            raise ObservabilityError(
+                f"metric family {name} needs at least one label name"
+            )
+        self.buckets = (
+            tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        )
+        self._children: Dict[LabelValues, Metric] = {}
+
+    def labels(self, *values: object, **kwargs: object) -> Metric:
+        """The child for these label values (created on first use).
+
+        Accepts positional values in declaration order or keyword form
+        (``family.labels(task="entropy")``); values are stringified.
+        """
+        if kwargs:
+            if values:
+                raise ObservabilityError(
+                    f"family {self.name}: pass labels positionally or by "
+                    "keyword, not both"
+                )
+            try:
+                values = tuple(kwargs[name] for name in self.label_names)
+            except KeyError as exc:
+                raise ObservabilityError(
+                    f"family {self.name} expects labels "
+                    f"{self.label_names}, got {sorted(kwargs)}"
+                ) from exc
+            if len(kwargs) != len(self.label_names):
+                raise ObservabilityError(
+                    f"family {self.name} expects labels "
+                    f"{self.label_names}, got {sorted(kwargs)}"
+                )
+        if len(values) != len(self.label_names):
+            raise ObservabilityError(
+                f"family {self.name} expects {len(self.label_names)} label "
+                f"values {self.label_names}, got {len(values)}"
+            )
+        key: LabelValues = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "counter":
+                child = Counter(self.name, self.help, self.label_names, key)
+            elif self.kind == "gauge":
+                child = Gauge(self.name, self.help, self.label_names, key)
+            else:
+                child = Histogram(
+                    self.name, self.help, self.label_names, key, self.buckets
+                )
+            self._children[key] = child
+        return child
+
+    def counter_child(self, *values: object, **kwargs: object) -> Counter:
+        """:meth:`labels`, statically typed for counter families."""
+        child = self.labels(*values, **kwargs)
+        if not isinstance(child, Counter):
+            raise ObservabilityError(f"family {self.name} is not a counter")
+        return child
+
+    def gauge_child(self, *values: object, **kwargs: object) -> Gauge:
+        """:meth:`labels`, statically typed for gauge families."""
+        child = self.labels(*values, **kwargs)
+        if not isinstance(child, Gauge):
+            raise ObservabilityError(f"family {self.name} is not a gauge")
+        return child
+
+    def histogram_child(self, *values: object, **kwargs: object) -> Histogram:
+        """:meth:`labels`, statically typed for histogram families."""
+        child = self.labels(*values, **kwargs)
+        if not isinstance(child, Histogram):
+            raise ObservabilityError(
+                f"family {self.name} is not a histogram"
+            )
+        return child
+
+    def children(self) -> List[Metric]:
+        """Every materialized child, in insertion order."""
+        return list(self._children.values())
+
+    def reset(self) -> None:
+        for child in self._children.values():
+            child.reset()
+
+
+class MetricsRegistry:
+    """A strict, self-describing collection of metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` (and their ``*_family``
+    variants) are get-or-create: the first call registers, later calls
+    with the same name return the same object, and any kind/label/bucket
+    disagreement raises :class:`~repro.common.errors.ObservabilityError`.
+    Registration takes a lock so concurrent first-touch from the durable
+    ingestor's callers stays safe; increments themselves are plain int
+    ops (atomic enough under the GIL for monitoring data).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Metric, MetricFamily]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # registration (get-or-create)
+    # ------------------------------------------------------------------ #
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        factory: Callable[[], Union[Metric, MetricFamily]],
+        label_names: Tuple[str, ...] = (),
+    ) -> Union[Metric, MetricFamily]:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                created = factory()
+                self._metrics[name] = created
+                return created
+        if existing.kind != kind:
+            raise ObservabilityError(
+                f"metric {name} already registered as {existing.kind}, "
+                f"cannot re-register as {kind}"
+            )
+        if existing.label_names != label_names:
+            raise ObservabilityError(
+                f"metric {name} already registered with labels "
+                f"{existing.label_names}, cannot re-register with "
+                f"{label_names}"
+            )
+        return existing
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._get_or_create(
+            name, "counter", help_text, lambda: Counter(name, help_text)
+        )
+        if not isinstance(metric, Counter):  # family under the same name
+            raise ObservabilityError(
+                f"metric {name} is a labeled family; use counter_family"
+            )
+        return metric
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._get_or_create(
+            name, "gauge", help_text, lambda: Gauge(name, help_text)
+        )
+        if not isinstance(metric, Gauge):
+            raise ObservabilityError(
+                f"metric {name} is a labeled family; use gauge_family"
+            )
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name,
+            "histogram",
+            help_text,
+            lambda: Histogram(name, help_text, buckets=buckets),
+        )
+        if not isinstance(metric, Histogram):
+            raise ObservabilityError(
+                f"metric {name} is a labeled family; use histogram_family"
+            )
+        if metric.bounds != tuple(float(bound) for bound in buckets):
+            raise ObservabilityError(
+                f"histogram {name} already registered with buckets "
+                f"{metric.bounds}"
+            )
+        return metric
+
+    def counter_family(
+        self, name: str, help_text: str, label_names: Sequence[str]
+    ) -> MetricFamily:
+        labels = _validate_label_names(label_names)
+        family = self._get_or_create(
+            name,
+            "counter",
+            help_text,
+            lambda: MetricFamily(name, "counter", help_text, labels),
+            labels,
+        )
+        if not isinstance(family, MetricFamily):
+            raise ObservabilityError(
+                f"metric {name} is an unlabeled counter; use counter"
+            )
+        return family
+
+    def gauge_family(
+        self, name: str, help_text: str, label_names: Sequence[str]
+    ) -> MetricFamily:
+        labels = _validate_label_names(label_names)
+        family = self._get_or_create(
+            name,
+            "gauge",
+            help_text,
+            lambda: MetricFamily(name, "gauge", help_text, labels),
+            labels,
+        )
+        if not isinstance(family, MetricFamily):
+            raise ObservabilityError(
+                f"metric {name} is an unlabeled gauge; use gauge"
+            )
+        return family
+
+    def histogram_family(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        labels = _validate_label_names(label_names)
+        family = self._get_or_create(
+            name,
+            "histogram",
+            help_text,
+            lambda: MetricFamily(name, "histogram", help_text, labels, buckets),
+            labels,
+        )
+        if not isinstance(family, MetricFamily):
+            raise ObservabilityError(
+                f"metric {name} is an unlabeled histogram; use histogram"
+            )
+        return family
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def _flat(self) -> List[Metric]:
+        out: List[Metric] = []
+        for metric in self._metrics.values():
+            if isinstance(metric, MetricFamily):
+                out.extend(metric.children())
+            else:
+                out.append(metric)
+        return out
+
+    def names(self) -> List[str]:
+        """Registered metric names, in registration order."""
+        return list(self._metrics)
+
+    def get(self, name: str) -> Optional[Union[Metric, MetricFamily]]:
+        """The registered metric or family, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, **labels: object) -> Number:
+        """Convenience read of a counter/gauge value (0 if never touched).
+
+        For families pass the child's labels; histograms are not values —
+        read them from :meth:`snapshot` instead.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if isinstance(metric, MetricFamily):
+            child = metric.labels(**labels)
+            metric = child
+        if isinstance(metric, Counter):
+            return metric.value
+        if isinstance(metric, Gauge):
+            return metric.read()
+        raise ObservabilityError(
+            f"metric {name} is a histogram; read it via snapshot()"
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything, as a plain JSON-ready dict.
+
+        Shape::
+
+            {"counters":   {"name" or 'name{label="v"}': number, ...},
+             "gauges":     {...},
+             "histograms": {key: {"buckets": {"le": cumulative, ...},
+                                  "count": n, "sum": s}, ...}}
+        """
+        counters: Dict[str, Number] = {}
+        gauges: Dict[str, Number] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        for metric in self._flat():
+            key = metric.name + _label_suffix(
+                metric.label_names, metric.label_values
+            )
+            if isinstance(metric, Counter):
+                counters[key] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[key] = metric.read()
+            else:
+                histograms[key] = {
+                    "buckets": dict(metric.cumulative_buckets()),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, metric in self._metrics.items():
+            if metric.help:
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            children: List[Metric]
+            if isinstance(metric, MetricFamily):
+                children = metric.children()
+            else:
+                children = [metric]
+            for child in children:
+                suffix = _label_suffix(child.label_names, child.label_values)
+                if isinstance(child, Histogram):
+                    for le, cumulative in child.cumulative_buckets():
+                        bucket_labels = _merge_le(
+                            child.label_names, child.label_values, le
+                        )
+                        lines.append(
+                            f"{name}_bucket{bucket_labels} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{suffix} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{name}_count{suffix} {child.count}")
+                elif isinstance(child, Gauge):
+                    lines.append(
+                        f"{name}{suffix} {_format_value(child.read())}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{suffix} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def reset(self) -> None:
+        """Zero every metric (names and shapes survive)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def clear(self) -> None:
+        """Forget every metric entirely (for hermetic tests)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _merge_le(
+    label_names: Tuple[str, ...], label_values: LabelValues, le: str
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    ]
+    pairs.append(f'le="{le}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+# ---------------------------------------------------------------------- #
+# process-global default registry
+# ---------------------------------------------------------------------- #
+_default_registry = MetricsRegistry()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-global registry instrumented code falls back to."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def snapshot() -> Dict[str, object]:
+    """Snapshot of the process-global default registry."""
+    return _default_registry.snapshot()
+
+
+def render_prometheus() -> str:
+    """Prometheus text rendering of the process-global default registry."""
+    return _default_registry.render_prometheus()

@@ -1,0 +1,140 @@
+"""Structured trace events: a bounded in-process event sink.
+
+Where metrics aggregate (how many evictions?), traces *sequence* (what
+happened, in what order?).  A :class:`TraceSink` is a fixed-capacity ring
+buffer of :class:`TraceEvent` records — name + structured fields + a
+monotonically increasing sequence number — cheap enough to leave wired
+into the fault injectors permanently:
+
+* :class:`repro.testing.faults.CrashInjector` emits one ``fault.step``
+  event per durable-step callback and a ``fault.crash`` event when it
+  fires, so crash tests assert on the *observed* durable sequence
+  (``journal:record`` → ``apply`` → …) instead of poking private state;
+* :func:`repro.testing.faults.forced_peel_stall` brackets its scope with
+  ``fault.peel_stall.enter`` / ``fault.peel_stall.exit``;
+* the byte-corruption helpers tag each mutation they hand out.
+
+Like the metrics registry there is a process-global default sink
+(:func:`get_default_trace_sink`) and injectable per-component overrides.
+Unlike metrics, emission is *not* gated on the global enabled flag — the
+sink is a bounded buffer, the emitters are test/fault paths rather than
+per-item hot paths, and a crash investigator wants the trail to exist
+even when nobody remembered to arm metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.common.errors import ObservabilityError
+
+__all__ = [
+    "TraceEvent",
+    "TraceSink",
+    "get_default_trace_sink",
+    "set_default_trace_sink",
+]
+
+#: default ring-buffer capacity (events); old events are dropped silently
+#: but counted in :attr:`TraceSink.dropped`
+DEFAULT_CAPACITY = 4096
+
+
+class TraceEvent:
+    """One structured event: a name, a field mapping, and ordering info."""
+
+    __slots__ = ("name", "fields", "seq", "timestamp")
+
+    def __init__(
+        self,
+        name: str,
+        fields: Dict[str, object],
+        seq: int,
+        timestamp: float,
+    ) -> None:
+        self.name = name
+        self.fields = fields
+        self.seq = seq
+        self.timestamp = timestamp
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-ready; fields are caller-supplied)."""
+        return {
+            "name": self.name,
+            "fields": dict(self.fields),
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.name!r}, seq={self.seq}, {self.fields!r})"
+
+
+class TraceSink:
+    """A bounded, ordered buffer of trace events."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError("trace sink capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        #: events evicted by the ring buffer since construction/clear
+        self.dropped = 0
+
+    def emit(self, name: str, **fields: object) -> TraceEvent:
+        """Record one event; returns it (mainly for tests)."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        event = TraceEvent(name, fields, next(self._seq), self._clock())
+        self._events.append(event)
+        return event
+
+    def events(self, name: Optional[str] = None) -> List[TraceEvent]:
+        """Buffered events in order, optionally filtered by exact name."""
+        if name is None:
+            return list(self._events)
+        return [event for event in self._events if event.name == name]
+
+    def names(self) -> List[str]:
+        """The event-name sequence (what fault tests assert on)."""
+        return [event.name for event in self._events]
+
+    def field_sequence(self, field: str, name: Optional[str] = None) -> List[object]:
+        """The values of one field across (optionally filtered) events."""
+        return [
+            event.fields[field]
+            for event in self.events(name)
+            if field in event.fields
+        ]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+_default_sink = TraceSink()
+
+
+def get_default_trace_sink() -> TraceSink:
+    """The process-global sink fault injectors fall back to."""
+    return _default_sink
+
+
+def set_default_trace_sink(sink: TraceSink) -> TraceSink:
+    """Swap the process-global sink; returns the previous one."""
+    global _default_sink
+    previous = _default_sink
+    _default_sink = sink
+    return previous

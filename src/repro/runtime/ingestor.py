@@ -76,6 +76,10 @@ from repro.common.errors import CheckpointError, ConfigurationError
 from repro.core import serialization
 from repro.core.config import DaVinciConfig
 from repro.core.davinci import DaVinciSketch
+from repro.observability import instruments as _obs_instruments
+from repro.observability import metrics as _obs
+from repro.observability.instruments import IngestorMetrics
+from repro.observability.metrics import MetricsRegistry
 
 try:  # optional accelerator: ~2x faster journal/checkpoint encoding
     import orjson as _fastjson
@@ -247,7 +251,19 @@ class CheckpointingIngestor:
     crash_hook:
         Called with a label after every durable step; the fault harness
         raises from here to simulate crashes.
+    metrics_registry:
+        Optional private :class:`~repro.observability.metrics.MetricsRegistry`
+        for the durability telemetry (and, propagated, the wrapped
+        sketch's layer counters).  ``None`` uses the process-global
+        default registry; collection only happens while
+        :mod:`repro.observability.metrics` is enabled.
     """
+
+    #: lazily-created metrics bundle (class-level default; see
+    #: repro.observability — collection is free while disabled)
+    _obs_metrics: Optional[IngestorMetrics] = None
+    #: injectable registry override (None → the process-global default)
+    _obs_registry: Optional[MetricsRegistry] = None
 
     def __init__(
         self,
@@ -260,6 +276,7 @@ class CheckpointingIngestor:
         digest_algo: str = "crc32",
         clock: Callable[[], float] = time.monotonic,
         crash_hook: Optional[CrashHook] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if checkpoint_every_items is not None and checkpoint_every_items < 1:
             raise ConfigurationError(
@@ -287,6 +304,7 @@ class CheckpointingIngestor:
         self.digest_algo = digest_algo
         self._clock = clock
         self._crash_hook = crash_hook
+        self._obs_registry = metrics_registry
 
         os.makedirs(self.directory, exist_ok=True)
         self._journal_path = os.path.join(self.directory, JOURNAL_FILENAME)
@@ -315,6 +333,17 @@ class CheckpointingIngestor:
         self._closed = False
 
     # ------------------------------------------------------------------ #
+    # observability (free while disabled)
+    # ------------------------------------------------------------------ #
+    def _observe(self) -> IngestorMetrics:
+        """The lazily-bound metrics bundle (armed paths only)."""
+        bundle = self._obs_metrics
+        if bundle is None:
+            bundle = _obs_instruments.ingestor_metrics(self._obs_registry)
+            self._obs_metrics = bundle
+        return bundle
+
+    # ------------------------------------------------------------------ #
     # recovery
     # ------------------------------------------------------------------ #
     def _recover(self) -> DaVinciSketch:
@@ -332,6 +361,15 @@ class CheckpointingIngestor:
             self.items_ingested = checkpoint["items_ingested"]
         else:
             sketch = DaVinciSketch(self.config)
+        if self._obs_registry is not None:
+            # from_state builds with the default registry; rebind the
+            # whole stack to this ingestor's private one.
+            sketch._obs_registry = self._obs_registry
+            sketch.fp._obs_registry = self._obs_registry
+            sketch.ef._obs_registry = self._obs_registry
+            sketch.ifp._obs_registry = self._obs_registry
+        replayed_records = 0
+        replayed_items = 0
         for seq, pairs in self._replayable_records():
             had_state = True
             if seq <= self.applied_seq:
@@ -344,7 +382,14 @@ class CheckpointingIngestor:
             sketch.insert_batch(pairs, chunk_size=len(pairs))
             self.applied_seq = seq
             self.items_ingested += len(pairs)
+            replayed_records += 1
+            replayed_items += len(pairs)
         self.recovered = had_state
+        if _obs.ENABLED and had_state:
+            bundle = self._observe()
+            bundle.recoveries.inc()
+            bundle.replayed_records.set(replayed_records)
+            bundle.replayed_items.set(replayed_items)
         return sketch
 
     def _load_checkpoint(self) -> Optional[Dict[str, Any]]:
@@ -596,18 +641,29 @@ class CheckpointingIngestor:
             )
         self.applied_seq += 1
         self.items_ingested += len(keys)
+        if _obs.ENABLED:
+            self._observe().ingested_items.inc(len(keys))
         self._hook("apply")
 
     def _append_record(
         self, keys: List[Union[int, str]], compact: Union[int, List[int]]
     ) -> None:
         """Write one CRC-prefixed record line (see :func:`_crc_line`)."""
+        observing = _obs.ENABLED
+        started = time.perf_counter() if observing else 0.0
         line = _crc_line(
             {"counts": compact, "keys": keys, "seq": self.applied_seq + 1}
         )
         self._journal_file.write(line + b"\n")
         self._journal_file.flush()
         os.fsync(self._journal_file.fileno())
+        if observing:
+            bundle = self._observe()
+            bundle.journal_append_seconds.observe(
+                time.perf_counter() - started
+            )
+            bundle.journal_records.inc()
+            bundle.fsyncs.inc()
         self._hook("journal:record")
 
     def _checkpoint_due(self) -> bool:
@@ -638,6 +694,8 @@ class CheckpointingIngestor:
         are skipped during replay regardless).
         """
         self._require_open()
+        observing = _obs.ENABLED
+        started = time.perf_counter() if observing else 0.0
         payload: Dict[str, Any] = {
             "applied_seq": self.applied_seq,
             "format": _CHECKPOINT_FORMAT,
@@ -666,6 +724,12 @@ class CheckpointingIngestor:
         self._journal_file = open(self._journal_path, "ab")
         self._hook("journal:truncate")
 
+        if observing:
+            bundle = self._observe()
+            bundle.checkpoint_seconds.observe(time.perf_counter() - started)
+            bundle.checkpoints.inc()
+            # tmp-file fsync + directory fsync + journal-truncate fsync
+            bundle.fsyncs.inc(3)
         self._items_at_checkpoint = self.items_ingested
         self._time_at_checkpoint = self._clock()
 

@@ -13,6 +13,14 @@ Three failure families, one per durability layer:
   infrequent-part decode report an incomplete peel, driving the
   degradation policies (STRICT / DEGRADE / BEST_EFFORT) without having
   to overload a real sketch past its decode capacity.
+
+Every injector also emits structured trace events into a
+:class:`~repro.observability.tracing.TraceSink` (the process default, or
+a private one passed as ``trace=``), so a failing fault-sweep test can
+print exactly which fault fired where.  Unlike metric collection, trace
+emission is *not* gated on the metrics enabled-flag: fault injection is
+already a test-only, cold path, and the event trail is most valuable
+precisely when nobody remembered to arm anything.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Iterator, List, Optional
 from repro.common.errors import ConfigurationError, ReproError
 from repro.core.davinci import DaVinciSketch
 from repro.core.infrequent_part import DecodeResult
+from repro.observability.tracing import TraceSink, get_default_trace_sink
 
 
 class InjectedCrash(ReproError):
@@ -48,9 +57,15 @@ class CrashInjector:
     run's total durable steps before sweeping them.
     """
 
-    def __init__(self, crash_after: int, only_label: Optional[str] = None):
+    def __init__(
+        self,
+        crash_after: int,
+        only_label: Optional[str] = None,
+        trace: Optional[TraceSink] = None,
+    ):
         self.crash_after = crash_after
         self.only_label = only_label
+        self._trace = trace
         #: every label observed, in order (crash point included)
         self.labels: List[str] = []
         #: matching invocations so far
@@ -58,35 +73,50 @@ class CrashInjector:
         #: set once the injector has fired
         self.crashed = False
 
+    def _sink(self) -> TraceSink:
+        return self._trace if self._trace is not None else get_default_trace_sink()
+
     def __call__(self, label: str) -> None:
         self.labels.append(label)
+        self._sink().emit("fault.step", label=label, step=len(self.labels))
         if self.only_label is not None and label != self.only_label:
             return
         self.ops += 1
         if self.crash_after > 0 and self.ops >= self.crash_after:
             self.crashed = True
+            self._sink().emit(
+                "fault.crash", label=label, op=self.ops, step=len(self.labels)
+            )
             raise InjectedCrash(
                 f"injected crash at durable step {self.ops} ({label})"
             )
 
 
-def flip_bit(blob: bytes, bit_index: int) -> bytes:
+def flip_bit(
+    blob: bytes, bit_index: int, trace: Optional[TraceSink] = None
+) -> bytes:
     """Return ``blob`` with one bit inverted (index over the whole blob)."""
     if not 0 <= bit_index < 8 * len(blob):
         raise ConfigurationError(
             f"bit {bit_index} outside a {len(blob)}-byte blob"
         )
+    sink = trace if trace is not None else get_default_trace_sink()
+    sink.emit("fault.flip_bit", bit=bit_index, size=len(blob))
     mutated = bytearray(blob)
     mutated[bit_index // 8] ^= 1 << (bit_index % 8)
     return bytes(mutated)
 
 
-def truncate(blob: bytes, length: int) -> bytes:
+def truncate(
+    blob: bytes, length: int, trace: Optional[TraceSink] = None
+) -> bytes:
     """Return the first ``length`` bytes of ``blob`` (a torn write)."""
     if not 0 <= length <= len(blob):
         raise ConfigurationError(
             f"cannot keep {length} bytes of a {len(blob)}-byte blob"
         )
+    sink = trace if trace is not None else get_default_trace_sink()
+    sink.emit("fault.truncate", kept=length, size=len(blob))
     return blob[:length]
 
 
@@ -96,6 +126,7 @@ def forced_peel_stall(
     *,
     keep_partial: int = 0,
     residual_buckets: int = 1,
+    trace: Optional[TraceSink] = None,
 ) -> Iterator[DaVinciSketch]:
     """Force ``sketch`` to report an incomplete infrequent-part decode.
 
@@ -109,16 +140,28 @@ def forced_peel_stall(
     """
     ifp = sketch.ifp
     real_decode = ifp.decode
+    sink = trace if trace is not None else get_default_trace_sink()
 
     def stalled_decode(*args: object, **kwargs: object) -> DecodeResult:
         result = real_decode(*args, **kwargs)
         kept = dict(sorted(result.counts.items())[:keep_partial])
+        sink.emit(
+            "fault.peel_stall.decode",
+            kept=len(kept),
+            dropped=len(result.counts) - len(kept),
+            residual_buckets=max(1, residual_buckets),
+        )
         return DecodeResult(
             counts=kept,
             complete=False,
             residual_buckets=max(1, residual_buckets),
         )
 
+    sink.emit(
+        "fault.peel_stall.enter",
+        keep_partial=keep_partial,
+        residual_buckets=residual_buckets,
+    )
     sketch._decode_cache = None
     ifp.decode = stalled_decode  # type: ignore[method-assign]
     try:
@@ -126,3 +169,4 @@ def forced_peel_stall(
     finally:
         del ifp.decode  # restore the class-level method
         sketch._decode_cache = None
+        sink.emit("fault.peel_stall.exit")

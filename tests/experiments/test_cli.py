@@ -75,3 +75,85 @@ class TestMain:
         assert code == 0
         output = capsys.readouterr().out
         assert "Freq ARE" in output and "Join RE" in output
+
+
+class TestMetricsFlag:
+    def test_metrics_snapshot_artifact(self, tmp_path):
+        """--metrics arms collection for the run and writes the snapshot."""
+        import json
+
+        from repro.observability import metrics as obs
+        from repro.observability.metrics import MetricsRegistry
+
+        target = tmp_path / "metrics.json"
+        previous_registry = obs.set_default_registry(MetricsRegistry())
+        try:
+            assert obs.ENABLED is False  # arming is scoped to the run
+            code = main(
+                [
+                    "figure",
+                    "frequency",
+                    "--scale",
+                    "0.003",
+                    "--memories",
+                    "2",
+                    "--metrics",
+                    str(target),
+                ]
+            )
+        finally:
+            obs.set_default_registry(previous_registry)
+        assert code == 0
+        assert obs.ENABLED is False  # flag restored after the run
+        snap = json.loads(target.read_text(encoding="utf-8"))
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        counters = snap["counters"]
+        assert counters["davinci_inserts_total"] > 0
+        assert (
+            counters["davinci_items_total"]
+            >= counters["davinci_inserts_total"]
+        )
+
+    def test_metrics_dash_writes_stdout(self, capsys):
+        import json
+
+        from repro.observability import metrics as obs
+        from repro.observability.metrics import MetricsRegistry
+
+        previous_registry = obs.set_default_registry(MetricsRegistry())
+        try:
+            code = main(
+                [
+                    "figure",
+                    "frequency",
+                    "--scale",
+                    "0.003",
+                    "--memories",
+                    "2",
+                    "--metrics",
+                    "-",
+                ]
+            )
+        finally:
+            obs.set_default_registry(previous_registry)
+        assert code == 0
+        output = capsys.readouterr().out
+        # the snapshot JSON object is printed after the report text
+        payload = output[output.index('{\n  "counters"'):]
+        snap = json.loads(payload)
+        assert snap["counters"]["davinci_inserts_total"] > 0
+
+    def test_without_flag_nothing_is_written(self):
+        from repro.observability import metrics as obs
+        from repro.observability.metrics import MetricsRegistry
+
+        previous_registry = obs.set_default_registry(MetricsRegistry())
+        try:
+            code = main(
+                ["figure", "frequency", "--scale", "0.003", "--memories", "2"]
+            )
+            snap = obs.snapshot()
+        finally:
+            obs.set_default_registry(previous_registry)
+        assert code == 0
+        assert all(value == 0 for value in snap["counters"].values())

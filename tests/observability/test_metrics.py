@@ -1,0 +1,243 @@
+"""Unit tests for the metrics registry primitives.
+
+Counters, gauges (value and callback), histograms, labeled families,
+registry get-or-create semantics, snapshots and the enable/disable
+switches.  Everything here runs on private :class:`MetricsRegistry`
+instances — the process-global default registry is only touched by the
+tests that explicitly exercise it, and those restore it.
+"""
+
+import math
+
+import pytest
+
+from repro.common.errors import ObservabilityError
+from repro.observability import metrics as obs
+from repro.observability.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("events_total", "Events")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("events_total", "Events")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_zero_increment_allowed(self, registry):
+        c = registry.counter("events_total", "Events")
+        c.inc(0)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth", "Depth")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.read() == 2
+
+    def test_callback_gauge_reads_live_value(self, registry):
+        g = registry.gauge("live", "Live value")
+        box = {"value": 7}
+        g.set_function(lambda: box["value"])
+        assert g.read() == 7
+        box["value"] = 11
+        assert g.read() == 11
+        assert registry.snapshot()["gauges"]["live"] == 11
+
+    def test_callback_outlives_set_until_cleared(self, registry):
+        g = registry.gauge("live", "Live value")
+        g.set_function(lambda: 99)
+        g.set(1)
+        assert g.read() == 99  # callback wins while bound
+        g.set_function(None)
+        assert g.read() == 1  # stored value resurfaces
+        g.set_function(lambda: 42)
+        g.reset()
+        assert g.read() == 0  # reset clears both value and callback
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self, registry):
+        h = registry.histogram("lat", "Latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative["0.01"] == 1
+        assert cumulative["0.1"] == 2
+        assert cumulative["1.0"] == 3
+        assert cumulative["+Inf"] == 4
+        assert h.count == 4
+        assert math.isclose(h.sum, 5.555)
+
+    def test_bounds_must_increase(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad", "Bad", buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad2", "Bad", buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad3", "Bad", buckets=())
+
+    def test_boundary_value_lands_in_le_bucket(self, registry):
+        h = registry.histogram("lat", "Latency", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative["1.0"] == 1
+
+
+class TestFamilies:
+    def test_label_children_are_get_or_create(self, registry):
+        fam = registry.counter_family("errs_total", "Errors", ("kind",))
+        a = fam.labels(kind="io")
+        b = fam.labels("io")
+        assert a is b
+        a.inc(2)
+        assert registry.value("errs_total", kind="io") == 2
+
+    def test_positional_and_keyword_cannot_mix(self, registry):
+        fam = registry.counter_family("errs_total", "Errors", ("kind", "op"))
+        with pytest.raises(ObservabilityError):
+            fam.labels("io", op="read")
+
+    def test_wrong_arity_rejected(self, registry):
+        fam = registry.counter_family("errs_total", "Errors", ("kind",))
+        with pytest.raises(ObservabilityError):
+            fam.labels("io", "extra")
+        with pytest.raises(ObservabilityError):
+            fam.labels(other="x")
+
+    def test_label_values_are_stringified(self, registry):
+        fam = registry.counter_family("cases_total", "Cases", ("case",))
+        fam.labels(case=3).inc()
+        assert registry.value("cases_total", case="3") == 1
+        assert registry.value("cases_total", case=3) == 1
+
+    def test_children_listing(self, registry):
+        fam = registry.gauge_family("sat", "Saturation", ("level",))
+        fam.labels(level=0).set(0.5)
+        fam.labels(level=1).set(0.25)
+        assert len(fam.children()) == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self, registry):
+        a = registry.counter("hits_total", "Hits")
+        b = registry.counter("hits_total", "Hits")
+        assert a is b
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("thing", "Thing")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("thing", "Thing")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter_family("thing_total", "Thing", ("a",))
+        with pytest.raises(ObservabilityError):
+            registry.counter_family("thing_total", "Thing", ("b",))
+
+    def test_bucket_conflict_raises(self, registry):
+        registry.histogram("lat", "Latency", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("lat", "Latency", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("9starts_with_digit", "Bad")
+        with pytest.raises(ObservabilityError):
+            registry.counter("has-dash", "Bad")
+        with pytest.raises(ObservabilityError):
+            registry.counter_family("ok_total", "Bad label", ("__reserved",))
+        with pytest.raises(ObservabilityError):
+            registry.counter_family("ok_total", "Dup labels", ("a", "a"))
+
+    def test_value_unknown_name_is_zero(self, registry):
+        assert registry.value("never_registered_total") == 0
+
+    def test_value_on_histogram_raises(self, registry):
+        registry.histogram("lat", "Latency", buckets=(1.0,))
+        with pytest.raises(ObservabilityError):
+            registry.value("lat")
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c_total", "C").inc(3)
+        registry.gauge("g", "G").set(2)
+        h = registry.histogram("h", "H", buckets=(1.0,))
+        h.observe(0.5)
+        registry.counter_family("f_total", "F", ("k",)).labels(k="x").inc()
+        snap = registry.snapshot()
+        assert snap["counters"]["c_total"] == 3
+        assert snap["counters"]['f_total{k="x"}'] == 1
+        assert snap["gauges"]["g"] == 2
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["sum"] == 0.5
+        assert hist["buckets"]["+Inf"] == 1
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        c = registry.counter("c_total", "C")
+        c.inc(5)
+        registry.reset()
+        assert c.value == 0
+        assert registry.counter("c_total", "C") is c
+
+    def test_clear_forgets_registrations(self, registry):
+        registry.counter("c_total", "C")
+        registry.clear()
+        # re-registering with a different kind is now fine
+        registry.gauge("c_total", "C as gauge")
+
+
+class TestEnableSwitches:
+    def test_set_enabled_returns_previous(self):
+        previous = obs.set_enabled(True)
+        try:
+            assert obs.ENABLED is True
+            assert obs.set_enabled(False) is True
+            assert obs.ENABLED is False
+        finally:
+            obs.set_enabled(previous)
+
+    def test_enabled_context_restores(self):
+        before = obs.ENABLED
+        with obs.enabled():
+            assert obs.ENABLED is True
+        assert obs.ENABLED is before
+        with obs.enabled(False):
+            assert obs.ENABLED is False
+        assert obs.ENABLED is before
+
+    def test_refresh_reads_environment(self, monkeypatch):
+        before = obs.ENABLED
+        try:
+            monkeypatch.setenv(obs.ENV_VAR, "1")
+            obs.refresh()
+            assert obs.ENABLED is True
+            monkeypatch.setenv(obs.ENV_VAR, "0")
+            obs.refresh()
+            assert obs.ENABLED is False
+        finally:
+            obs.set_enabled(before)
+
+
+class TestDefaultRegistry:
+    def test_module_shortcuts_use_default_registry(self):
+        previous = obs.set_default_registry(MetricsRegistry())
+        try:
+            obs.get_default_registry().counter("smoke_total", "Smoke").inc()
+            assert obs.snapshot()["counters"]["smoke_total"] == 1
+            assert "smoke_total 1" in obs.render_prometheus()
+        finally:
+            obs.set_default_registry(previous)

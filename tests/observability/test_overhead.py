@@ -1,0 +1,133 @@
+"""The "free while disabled" pin, isolated from workload noise.
+
+``docs/OBSERVABILITY.md`` promises metrics collection costs the
+disabled ingest path <= 1%.  An end-to-end A/B cannot isolate that (the
+guards cannot be compiled out), so this test measures the two factors
+directly and multiplies:
+
+* **how many** guard evaluations a disabled batched ingest performs —
+  counted exactly by swapping :data:`repro.observability.metrics.ENABLED`
+  for a falsy object whose ``__bool__`` counts calls (every ``if
+  _obs.ENABLED:`` site and every hoisted ``if observing:`` local hits
+  it); and
+* **how much** one disabled guard dispatch costs — a min-of-repeats
+  microbench of the ``if module.ENABLED:`` idiom against an empty loop.
+
+``evals x per_guard_cost / ingest_time`` is the disabled-mode overhead
+fraction.  On a quiet machine it measures ~0.05%; the assertions allow
+a full order of magnitude of CI noise and still sit at the documented
+1% bound.  A structural pin rides along: batched ingest must evaluate
+*sub-linearly* many guards (the per-batch hoisting discipline), because
+that — not dispatch speed — is what keeps the idiom free at scale.
+"""
+
+import time
+
+from repro.core import DaVinciConfig, DaVinciSketch
+from repro.observability import metrics as obs
+from repro.workloads import zipf_trace
+
+NUM_ITEMS = 100_000
+NUM_FLOWS = 10_000
+MEMORY_KB = 16.0
+
+
+class _CountingFalsy:
+    """Falsy stand-in for the ENABLED flag that counts truth tests."""
+
+    def __init__(self) -> None:
+        self.evals = 0
+
+    def __bool__(self) -> bool:
+        self.evals += 1
+        return False
+
+
+def _fresh_sketch():
+    return DaVinciSketch(DaVinciConfig.from_memory_kb(MEMORY_KB, seed=11))
+
+
+def _count_disabled_guard_evals(trace):
+    flag = _CountingFalsy()
+    previous = obs.set_enabled(False)
+    obs.ENABLED = flag  # type: ignore[assignment]
+    try:
+        _fresh_sketch().insert_all(trace)
+    finally:
+        obs.ENABLED = False
+        obs.set_enabled(previous)
+    return flag.evals
+
+
+def _guard_dispatch_seconds(iterations=1_000_000, repeats=5):
+    """Min-of-repeats incremental cost of ``if module.ENABLED:``."""
+
+    def guarded() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if obs.ENABLED:
+                raise RuntimeError("flag must stay disabled here")
+        return time.perf_counter() - start
+
+    def empty() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            pass
+        return time.perf_counter() - start
+
+    previous = obs.set_enabled(False)
+    try:
+        guard = min(guarded() for _ in range(repeats))
+        base = min(empty() for _ in range(repeats))
+    finally:
+        obs.set_enabled(previous)
+    return max(guard - base, 0.0) / iterations
+
+
+def _ingest_seconds(trace, repeats=3):
+    previous = obs.set_enabled(False)
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            sketch = _fresh_sketch()
+            start = time.perf_counter()
+            sketch.insert_all(trace)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        obs.set_enabled(previous)
+    return best
+
+
+def test_batched_ingest_hoists_guards():
+    """Guard evaluations must be sub-linear in the item count."""
+    trace = zipf_trace(NUM_ITEMS, NUM_FLOWS, 1.1, seed=3)
+    evals = _count_disabled_guard_evals(trace)
+    # measured ~0.15 evals/item (chunk-level guards + per-promoted-pair
+    # hoisted locals); 0.5 leaves room for workload drift while still
+    # outlawing a per-item module-attribute guard (>= 1.0 per item)
+    assert 0 < evals <= 0.5 * len(trace), evals
+
+
+def test_disabled_overhead_fraction_below_one_percent():
+    trace = zipf_trace(NUM_ITEMS, NUM_FLOWS, 1.1, seed=3)
+    evals = _count_disabled_guard_evals(trace)
+    per_guard = _guard_dispatch_seconds()
+    ingest = _ingest_seconds(trace)
+
+    # sanity on the factors themselves (quiet machine: ~4ns and ~1us)
+    assert per_guard <= 1e-6, f"guard dispatch {per_guard * 1e9:.0f}ns"
+    assert ingest > 0
+
+    fraction = evals * per_guard / ingest
+    assert fraction <= 0.01, (
+        f"disabled-mode guard overhead {fraction:.4%} "
+        f"({evals} evals x {per_guard * 1e9:.1f}ns over {ingest:.3f}s)"
+    )
+
+
+def test_disabled_flag_is_plain_bool_after_toggling():
+    """The counting shim must never leak out of these tests."""
+    assert isinstance(obs.ENABLED, bool)
+    previous = obs.set_enabled(False)
+    obs.set_enabled(previous)
+    assert isinstance(obs.ENABLED, bool)

@@ -1,0 +1,125 @@
+"""Grammar validation of ``render_prometheus()`` output.
+
+The registry promises text exposition format 0.0.4.  Rather than eyeball
+examples, every rendered line is matched against a regex grammar built
+from the format spec: comment lines (``# HELP`` / ``# TYPE``) and sample
+lines (``name{labels} value``), with histogram series obeying the
+``_bucket``/``_sum``/``_count`` naming and cumulative ``le`` buckets.
+"""
+
+import re
+
+from repro.observability.metrics import MetricsRegistry
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# label values: escaped backslash, escaped quote, escaped newline, or any
+# character except the raw versions of those three
+LABEL_VALUE = r'(?:\\\\|\\"|\\n|[^"\\\n])*'
+LABEL_PAIR = rf'{LABEL_NAME}="{LABEL_VALUE}"'
+LABELS = rf"\{{{LABEL_PAIR}(?:,{LABEL_PAIR})*\}}"
+VALUE = r"(?:[+-]?Inf|NaN|-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)"
+
+HELP_LINE = re.compile(rf"^# HELP ({METRIC_NAME}) (.*)$")
+TYPE_LINE = re.compile(
+    rf"^# TYPE ({METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+SAMPLE_LINE = re.compile(rf"^({METRIC_NAME})(?:{LABELS})? ({VALUE})$")
+LE_LABEL = re.compile(r'le="([^"]*)"')
+
+
+def _rendered_registry():
+    reg = MetricsRegistry()
+    reg.counter("plain_total", "A plain counter").inc(7)
+    reg.gauge("depth", "Current depth").set(2.5)
+    fam = reg.counter_family("errs_total", "Errors by kind", ("kind",))
+    fam.labels(kind="io").inc(3)
+    fam.labels(kind='quo"te\\back\nnewline').inc()
+    hist = reg.histogram("lat_seconds", "Latency", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.005, 0.05, 2.0):
+        hist.observe(value)
+    hfam = reg.histogram_family(
+        "task_seconds", "Per-task latency", ("task",), buckets=(0.5,)
+    )
+    hfam.histogram_child(task="entropy").observe(0.1)
+    return reg, reg.render_prometheus()
+
+
+def test_every_line_matches_the_grammar():
+    _, text = _rendered_registry()
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        assert (
+            HELP_LINE.match(line)
+            or TYPE_LINE.match(line)
+            or SAMPLE_LINE.match(line)
+        ), f"line violates exposition grammar: {line!r}"
+
+
+def test_type_precedes_samples_and_help_is_present():
+    _, text = _rendered_registry()
+    lines = text.splitlines()
+    seen_type = set()
+    for line in lines:
+        type_match = TYPE_LINE.match(line)
+        if type_match:
+            seen_type.add(type_match.group(1))
+            continue
+        sample = SAMPLE_LINE.match(line)
+        if sample:
+            base = re.sub(r"_(bucket|sum|count)$", "", sample.group(1))
+            assert (
+                sample.group(1) in seen_type or base in seen_type
+            ), f"sample before its TYPE: {line!r}"
+    helped = {m.group(1) for m in map(HELP_LINE.match, lines) if m}
+    assert {
+        "plain_total",
+        "depth",
+        "errs_total",
+        "lat_seconds",
+        "task_seconds",
+    } <= helped
+
+
+def test_histogram_series_shape():
+    _, text = _rendered_registry()
+    lines = text.splitlines()
+    buckets = [
+        line for line in lines if line.startswith("lat_seconds_bucket")
+    ]
+    # every bucket line carries an le label; the last is +Inf
+    les = [LE_LABEL.search(line).group(1) for line in buckets]
+    assert les == ["0.01", "0.1", "1.0", "+Inf"]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts), "le buckets must be cumulative"
+    assert counts == [2, 3, 3, 4]
+    assert "lat_seconds_sum 2.06" in text
+    assert "lat_seconds_count 4" in text
+    # +Inf bucket equals _count
+    assert counts[-1] == 4
+
+
+def test_labeled_histogram_merges_le_with_labels():
+    _, text = _rendered_registry()
+    assert 'task_seconds_bucket{task="entropy",le="0.5"} 1' in text
+    assert 'task_seconds_bucket{task="entropy",le="+Inf"} 1' in text
+    assert 'task_seconds_count{task="entropy"} 1' in text
+
+
+def test_label_values_are_escaped():
+    _, text = _rendered_registry()
+    escaped = [
+        line
+        for line in text.splitlines()
+        if line.startswith("errs_total{") and "quo" in line
+    ]
+    assert len(escaped) == 1
+    line = escaped[0]
+    assert '\\"' in line  # quote escaped
+    assert "\\\\" in line  # backslash escaped
+    assert "\\n" in line and "\n" not in line.strip("\n")  # newline escaped
+    assert SAMPLE_LINE.match(line), line
+
+
+def test_empty_registry_renders_empty_string():
+    assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,126 @@
+"""Unit tests for the bounded trace-event sink + fault-injector emission."""
+
+import pytest
+
+from repro.common.errors import ObservabilityError, ReproError
+from repro.observability.tracing import (
+    TraceSink,
+    get_default_trace_sink,
+    set_default_trace_sink,
+)
+from repro.testing.faults import CrashInjector, flip_bit, truncate
+
+
+class TestTraceSink:
+    def test_emit_returns_ordered_events(self):
+        sink = TraceSink(clock=lambda: 12.5)
+        first = sink.emit("a", x=1)
+        second = sink.emit("b", x=2, y="z")
+        assert first.seq == 1
+        assert second.seq == 2
+        assert first.timestamp == 12.5
+        assert second.fields == {"x": 2, "y": "z"}
+        assert sink.names() == ["a", "b"]
+        assert len(sink) == 2
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        sink = TraceSink(capacity=3)
+        for i in range(5):
+            sink.emit("tick", i=i)
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert sink.field_sequence("i") == [2, 3, 4]
+        # sequence numbers keep increasing across drops
+        assert [e.seq for e in sink.events()] == [3, 4, 5]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            TraceSink(capacity=0)
+
+    def test_events_filter_and_field_sequence(self):
+        sink = TraceSink()
+        sink.emit("step", n=1)
+        sink.emit("crash", n=2)
+        sink.emit("step", n=3)
+        assert [e.fields["n"] for e in sink.events("step")] == [1, 3]
+        assert sink.field_sequence("n", name="step") == [1, 3]
+        assert sink.field_sequence("missing") == []
+
+    def test_clear_resets_buffer_and_dropped(self):
+        sink = TraceSink(capacity=1)
+        sink.emit("a")
+        sink.emit("b")
+        assert sink.dropped == 1
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.dropped == 0
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        sink = TraceSink(clock=lambda: 1.0)
+        event = sink.emit("fault.crash", label="journal:record", op=3)
+        payload = json.loads(json.dumps(event.as_dict()))
+        assert payload == {
+            "name": "fault.crash",
+            "fields": {"label": "journal:record", "op": 3},
+            "seq": 1,
+            "timestamp": 1.0,
+        }
+
+    def test_default_sink_swap_restores(self):
+        mine = TraceSink()
+        previous = set_default_trace_sink(mine)
+        try:
+            assert get_default_trace_sink() is mine
+        finally:
+            set_default_trace_sink(previous)
+        assert get_default_trace_sink() is previous
+
+
+class TestFaultInjectorEmission:
+    """The injectors trace unconditionally (not gated on the metrics flag)."""
+
+    def test_crash_injector_emits_steps_then_crash(self):
+        sink = TraceSink()
+        injector = CrashInjector(crash_after=2, trace=sink)
+        injector("journal:record")
+        with pytest.raises(ReproError):
+            injector("apply")
+        # the crashing call still records its step before firing
+        assert sink.names() == [
+            "fault.step",
+            "fault.step",
+            "fault.crash",
+        ]
+        assert sink.field_sequence("label", name="fault.step") == [
+            "journal:record",
+            "apply",
+        ]
+        crash = sink.events("fault.crash")[0]
+        assert crash.fields["label"] == "apply"
+        assert crash.fields["op"] == 2
+        assert crash.fields["step"] == 2
+
+    def test_flip_bit_and_truncate_emit(self):
+        sink = TraceSink()
+        blob = b"\x00" * 8
+        flipped = flip_bit(blob, 5, trace=sink)
+        assert flipped != blob
+        kept = truncate(blob, 4, trace=sink)
+        assert len(kept) == 4
+        assert sink.names() == ["fault.flip_bit", "fault.truncate"]
+        assert sink.events("fault.flip_bit")[0].fields["bit"] == 5
+        assert sink.events("fault.truncate")[0].fields == {
+            "kept": 4,
+            "size": 8,
+        }
+
+    def test_injectors_fall_back_to_default_sink(self):
+        mine = TraceSink()
+        previous = set_default_trace_sink(mine)
+        try:
+            flip_bit(b"\x00", 0)
+            assert mine.names() == ["fault.flip_bit"]
+        finally:
+            set_default_trace_sink(previous)

@@ -1,0 +1,58 @@
+"""covfloor — the single source of truth for the coverage gate's floor.
+
+The ratchet-only floor lives in ``pyproject.toml`` under
+``[tool.repro] coverage_floor`` so that the Makefile, the CI workflow
+and any local invocation all read the same number::
+
+    python -m pytest --cov=repro --cov-fail-under="$(python -c \
+        'import tools.covfloor as c; print(c.floor())')"
+
+Parsed with :mod:`tomllib` where available (3.11+); older interpreters
+fall back to a line scan that only has to understand the one
+``coverage_floor = <int>`` assignment this file owns.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - 3.9/3.10 fallback
+    _toml = None  # type: ignore[assignment]
+
+#: repo root (this file lives in tools/)
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_PYPROJECT = os.path.join(_ROOT, "pyproject.toml")
+
+_FLOOR_LINE = re.compile(r"^\s*coverage_floor\s*=\s*(\d+)\s*(#.*)?$")
+
+
+def floor(pyproject_path: str = _PYPROJECT) -> int:
+    """The coverage floor recorded in ``pyproject.toml`` (an integer)."""
+    if _toml is not None:
+        with open(pyproject_path, "rb") as handle:
+            data = _toml.load(handle)
+        value = data.get("tool", {}).get("repro", {}).get("coverage_floor")
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                "pyproject.toml is missing an integer "
+                "[tool.repro] coverage_floor"
+            )
+        return value
+    with open(pyproject_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            match = _FLOOR_LINE.match(line)
+            if match:
+                return int(match.group(1))
+    raise ValueError(
+        "pyproject.toml is missing an integer [tool.repro] coverage_floor"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - tiny CLI shim
+    print(floor())
+    sys.exit(0)

@@ -32,6 +32,7 @@ ALLOWED_EXCEPTIONS = frozenset(
         "DecodeError",
         "IncompatibleSketchError",
         "InvariantViolation",
+        "ObservabilityError",
         "SketchModeError",
         "StateCorruptionError",
     }
