@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Full-repo sketchlint analysis time: the 10-second budget.
+
+sketchlint v2 runs a CFG/dataflow pass per function plus an
+interprocedural fixpoint over the whole package, and it runs in CI on
+every push and locally from editors and pre-commit hooks.  This script
+pins the cost: a cold (cache-disabled) analysis of ``src`` + ``tools``
+must finish under ``--max-seconds`` (default 10), and a warm cached
+re-run must finish under ``--max-cached-seconds`` (default 1).
+
+Run (from the repository root):
+
+    python benchmarks/bench_sketchlint.py            # gate at 10s / 1s
+    python benchmarks/bench_sketchlint.py --repeats 5
+
+Writes ``BENCH_sketchlint.json`` (see ``--output``) with both timings,
+the file count, and the pass/fail verdicts.  Timings are best-of-
+``--repeats`` so host noise does not fail the gate spuriously.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.sketchlint.cache import ResultCache  # noqa: E402
+from tools.sketchlint.engine import lint_paths  # noqa: E402
+
+DEFAULT_PATHS = ("src", "tools")
+
+
+def time_cold(paths: "list[Path]", repeats: int) -> "tuple[float, int]":
+    best = float("inf")
+    files_checked = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        report = lint_paths(paths)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        files_checked = report.files_checked
+    return best, files_checked
+
+
+def time_cached(paths: "list[Path]", repeats: int) -> float:
+    """Warm-cache timing: one priming run, then best-of timed re-runs."""
+    best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="bench-sketchlint-") as scratch:
+        cache_path = Path(scratch) / "cache.json"
+        lint_paths(paths, cache=ResultCache(cache_path))
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            lint_paths(paths, cache=ResultCache(cache_path))
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="paths to analyse (default: src tools)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=10.0,
+        help="budget for a cold full-repo analysis (default: 10)",
+    )
+    parser.add_argument(
+        "--max-cached-seconds",
+        type=float,
+        default=1.0,
+        help="budget for a warm cached re-run (default: 1)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per measurement; best-of is reported",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_sketchlint.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    paths = [REPO_ROOT / p if not Path(p).is_absolute() else Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"bench_sketchlint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    cold_seconds, files_checked = time_cold(paths, args.repeats)
+    cached_seconds = time_cached(paths, args.repeats)
+
+    cold_ok = cold_seconds <= args.max_seconds
+    cached_ok = cached_seconds <= args.max_cached_seconds
+    report: Dict[str, object] = {
+        "benchmark": "sketchlint",
+        "files_checked": files_checked,
+        "cold_seconds": round(cold_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "max_seconds": args.max_seconds,
+        "max_cached_seconds": args.max_cached_seconds,
+        "cold_within_budget": cold_ok,
+        "cached_within_budget": cached_ok,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"bench_sketchlint: {files_checked} files — cold {cold_seconds:.2f}s "
+        f"(budget {args.max_seconds:.0f}s), cached {cached_seconds:.3f}s "
+        f"(budget {args.max_cached_seconds:.1f}s)"
+    )
+    if not cold_ok or not cached_ok:
+        print("bench_sketchlint: over budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -260,6 +260,7 @@ class InfrequentPart:
         iid = self.ids[row][col]
         if icnt == 0:
             return None
+        observing = _obs.ENABLED
         quotient = (iid * mod_inverse(icnt, p)) % p
         for candidate in (quotient, (p - quotient) % p):
             if not 1 <= candidate < self.max_key:
@@ -272,7 +273,7 @@ class InfrequentPart:
             if (count * candidate) % p != iid % p:
                 continue
             if validator is not None and not validator(candidate):
-                if _obs.ENABLED:
+                if observing:
                     self._observe().crossval_rejections.inc()
                 continue
             return candidate, count

@@ -28,6 +28,19 @@ def lint_fixture(name: str, rule) -> List:
     return lint_file(FIXTURES / name, [rule])
 
 
+def lint_pack(code: str, name: str) -> List:
+    """Lint one file of a rule's fixture pack (``fixtures/sk10x/<name>``)."""
+    from tools.sketchlint.engine import lint_file
+    from tools.sketchlint.rules import rules_by_code
+
+    rule_cls = rules_by_code()[code.upper()]
+    return lint_file(FIXTURES / code.lower() / name, [rule_cls()])
+
+
+def pack_path(code: str, name: str) -> Path:
+    return FIXTURES / code.lower() / name
+
+
 @pytest.fixture
 def invariants_on():
     """Arm the runtime sanitizer for one test, restoring the prior state."""

@@ -1,0 +1,23 @@
+"""SK101 positive fixture: mutations that escape without invalidation."""
+
+
+class CachingSketch:
+    def __init__(self):
+        self.rows = [0] * 4
+        self.total = 0
+        self._decode_cache = None
+
+    def insert(self, key):
+        # mutation, no invalidation anywhere: every exit path is stale
+        self.rows[0] += key
+
+    def adjust(self, key):
+        # invalidation only on one branch: the key <= 0 path exits stale
+        if key > 0:
+            self._decode_cache = None
+        self.total = key
+
+    def decode(self):
+        if self._decode_cache is None:
+            self._decode_cache = sum(self.rows)
+        return self._decode_cache

@@ -1,0 +1,38 @@
+"""SK101 negative fixture: every mutating exit path invalidates."""
+
+
+class CachingSketch:
+    def __init__(self):
+        self.rows = [0] * 4
+        self.total = 0
+        self._decode_cache = None
+
+    def insert(self, key):
+        # invalidate-before-mutate is the repo idiom and is accepted
+        self._decode_cache = None
+        self.rows[0] += key
+
+    def insert_many(self, keys):
+        # delegation: the helper invalidates on every path it mutates;
+        # the zero-iteration path neither mutates nor invalidates
+        for key in keys:
+            self._apply(key)
+
+    def reset(self, key):
+        if key > 0:
+            self.total = key
+            self._decode_cache = None
+        return self.total
+
+    def peek(self):
+        # read-only methods need no invalidation
+        return self.rows[0]
+
+    def _apply(self, key):
+        self.rows[0] += key
+        self._decode_cache = None
+
+    def decode(self):
+        if self._decode_cache is None:
+            self._decode_cache = sum(self.rows)
+        return self._decode_cache

@@ -1,0 +1,10 @@
+"""SK101 pragma fixture: the same defect, explicitly suppressed."""
+
+
+class CachingSketch:
+    def __init__(self):
+        self.rows = [0] * 4
+        self._decode_cache = None
+
+    def insert(self, key):  # sketchlint: disable=SK101
+        self.rows[0] += key

@@ -1,0 +1,20 @@
+"""SK102 positive fixture: unguarded obs call + per-item guard read."""
+
+from repro import observability as _obs
+
+
+class Pipeline:
+    def process(self, items):
+        for item in items:
+            if _obs.ENABLED:
+                self._observe().seen.inc()
+            self.handle(item)
+
+    def record_total(self, total):
+        self._observe().totals.observe(total)
+
+    def handle(self, item):
+        return item
+
+    def _observe(self):
+        return object()

@@ -1,0 +1,35 @@
+"""SK102 negative fixture: hoisted guard reads, guarded recorder calls."""
+
+from repro import observability as _obs
+
+
+class Pipeline:
+    def process(self, items):
+        observing = _obs.ENABLED
+        for item in items:
+            if observing:
+                self._observe().seen.inc()
+            self.handle(item)
+
+    def finish(self, total):
+        if not _obs.ENABLED:
+            return total
+        self._observe().totals.observe(total)
+        return total
+
+    def tail(self, items, had_state):
+        if _obs.ENABLED and had_state:
+            self._observe().resumes.inc()
+        return items
+
+    def handle(self, item):
+        return item
+
+    def _observe(self):
+        return object()
+
+
+def control_plane(path):
+    # enabling/dumping the layer is by definition outside any guard
+    with _obs.enabled():
+        return _obs.snapshot()

@@ -1,0 +1,11 @@
+"""SK102 pragma fixture: the unguarded call, explicitly suppressed."""
+
+from repro import observability as _obs
+
+
+class Pipeline:
+    def record_total(self, total):
+        self._observe().totals.observe(total)  # sketchlint: disable=SK102
+
+    def _observe(self):
+        return object()

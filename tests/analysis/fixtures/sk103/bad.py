@@ -1,0 +1,17 @@
+"""SK103 positive fixture: asymmetric state key sets, both directions."""
+
+
+def to_state(sketch):
+    state = {
+        "version": 2,
+        "rows": list(sketch.rows),
+        "checksum": 0,
+    }
+    return state
+
+
+def from_state(state):
+    version = state["version"]
+    rows = state["rows"]
+    seed = state["seed"]
+    return version, rows, seed

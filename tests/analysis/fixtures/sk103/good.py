@@ -1,0 +1,23 @@
+"""SK103 negative fixture: symmetric keys, including helper-added ones."""
+
+
+def _stamp(state):
+    state["digest"] = "d"
+    return state
+
+
+def to_state(sketch):
+    state = {
+        "version": 2,
+        "rows": list(sketch.rows),
+    }
+    return _stamp(state)
+
+
+def from_state(state):
+    if "digest" not in state:
+        raise KeyError("unsigned state")
+    for key in ("version", "rows"):
+        if key not in state:
+            raise KeyError(key)
+    return state["version"], state.get("rows")

@@ -1,0 +1,16 @@
+"""SK104 positive fixture: unreduced intermediates reaching sinks."""
+
+import struct
+
+
+def fold(ids, count, key, p):
+    acc = ids[0] + count * key
+    if acc == key:
+        return True
+    ids[0] = acc
+    return False
+
+
+def emit(ids, count, key, p):
+    total = ids[0] + count * key
+    return struct.pack("<q", total)

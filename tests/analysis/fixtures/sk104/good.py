@@ -1,0 +1,27 @@
+"""SK104 negative fixture: every flow reduced before its sink."""
+
+import struct
+
+
+def fold(ids, count, key, p):
+    acc = (ids[0] + count * key) % p
+    if acc == key:
+        return True
+    ids[0] = acc
+    return False
+
+
+def fold_late(ids, count, key, p):
+    acc = ids[0] + count * key
+    acc %= p
+    ids[0] = acc
+    return acc == 0
+
+
+def emit(ids, count, key, p):
+    total = to_field(ids[0] + count * key)
+    return struct.pack("<q", total)
+
+
+def to_field(value):
+    return value

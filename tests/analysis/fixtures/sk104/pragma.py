@@ -1,0 +1,8 @@
+"""SK104 pragma fixture: the unreduced flow, explicitly suppressed."""
+
+
+def fold(ids, count, key, p):
+    acc = ids[0] + count * key
+    if acc == key:  # sketchlint: disable=SK104
+        return True
+    return False

@@ -1,0 +1,16 @@
+"""SK105 positive fixture: all three ways to drop the policy thread."""
+
+
+class Facade:
+    def heavy(self, k, policy=None):
+        if policy is not None:
+            return heavy(self, k)
+        return heavy(self, k)
+
+
+def heavy(sketch, k):
+    return k
+
+
+def entropy(sketch, policy=None):
+    return 0.0

@@ -1,0 +1,15 @@
+"""SK105 negative fixture: the policy thread held end to end."""
+
+
+class Facade:
+    def heavy(self, k, policy=None):
+        if policy is not None:
+            return heavy(self, k, policy=policy)
+        # policy is provably None here: the bare call is legal
+        return heavy(self, k)
+
+
+def heavy(sketch, k, policy=None):
+    if policy is None:
+        return k
+    return (k, policy)

@@ -1,0 +1,16 @@
+"""SK105 pragma fixture: the dropped thread, explicitly suppressed."""
+
+
+class Facade:
+    def heavy(self, k, policy=None):
+        if policy is not None:
+            return heavy(self, k)  # sketchlint: disable=SK105
+        return heavy(self, k)
+
+
+def heavy(sketch, k):  # sketchlint: disable=SK105
+    return k
+
+
+def entropy(sketch, policy=None):  # sketchlint: disable=SK105
+    return 0.0

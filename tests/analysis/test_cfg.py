@@ -1,0 +1,203 @@
+"""Structural tests for the per-function CFG builder."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from tools.sketchlint.cfg import (
+    FALSE,
+    KIND_BRANCH,
+    KIND_STMT,
+    TRUE,
+    build_cfg,
+)
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def _stmt_lines(cfg):
+    return sorted(
+        node.stmt.lineno for node in cfg.statement_nodes() if node.stmt is not None
+    )
+
+
+def test_straight_line_flow_reaches_exit():
+    cfg = _cfg_of(
+        """
+        def f(x):
+            a = x + 1
+            b = a * 2
+            return b
+        """
+    )
+    assert _stmt_lines(cfg) == [3, 4, 5]
+    return_node = [n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Return)]
+    assert len(return_node) == 1
+    targets = [uid for uid, _label in cfg.edges[return_node[0].uid]]
+    assert cfg.exit.uid in targets
+
+
+def test_if_branch_edges_are_labelled():
+    cfg = _cfg_of(
+        """
+        def f(x):
+            if x > 0:
+                y = 1
+            else:
+                y = 2
+            return y
+        """
+    )
+    branches = [n for n in cfg.nodes.values() if n.kind == KIND_BRANCH]
+    assert len(branches) == 1
+    labels = sorted(label for _uid, label in cfg.edges[branches[0].uid])
+    assert labels == [FALSE, TRUE]
+
+
+def test_loop_body_is_on_cycle_but_after_loop_is_not():
+    cfg = _cfg_of(
+        """
+        def f(items):
+            total = 0
+            for item in items:
+                total += item
+            return total
+        """
+    )
+    body = [
+        n
+        for n in cfg.statement_nodes()
+        if isinstance(n.stmt, ast.AugAssign)
+    ]
+    tail = [n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Return)]
+    first = [
+        n
+        for n in cfg.statement_nodes()
+        if isinstance(n.stmt, ast.Assign)
+    ]
+    assert cfg.on_cycle(body[0])
+    assert not cfg.on_cycle(tail[0])
+    assert not cfg.on_cycle(first[0])
+
+
+def test_guard_followed_by_return_inside_loop_is_not_on_cycle():
+    # the frequent-part idiom: the branch's every arm leaves the loop
+    cfg = _cfg_of(
+        """
+        def f(items, flag):
+            for item in items:
+                if item:
+                    found = item
+                    return found
+                return None
+            return None
+        """
+    )
+    branches = [n for n in cfg.nodes.values() if n.kind == KIND_BRANCH]
+    # branch 0 is the for header (test None), branch 1 the if
+    if_branch = [b for b in branches if b.test is not None]
+    assert len(if_branch) == 1
+    assert not cfg.on_cycle(if_branch[0])
+
+
+def test_continue_keeps_the_cycle_alive():
+    cfg = _cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item < 0:
+                    continue
+                item = item + 1
+            return items
+        """
+    )
+    if_branch = [
+        n for n in cfg.nodes.values() if n.kind == KIND_BRANCH and n.test is not None
+    ]
+    assert cfg.on_cycle(if_branch[0])
+
+
+def test_break_exits_the_loop():
+    cfg = _cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item:
+                    break
+            return items
+        """
+    )
+    breaks = [n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Break)]
+    assert len(breaks) == 1
+    assert not any(
+        cfg.nodes[uid].kind == KIND_BRANCH and cfg.nodes[uid].test is None
+        for uid, _label in cfg.edges[breaks[0].uid]
+    ), "break must not edge back to the loop header"
+
+
+def test_raise_reaches_raise_exit_outside_try():
+    cfg = _cfg_of(
+        """
+        def f(x):
+            if x < 0:
+                raise ValueError(x)
+            return x
+        """
+    )
+    raises = [n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Raise)]
+    targets = [uid for uid, _label in cfg.edges[raises[0].uid]]
+    assert cfg.raise_exit.uid in targets
+
+
+def test_try_body_statements_edge_to_handlers():
+    cfg = _cfg_of(
+        """
+        def f(x):
+            try:
+                y = risky(x)
+            except ValueError:
+                y = 0
+            return y
+        """
+    )
+    body = [
+        n
+        for n in cfg.statement_nodes()
+        if isinstance(n.stmt, ast.Assign) and n.stmt.lineno == 4
+    ]
+    assert body, "try-body statement missing from the CFG"
+    successor_kinds = {
+        cfg.nodes[uid].kind for uid, _label in cfg.edges[body[0].uid]
+    }
+    assert len(cfg.edges[body[0].uid]) >= 2  # fallthrough + handler edge
+    assert KIND_STMT in successor_kinds or "join" in successor_kinds
+
+
+def test_while_loop_back_edge():
+    cfg = _cfg_of(
+        """
+        def f(n):
+            while n > 0:
+                n = n - 1
+            return n
+        """
+    )
+    body = [n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Assign)]
+    assert cfg.on_cycle(body[0])
+    branches = [n for n in cfg.nodes.values() if n.kind == KIND_BRANCH]
+    assert cfg.on_cycle(branches[0])
+
+
+def test_unreachable_code_after_return_is_dropped():
+    cfg = _cfg_of(
+        """
+        def f(x):
+            return x
+            y = 1
+        """
+    )
+    assert _stmt_lines(cfg) == [3]

@@ -1,0 +1,214 @@
+"""Tests for the forward dataflow engine and the stock tag lattice."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Optional
+
+from tools.sketchlint.cfg import Node, build_cfg
+from tools.sketchlint.dataflow import (
+    TagAnalysis,
+    TagState,
+    assigned_names,
+    attribute_chain,
+    call_name,
+    run_forward,
+)
+
+
+class _TaintAnalysis(TagAnalysis):
+    """Toy taint: ``source()`` taints; assigning a constant clears."""
+
+    def transfer(self, node: Node, state: TagState) -> TagState:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                value = stmt.value
+                if isinstance(value, ast.Call) and call_name(value) == "source":
+                    return state.set(target.id, {"taint"})
+                if isinstance(value, ast.Constant):
+                    return state.clear(target.id)
+                if isinstance(value, ast.Name):
+                    return state.set(target.id, state.tags_of(value.id))
+        return state
+
+
+def _analyse(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    cfg = build_cfg(tree.body[0])
+    return cfg, run_forward(cfg, _TaintAnalysis())
+
+
+def test_straight_line_propagation():
+    _cfg, result = _analyse(
+        """
+        def f():
+            x = source()
+            y = x
+            return y
+        """
+    )
+    assert result.exit_state is not None
+    assert result.exit_state.has("x", "taint")
+    assert result.exit_state.has("y", "taint")
+
+
+def test_reassignment_kills_the_tag():
+    _cfg, result = _analyse(
+        """
+        def f():
+            x = source()
+            x = 0
+            return x
+        """
+    )
+    assert result.exit_state is not None
+    assert not result.exit_state.has("x", "taint")
+
+
+def test_join_is_union_over_branches():
+    _cfg, result = _analyse(
+        """
+        def f(flag):
+            if flag:
+                x = source()
+            else:
+                x = 0
+            return x
+        """
+    )
+    assert result.exit_state is not None
+    # may-analysis: tainted on one in-edge means tainted after the join
+    assert result.exit_state.has("x", "taint")
+
+
+def test_loop_reaches_fixpoint_with_carried_tag():
+    _cfg, result = _analyse(
+        """
+        def f(items):
+            x = 0
+            for item in items:
+                x = source()
+            return x
+        """
+    )
+    assert result.exit_state is not None
+    assert result.exit_state.has("x", "taint")
+
+
+def test_contribution_update_is_not_sticky():
+    # A predecessor's contribution must be *replaced*, not accumulated:
+    # after the loop re-clears x on every path, the exit must not keep a
+    # stale taint from an earlier worklist iteration of the same edge.
+    _cfg, result = _analyse(
+        """
+        def f(items):
+            x = 0
+            for item in items:
+                x = source()
+                x = 0
+            return x
+        """
+    )
+    assert result.exit_state is not None
+    assert not result.exit_state.has("x", "taint")
+
+
+class _RefiningAnalysis(_TaintAnalysis):
+    def refine(
+        self, test: Optional[ast.expr], label: Optional[str], state: TagState
+    ) -> TagState:
+        # on the true arm of `if clean:` declare x clean
+        if (
+            isinstance(test, ast.Name)
+            and test.id == "clean"
+            and label == "true"
+        ):
+            return state.clear("x")
+        return state
+
+
+def test_branch_refinement_sharpens_one_arm_only():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def f(clean):
+                x = source()
+                if clean:
+                    y = x
+                else:
+                    z = x
+                return x
+            """
+        )
+    )
+    cfg = build_cfg(tree.body[0])
+    result = run_forward(cfg, _RefiningAnalysis())
+    by_line = {
+        node.stmt.lineno: node
+        for node in cfg.statement_nodes()
+        if node.stmt is not None
+    }
+    true_arm = result.before[by_line[5].uid]
+    false_arm = result.before[by_line[7].uid]
+    assert not true_arm.has("x", "taint")
+    assert false_arm.has("x", "taint")
+    # after the join the refinement washes back out (union join)
+    assert result.exit_state is not None
+    assert result.exit_state.has("x", "taint")
+
+
+def test_raise_state_collects_exceptional_exits():
+    _cfg, result = _analyse(
+        """
+        def f():
+            x = source()
+            raise ValueError(x)
+        """
+    )
+    assert result.raise_state is not None
+    assert result.raise_state.has("x", "taint")
+    assert result.exit_state is None
+
+
+# --------------------------------------------------------------------- #
+# TagState semantics
+# --------------------------------------------------------------------- #
+def test_tagstate_is_immutable_and_merge_unions():
+    a = TagState().set("x", {"t1"})
+    b = TagState().set("x", {"t2"}).set("y", {"t3"})
+    merged = a.merge(b)
+    assert merged.tags_of("x") == frozenset({"t1", "t2"})
+    assert merged.tags_of("y") == frozenset({"t3"})
+    # the operands are untouched
+    assert a.tags_of("x") == frozenset({"t1"})
+    assert b.tags_of("x") == frozenset({"t2"})
+
+
+def test_tagstate_set_empty_is_clear():
+    state = TagState().set("x", {"t"}).set("x", set())
+    assert state == TagState()
+    assert hash(state) == hash(TagState())
+
+
+# --------------------------------------------------------------------- #
+# syntactic helpers
+# --------------------------------------------------------------------- #
+def test_assigned_names_unpacks_tuples():
+    stmt = ast.parse("a, (b, c) = f()").body[0]
+    assert isinstance(stmt, ast.Assign)
+    assert assigned_names(stmt.targets[0]) == ["a", "b", "c"]
+
+
+def test_attribute_chain_is_subscript_transparent():
+    expr = ast.parse("self.table[i].slots", mode="eval").body
+    assert attribute_chain(expr) == ["self", "table", "slots"]
+    assert attribute_chain(ast.parse("f().x", mode="eval").body) is None
+
+
+def test_call_name_resolves_attributes_and_names():
+    assert call_name(ast.parse("a.b.f(1)", mode="eval").body) == "f"
+    assert call_name(ast.parse("g(1)", mode="eval").body) == "g"
+    assert call_name(ast.parse("(h or g)(1)", mode="eval").body) == ""

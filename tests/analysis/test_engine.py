@@ -18,7 +18,10 @@ from tools.sketchlint.rules import ALL_RULES, rules_by_code
 
 def test_all_rules_have_distinct_codes_and_summaries():
     codes = [cls.code for cls in ALL_RULES]
-    assert codes == ["SK001", "SK002", "SK003", "SK004", "SK005"]
+    assert codes == [
+        "SK001", "SK002", "SK003", "SK004", "SK005",
+        "SK101", "SK102", "SK103", "SK104", "SK105",
+    ]
     assert len(set(codes)) == len(codes)
     assert all(cls.summary for cls in ALL_RULES)
     assert set(rules_by_code()) == set(codes)

@@ -8,10 +8,15 @@ in ``.github/workflows/ci.yml`` fails identically.
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 
-from tests.analysis.conftest import SRC_REPRO
+from tests.analysis.conftest import REPO_ROOT, SRC_REPRO
+from tools.sketchlint.baseline import Baseline
 from tools.sketchlint.cli import main
 from tools.sketchlint.engine import iter_python_files, lint_paths
+
+BASELINE_PATH = REPO_ROOT / ".sketchlint-baseline.json"
+TOOLS_DIR = REPO_ROOT / "tools"
 
 
 def test_src_repro_is_sketchlint_clean():
@@ -46,3 +51,47 @@ def test_cli_gate_exits_one_on_violations(tmp_path):
 def test_cli_select_unknown_code_is_usage_error(capsys):
     assert main(["--select", "SK999", str(SRC_REPRO)]) == 2
     assert "SK999" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# the v2 gate: src + tools clean modulo the checked-in baseline
+# --------------------------------------------------------------------- #
+def test_src_and_tools_are_clean_modulo_baseline(monkeypatch):
+    # relative paths so violation fingerprints match the checked-in
+    # baseline entries (which record repo-relative paths)
+    monkeypatch.chdir(REPO_ROOT)
+    report = lint_paths([Path("src"), Path("tools")])
+    report = Baseline.load(BASELINE_PATH).apply(report)
+    assert report.files_checked > 60  # src/repro plus the tools tree
+    assert report.ok, "\n" + report.render()
+
+
+def test_baseline_has_no_src_repro_entries():
+    baseline = Baseline.load(BASELINE_PATH)
+    offenders = [
+        path
+        for (_code, path, _content) in baseline.entries
+        if path.replace("\\", "/").startswith("src/repro")
+    ]
+    assert offenders == [], (
+        "library code must be fixed or pragma'd with a reason, never "
+        "baselined: " + ", ".join(offenders)
+    )
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = Baseline.load(BASELINE_PATH)
+    assert baseline.entries, "the checked-in baseline should not be empty"
+    assert baseline.unjustified() == []
+
+
+def test_baseline_entries_still_match_real_source_lines():
+    """Stale entries (content no longer present) must be pruned."""
+    baseline = Baseline.load(BASELINE_PATH)
+    for code, path, content in baseline.entries:
+        text = (REPO_ROOT / path).read_text(encoding="utf-8")
+        stripped = [line.strip() for line in text.splitlines()]
+        assert content in stripped, (
+            f"baseline entry ({code}, {path}) no longer matches any "
+            f"source line: {content!r}"
+        )

@@ -1,0 +1,35 @@
+"""SK104 — unreduced field values flowing into sinks (fixture pack)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+from tools.sketchlint.baseline import Baseline
+from tools.sketchlint.engine import LintReport
+
+
+def test_bad_pack_flags_all_three_sink_kinds():
+    violations = lint_pack("sk104", "bad.py")
+    assert [v.code for v in violations] == ["SK104"] * 3
+    assert [v.line for v in violations] == [8, 10, 16]
+    messages = " | ".join(v.message for v in violations)
+    assert "compar" in messages  # unreduced value in a comparison
+    assert "field-state store" in messages  # unreduced value stored back
+    assert "serial" in messages  # unreduced value packed to bytes
+
+
+def test_good_pack_is_clean():
+    # top-level `% p`, late `acc %= p` reduction, and the sanctioned
+    # to_field() reducer must all satisfy the dataflow
+    assert lint_pack("sk104", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk104", "pragma.py") == []
+
+
+def test_baseline_suppresses_the_bad_pack(tmp_path):
+    report = LintReport(violations=lint_pack("sk104", "bad.py"))
+    Baseline.from_report(report, path=tmp_path / "baseline.json").apply(report)
+    assert report.violations == []
+    assert report.baseline_suppressed == 3

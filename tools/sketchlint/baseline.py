@@ -1,0 +1,160 @@
+"""Baseline (grandfathered-findings) support for sketchlint.
+
+New rules land against an existing codebase; findings that are accepted
+debt get recorded in a checked-in baseline file and suppressed on later
+runs, so the repo gate can stay red-on-regression without forcing a
+big-bang cleanup.  Every baseline entry must carry a ``justification`` —
+the repo-gate test rejects unexplained entries.
+
+Fingerprints are content-addressed, not line-addressed: an entry is
+``(code, path, stripped source line)`` with an occurrence count, so
+unrelated edits that shift line numbers do not resurrect baselined
+findings, while *new* occurrences of the same pattern past the recorded
+count still fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.sketchlint.engine import LintReport, Violation
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = Path(".sketchlint-baseline.json")
+
+Fingerprint = Tuple[str, str, str]  # (code, path, stripped line content)
+
+
+def _line_content(path: str, line: int, cache: Dict[str, List[str]]) -> str:
+    lines = cache.get(path)
+    if lines is None:
+        try:
+            lines = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        cache[path] = lines
+    index = line - 1
+    if 0 <= index < len(lines):
+        return lines[index].strip()
+    return ""
+
+
+def fingerprint_of(
+    violation: Violation, cache: Optional[Dict[str, List[str]]] = None
+) -> Fingerprint:
+    content_cache = cache if cache is not None else {}
+    return (
+        violation.code,
+        violation.path,
+        _line_content(violation.path, violation.line, content_cache),
+    )
+
+
+class Baseline:
+    """A checked-in map of grandfathered findings with justifications."""
+
+    def __init__(
+        self,
+        path: Path = DEFAULT_BASELINE_PATH,
+        entries: Optional[Dict[Fingerprint, Dict[str, object]]] = None,
+    ) -> None:
+        self.path = path
+        #: fingerprint -> {"count": int, "justification": str}
+        self.entries: Dict[Fingerprint, Dict[str, object]] = entries or {}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path = DEFAULT_BASELINE_PATH) -> "Baseline":
+        baseline = cls(path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            return baseline
+        except ValueError as exc:
+            # Tool-facing config error, not library code. sketchlint: disable=SK003
+            raise ValueError(  # sketchlint: disable=SK003
+                f"{path}: invalid baseline JSON: {exc}"
+            ) from exc
+        for item in raw.get("findings", []):
+            key = (str(item["code"]), str(item["path"]), str(item["content"]))
+            baseline.entries[key] = {
+                "count": int(item.get("count", 1)),
+                "justification": str(item.get("justification", "")),
+            }
+        return baseline
+
+    def save(self) -> None:
+        findings = [
+            {
+                "code": code,
+                "path": path,
+                "content": content,
+                "count": meta["count"],
+                "justification": meta["justification"],
+            }
+            for (code, path, content), meta in sorted(self.entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------ #
+    def unjustified(self) -> List[Fingerprint]:
+        """Entries missing a justification (repo gate rejects these)."""
+        return [
+            key
+            for key, meta in sorted(self.entries.items())
+            if not str(meta.get("justification", "")).strip()
+        ]
+
+    def apply(self, report: LintReport) -> LintReport:
+        """Drop baselined findings from ``report`` (up to recorded counts)."""
+        budget: Dict[Fingerprint, int] = {
+            key: int(meta["count"]) for key, meta in self.entries.items()
+        }
+        content_cache: Dict[str, List[str]] = {}
+        kept: List[Violation] = []
+        suppressed = 0
+        for violation in report.violations:
+            key = fingerprint_of(violation, content_cache)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                kept.append(violation)
+        report.violations = kept
+        report.baseline_suppressed += suppressed
+        return report
+
+    @classmethod
+    def from_report(
+        cls,
+        report: LintReport,
+        path: Path = DEFAULT_BASELINE_PATH,
+        justification: str = "grandfathered by --update-baseline",
+    ) -> "Baseline":
+        """Build a baseline covering every finding in ``report``.
+
+        Justifications of entries already present in the on-disk baseline
+        are preserved so a refresh never loses the recorded reasoning.
+        """
+        previous = cls.load(path)
+        baseline = cls(path)
+        content_cache: Dict[str, List[str]] = {}
+        for violation in report.violations:
+            key = fingerprint_of(violation, content_cache)
+            entry = baseline.entries.setdefault(
+                key,
+                {
+                    "count": 0,
+                    "justification": str(
+                        previous.entries.get(key, {}).get("justification", "")
+                    )
+                    or justification,
+                },
+            )
+            entry["count"] = int(entry["count"]) + 1
+        return baseline

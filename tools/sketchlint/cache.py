@@ -1,0 +1,143 @@
+"""An mtime-keyed result cache for sketchlint.
+
+Full-repo analysis is cheap (well under the 10s budget pinned by
+``benchmarks/bench_sketchlint.py``) but editors and pre-commit hooks call
+the linter repeatedly on an unchanged tree, so results are cached on disk
+keyed by ``(path, mtime, size, rule codes, engine signature)``.  The
+engine signature folds in the sketchlint package's own source mtimes, so
+editing a rule invalidates everything — stale findings after a rule
+change would be worse than no cache at all.
+
+Per-file rule results are cached per file; package-rule results are
+cached under a single joint key covering every file in the batch (any
+file change re-runs the interprocedural pass, which is the only sound
+granularity for whole-package rules).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from tools.sketchlint.engine import Violation
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_PATH = Path(".sketchlint-cache.json")
+
+
+def _engine_signature() -> str:
+    """A fingerprint of the linter's own sources (mtimes + sizes)."""
+    package_dir = Path(__file__).resolve().parent
+    parts: List[str] = [f"v{CACHE_VERSION}"]
+    for source in sorted(package_dir.rglob("*.py")):
+        try:
+            stat = source.stat()
+        except OSError:  # pragma: no cover - racing deletes
+            continue
+        parts.append(f"{source.name}:{stat.st_mtime_ns}:{stat.st_size}")
+    return "|".join(parts)
+
+
+def _violation_to_dict(violation: Violation) -> Dict[str, object]:
+    return {
+        "code": violation.code,
+        "message": violation.message,
+        "path": violation.path,
+        "line": violation.line,
+        "column": violation.column,
+    }
+
+
+def _violation_from_dict(raw: Dict[str, object]) -> Violation:
+    return Violation(
+        code=str(raw["code"]),
+        message=str(raw["message"]),
+        path=str(raw["path"]),
+        line=int(raw["line"]),  # type: ignore[arg-type]
+        column=int(raw["column"]),  # type: ignore[arg-type]
+    )
+
+
+class ResultCache:
+    """Disk-backed map from cache keys to violation lists."""
+
+    def __init__(self, path: Path = DEFAULT_CACHE_PATH) -> None:
+        self.path = path
+        self.signature = _engine_signature()
+        self._entries: Dict[str, List[Dict[str, object]]] = {}
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("signature") != self.signature:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"signature": self.signature, "entries": self._entries}
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=0, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:  # pragma: no cover - read-only checkouts
+            return
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+    def file_key(self, path: Path, rule_codes: Sequence[str]) -> str:
+        try:
+            stat = path.stat()
+            stamp = f"{stat.st_mtime_ns}:{stat.st_size}"
+        except OSError:
+            stamp = "missing"
+        return f"file::{path}::{stamp}::{','.join(rule_codes)}"
+
+    def package_key(self, paths: Sequence[Path], rule_codes: Sequence[str]) -> str:
+        stamps: List[str] = []
+        for path in sorted(str(p) for p in paths):
+            try:
+                stat = Path(path).stat()
+                stamps.append(f"{path}@{stat.st_mtime_ns}:{stat.st_size}")
+            except OSError:
+                stamps.append(f"{path}@missing")
+        return f"package::{','.join(rule_codes)}::{'|'.join(stamps)}"
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get_file(self, key: str) -> Optional[List[Violation]]:
+        return self._get(key)
+
+    def put_file(self, key: str, violations: List[Violation]) -> None:
+        self._put(key, violations)
+
+    def get_package(self, key: str) -> Optional[List[Violation]]:
+        return self._get(key)
+
+    def put_package(self, key: str, violations: List[Violation]) -> None:
+        self._put(key, violations)
+
+    def _get(self, key: str) -> Optional[List[Violation]]:
+        raw = self._entries.get(key)
+        if raw is None:
+            return None
+        try:
+            return [_violation_from_dict(item) for item in raw]
+        except (KeyError, TypeError, ValueError):  # pragma: no cover - corrupt
+            return None
+
+    def _put(self, key: str, violations: List[Violation]) -> None:
+        self._entries[key] = [_violation_to_dict(v) for v in violations]
+        self._dirty = True

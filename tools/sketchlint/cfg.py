@@ -1,0 +1,373 @@
+"""Per-function control-flow graphs for sketchlint's dataflow rules.
+
+The graph is deliberately small: nodes are *simple statements* plus
+``branch`` pseudo-nodes for every test expression (``if``/``while``
+conditions and ``for`` iteration headers), and edges carry an optional
+label — ``"true"``/``"false"`` out of a branch node — so analyses can
+refine their state along the arms of a condition (the SK102 guard
+analysis and SK105's ``policy is not None`` tracking both need this).
+
+Exception modelling is conservative but cheap: every statement inside a
+``try`` body gets an edge to each handler's entry, and ``raise`` jumps to
+the innermost matching construct or the function's dedicated *raise exit*.
+Two distinct exit nodes (normal vs. raise) let rules quantify over
+"every path that returns normally" without being confused by guard
+clauses that throw.
+
+A :class:`CFG` also answers the one structural question the rules ask
+beyond plain reachability: :meth:`CFG.on_cycle` — can this node execute
+twice in a single call?  (Used by SK102 to tell a genuinely per-item
+``_obs.ENABLED`` read apart from one that merely sits lexically inside a
+loop but always exits it immediately.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+#: edge labels out of branch nodes
+TRUE = "true"
+FALSE = "false"
+
+KIND_ENTRY = "entry"
+KIND_EXIT = "exit"
+KIND_RAISE_EXIT = "raise-exit"
+KIND_STMT = "stmt"
+KIND_BRANCH = "branch"
+#: pass-through pseudo-nodes (loop-exit joins, finally markers, handler
+#: entries) — dataflow treats them as identity transfers
+KIND_JOIN = "join"
+
+
+class Node:
+    """One CFG node: a simple statement, a branch test, or an entry/exit."""
+
+    __slots__ = ("uid", "kind", "stmt", "test")
+
+    def __init__(
+        self,
+        uid: int,
+        kind: str,
+        stmt: Optional[ast.stmt] = None,
+        test: Optional[ast.expr] = None,
+    ) -> None:
+        self.uid = uid
+        self.kind = kind
+        #: the simple statement (``kind == "stmt"``) or the owning compound
+        #: statement (``kind == "branch"``)
+        self.stmt = stmt
+        #: the test expression for branch nodes (None for ``for`` headers)
+        self.test = test
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        line = getattr(self.stmt, "lineno", "?")
+        return f"Node({self.uid}, {self.kind}, line={line})"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: Dict[int, Node] = {}
+        self.edges: Dict[int, List[Tuple[int, Optional[str]]]] = {}
+        self._next_uid = 0
+        self.entry = self._new_node(KIND_ENTRY)
+        self.exit = self._new_node(KIND_EXIT)
+        self.raise_exit = self._new_node(KIND_RAISE_EXIT)
+        self._cycle_cache: Optional[FrozenSet[int]] = None
+
+    # ------------------------------------------------------------------ #
+    def _new_node(
+        self,
+        kind: str,
+        stmt: Optional[ast.stmt] = None,
+        test: Optional[ast.expr] = None,
+    ) -> Node:
+        node = Node(self._next_uid, kind, stmt, test)
+        self.nodes[node.uid] = node
+        self.edges[node.uid] = []
+        self._next_uid += 1
+        return node
+
+    def add_edge(self, src: Node, dst: Node, label: Optional[str] = None) -> None:
+        pair = (dst.uid, label)
+        if pair not in self.edges[src.uid]:
+            self.edges[src.uid].append(pair)
+
+    def successors(self, node: Node) -> Iterator[Tuple[Node, Optional[str]]]:
+        for uid, label in self.edges[node.uid]:
+            yield self.nodes[uid], label
+
+    def predecessors(self, node: Node) -> Iterator[Tuple[Node, Optional[str]]]:
+        for src_uid, targets in self.edges.items():
+            for uid, label in targets:
+                if uid == node.uid:
+                    yield self.nodes[src_uid], label
+
+    def statement_nodes(self) -> Iterator[Node]:
+        for node in self.nodes.values():
+            if node.kind == KIND_STMT:
+                yield node
+
+    # ------------------------------------------------------------------ #
+    def on_cycle(self, node: Node) -> bool:
+        """True when ``node`` can execute more than once per call."""
+        if self._cycle_cache is None:
+            self._cycle_cache = self._nodes_on_cycles()
+        return node.uid in self._cycle_cache
+
+    def _nodes_on_cycles(self) -> FrozenSet[int]:
+        """UIDs of nodes reachable from themselves (Tarjan SCCs, iterative)."""
+        index_of: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        result: Set[int] = set()
+        counter = [0]
+
+        for root in list(self.nodes):
+            if root in index_of:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                uid, edge_index = work[-1]
+                if edge_index == 0:
+                    index_of[uid] = lowlink[uid] = counter[0]
+                    counter[0] += 1
+                    stack.append(uid)
+                    on_stack.add(uid)
+                targets = self.edges[uid]
+                if edge_index < len(targets):
+                    work[-1] = (uid, edge_index + 1)
+                    succ = targets[edge_index][0]
+                    if succ not in index_of:
+                        work.append((succ, 0))
+                    elif succ in on_stack:
+                        lowlink[uid] = min(lowlink[uid], index_of[succ])
+                else:
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[uid])
+                    if lowlink[uid] == index_of[uid]:
+                        component: List[int] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            component.append(member)
+                            if member == uid:
+                                break
+                        if len(component) > 1:
+                            result.update(component)
+                        else:
+                            only = component[0]
+                            if any(t == only for t, _ in self.edges[only]):
+                                result.add(only)
+        return frozenset(result)
+
+
+class _LoopFrame:
+    """Targets for break/continue while building a loop body."""
+
+    __slots__ = ("header", "after")
+
+    def __init__(self, header: Node, after: "_Joiner") -> None:
+        self.header = header
+        self.after = after
+
+
+class _Joiner:
+    """A forward-reference target: edges added now, node resolved later."""
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        self.pending: List[Tuple[Node, Optional[str]]] = []
+
+    def add(self, src: Node, label: Optional[str] = None) -> None:
+        self.pending.append((src, label))
+
+    def resolve(self, cfg: CFG, target: Node) -> None:
+        for src, label in self.pending:
+            cfg.add_edge(src, target, label)
+        self.pending = []
+
+
+class _Builder:
+    """Builds the CFG by threading a frontier of dangling edges."""
+
+    def __init__(self, func: ast.AST, body: List[ast.stmt]) -> None:
+        self.cfg = CFG(func)
+        self.loops: List[_LoopFrame] = []
+        #: entry nodes of the active try handlers (innermost last); every
+        #: statement built inside a try body links to each of these
+        self.handler_targets: List[List[Node]] = []
+        frontier = self._build_body(body, [(self.cfg.entry, None)])
+        for src, label in frontier:
+            self.cfg.add_edge(src, self.cfg.exit, label)
+
+    # ------------------------------------------------------------------ #
+    def _link(
+        self, sources: List[Tuple[Node, Optional[str]]], target: Node
+    ) -> None:
+        for src, label in sources:
+            self.cfg.add_edge(src, target, label)
+
+    def _exception_edges(self, node: Node) -> None:
+        """Wire conservative may-raise edges for one statement node."""
+        if self.handler_targets:
+            for handlers in self.handler_targets:
+                for handler in handlers:
+                    self.cfg.add_edge(node, handler)
+        # Any statement may also propagate an exception out of the function;
+        # modelling that for *every* node would drown must-analyses in
+        # impossible paths, so only explicit ``raise`` reaches raise_exit.
+
+    def _build_body(
+        self,
+        body: List[ast.stmt],
+        frontier: List[Tuple[Node, Optional[str]]],
+    ) -> List[Tuple[Node, Optional[str]]]:
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    # ------------------------------------------------------------------ #
+    def _build_stmt(
+        self,
+        stmt: ast.stmt,
+        frontier: List[Tuple[Node, Optional[str]]],
+    ) -> List[Tuple[Node, Optional[str]]]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            branch = cfg._new_node(KIND_BRANCH, stmt, stmt.test)
+            self._link(frontier, branch)
+            then_out = self._build_body(stmt.body, [(branch, TRUE)])
+            else_out = self._build_body(stmt.orelse, [(branch, FALSE)])
+            return then_out + else_out
+
+        if isinstance(stmt, ast.While):
+            branch = cfg._new_node(KIND_BRANCH, stmt, stmt.test)
+            self._link(frontier, branch)
+            after = _Joiner()
+            self.loops.append(_LoopFrame(branch, after))
+            body_out = self._build_body(stmt.body, [(branch, TRUE)])
+            self._link(body_out, branch)  # back edge
+            self.loops.pop()
+            else_out = self._build_body(stmt.orelse, [(branch, FALSE)])
+            out = list(else_out) if stmt.orelse else [(branch, FALSE)]
+            joined = cfg._new_node(KIND_JOIN, stmt)  # loop-exit join point
+            after.resolve(cfg, joined)
+            self._link(out, joined)
+            return [(joined, None)]
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            header = cfg._new_node(KIND_BRANCH, stmt, None)
+            self._link(frontier, header)
+            after = _Joiner()
+            self.loops.append(_LoopFrame(header, after))
+            body_out = self._build_body(stmt.body, [(header, TRUE)])
+            self._link(body_out, header)  # back edge
+            self.loops.pop()
+            else_out = self._build_body(stmt.orelse, [(header, FALSE)])
+            out = list(else_out) if stmt.orelse else [(header, FALSE)]
+            joined = cfg._new_node(KIND_JOIN, stmt)
+            after.resolve(cfg, joined)
+            self._link(out, joined)
+            return [(joined, None)]
+
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg._new_node(KIND_STMT, stmt)
+            self._link(frontier, node)
+            self._exception_edges(node)
+            return self._build_body(stmt.body, [(node, None)])
+
+        if isinstance(stmt, ast.Return):
+            node = cfg._new_node(KIND_STMT, stmt)
+            self._link(frontier, node)
+            self._exception_edges(node)
+            cfg.add_edge(node, cfg.exit)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            node = cfg._new_node(KIND_STMT, stmt)
+            self._link(frontier, node)
+            if self.handler_targets:
+                self._exception_edges(node)
+            else:
+                cfg.add_edge(node, cfg.raise_exit)
+            return []
+
+        if isinstance(stmt, ast.Break):
+            node = cfg._new_node(KIND_STMT, stmt)
+            self._link(frontier, node)
+            if self.loops:
+                self.loops[-1].after.add(node)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new_node(KIND_STMT, stmt)
+            self._link(frontier, node)
+            if self.loops:
+                cfg.add_edge(node, self.loops[-1].header)
+            return []
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are opaque single steps for the enclosing
+            # function's flow (their bodies get their own CFGs when needed).
+            node = cfg._new_node(KIND_STMT, stmt)
+            self._link(frontier, node)
+            return [(node, None)]
+
+        # every simple statement: Assign/AugAssign/AnnAssign/Expr/...
+        node = cfg._new_node(KIND_STMT, stmt)
+        self._link(frontier, node)
+        self._exception_edges(node)
+        return [(node, None)]
+
+    # ------------------------------------------------------------------ #
+    def _build_try(
+        self,
+        stmt: ast.Try,
+        frontier: List[Tuple[Node, Optional[str]]],
+    ) -> List[Tuple[Node, Optional[str]]]:
+        cfg = self.cfg
+        handler_entries: List[Node] = []
+        for handler in stmt.handlers:
+            handler_entries.append(cfg._new_node(KIND_JOIN, handler))  # type: ignore[arg-type]
+
+        self.handler_targets.append(handler_entries)
+        body_out = self._build_body(stmt.body, frontier)
+        self.handler_targets.pop()
+
+        else_out = self._build_body(stmt.orelse, body_out) if stmt.orelse else body_out
+
+        handler_outs: List[Tuple[Node, Optional[str]]] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_outs.extend(
+                self._build_body(handler.body, [(entry, None)])
+            )
+
+        merged = else_out + handler_outs
+        if stmt.finalbody:
+            if not merged:
+                return []
+            final_entry = cfg._new_node(KIND_JOIN, stmt)  # finally join marker
+            self._link(merged, final_entry)
+            return self._build_body(stmt.finalbody, [(final_entry, None)])
+        return merged
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a function (or any object with a ``body`` list)."""
+    body = getattr(func, "body", None)
+    if not isinstance(body, list):
+        body = [func] if isinstance(func, ast.stmt) else []
+    return _Builder(func, body).cfg

@@ -1,4 +1,10 @@
-"""Rule registry: one module per checker, discovered statically."""
+"""Rule registry: one module per checker, discovered statically.
+
+SK001–SK005 are the original per-file syntactic passes; SK101–SK105 are
+the CFG/dataflow generation (interprocedural contract rules built on
+:mod:`tools.sketchlint.cfg`, :mod:`tools.sketchlint.dataflow` and
+:mod:`tools.sketchlint.symbols`).
+"""
 
 from __future__ import annotations
 
@@ -10,6 +16,11 @@ from tools.sketchlint.rules.sk002_rng import InjectedRngRule
 from tools.sketchlint.rules.sk003_exceptions import ExceptionDisciplineRule
 from tools.sketchlint.rules.sk004_merge_safety import MergeSafetyRule
 from tools.sketchlint.rules.sk005_hot_path import HotPathPurityRule
+from tools.sketchlint.rules.sk101_decode_cache import DecodeCacheInvalidationRule
+from tools.sketchlint.rules.sk102_obs_guard import ObsGuardRule
+from tools.sketchlint.rules.sk103_state_symmetry import StateSymmetryRule
+from tools.sketchlint.rules.sk104_field_flow import FieldFlowRule
+from tools.sketchlint.rules.sk105_policy_threading import PolicyThreadingRule
 
 ALL_RULES: List[Type[Rule]] = [
     FieldArithmeticRule,
@@ -17,6 +28,11 @@ ALL_RULES: List[Type[Rule]] = [
     ExceptionDisciplineRule,
     MergeSafetyRule,
     HotPathPurityRule,
+    DecodeCacheInvalidationRule,
+    ObsGuardRule,
+    StateSymmetryRule,
+    FieldFlowRule,
+    PolicyThreadingRule,
 ]
 
 
@@ -33,4 +49,9 @@ __all__ = [
     "ExceptionDisciplineRule",
     "MergeSafetyRule",
     "HotPathPurityRule",
+    "DecodeCacheInvalidationRule",
+    "ObsGuardRule",
+    "StateSymmetryRule",
+    "FieldFlowRule",
+    "PolicyThreadingRule",
 ]

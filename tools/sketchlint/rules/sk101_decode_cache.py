@@ -1,0 +1,230 @@
+"""SK101 — decode-cache invalidation on every mutating exit path.
+
+Classes that memoize their decode (``self._decode_cache``) must reset the
+cache whenever sketch state changes, or a later ``decode()`` returns the
+*pre-mutation* answer — the silent-staleness bug class the DaVinci decode
+memoization is most exposed to.  The syntactic predecessor rules cannot
+see this: invalidation and mutation are routinely in different branches,
+different statements, or different (private) methods.
+
+The rule is a path property, checked with the CFG/dataflow engine:
+
+* **entry points** are the class's public methods (helpers prefixed with
+  ``_`` are reached through summaries instead, so a public method that
+  delegates its mutation *and* its invalidation to a helper is fine);
+* a path **mutates** when it stores into any ``self.<attr>`` the class
+  owns (other than the cache itself), directly or through a same-class
+  helper whose summary says it may mutate;
+* a path **invalidates** when it assigns ``self._decode_cache`` (any
+  value — ``None`` and a recomputed cache both count), directly or
+  through a helper that *must* invalidate on every normal exit.
+
+A method is flagged when some **normal-exit** path mutates without ever
+invalidating.  Order within the path is deliberately ignored —
+invalidate-then-mutate is the repo's idiom (the cache is cleared up
+front) and is just as correct as mutate-then-invalidate.  Paths that
+raise are exempt: a failed operation reports the failure; it does not
+promise cache coherence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from tools.sketchlint.cfg import CFG, Node, build_cfg
+from tools.sketchlint.dataflow import (
+    ForwardAnalysis,
+    attribute_chain,
+    run_forward,
+)
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.symbols import ClassInfo, FunctionInfo
+
+CACHE_ATTRIBUTE = "_decode_cache"
+
+#: per-sketch bookkeeping counters that do not affect decode answers —
+#: mutating them never stales the cache
+BOOKKEEPING_ATTRIBUTES = frozenset({"memory_accesses", "insertions"})
+
+#: one path's summary: (has mutated, has invalidated)
+PathFacts = Tuple[bool, bool]
+#: the lattice element: the set of distinct path summaries reaching here
+PathSet = FrozenSet[PathFacts]
+
+_IDENTITY: PathSet = frozenset({(False, False)})
+
+
+def _is_recorder(name: str) -> bool:
+    """Observability recorder helpers — exempt, they touch no sketch state
+    that decode reads (the lazily-bound metrics bundle is not state)."""
+    return name == "_observe" or name.startswith("_record")
+
+
+def _self_call_target(call: ast.Call) -> Optional[str]:
+    """``self.helper(...)`` -> ``helper``; anything else -> None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
+def _compose(paths: PathSet, effects: PathSet) -> PathSet:
+    """Sequential composition: every path extended by every callee path."""
+    return frozenset(
+        (mutated or extra_mutated, invalidated or extra_invalidated)
+        for mutated, invalidated in paths
+        for extra_mutated, extra_invalidated in effects
+    )
+
+
+def _statement_effects(
+    stmt: ast.stmt,
+    state_attrs: Set[str],
+    summaries: Dict[str, PathSet],
+) -> PathSet:
+    """The path-set transformer contributed by one simple statement.
+
+    Direct ``self.<attr>`` stores give a single (mutates, invalidates)
+    fact; each ``self.helper(...)`` call splices in the helper's own
+    per-path summary, so a helper that only mutates on *some* paths does
+    not poison the caller's other paths.
+    """
+    mutates = False
+    invalidates = False
+    callee_sets: List[PathSet] = []
+    for node in ast.walk(stmt):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            chain = attribute_chain(target)
+            if not chain or len(chain) < 2 or chain[0] != "self":
+                continue
+            if chain[1] == CACHE_ATTRIBUTE:
+                invalidates = True
+            elif chain[1] in state_attrs:
+                mutates = True
+        if isinstance(node, ast.Call):
+            helper = _self_call_target(node)
+            if helper is not None and helper in summaries:
+                callee_sets.append(summaries[helper])
+    effects: PathSet = frozenset({(mutates, invalidates)})
+    for callee in callee_sets:
+        effects = _compose(effects, callee)
+    return effects
+
+
+class _PathAnalysis(ForwardAnalysis[PathSet]):
+    """Tracks the set of (mutated, invalidated) summaries along each path."""
+
+    def __init__(
+        self, state_attrs: Set[str], summaries: Dict[str, PathSet]
+    ) -> None:
+        self.state_attrs = state_attrs
+        self.summaries = summaries
+
+    def initial(self) -> PathSet:
+        return _IDENTITY
+
+    def join(self, states: List[PathSet]) -> PathSet:
+        merged: Set[PathFacts] = set()
+        for state in states:
+            merged.update(state)
+        return frozenset(merged)
+
+    def transfer(self, node: Node, state: PathSet) -> PathSet:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        effects = _statement_effects(stmt, self.state_attrs, self.summaries)
+        if effects == _IDENTITY:
+            return state
+        return _compose(state, effects)
+
+
+def _analyze_method(
+    method: FunctionInfo,
+    state_attrs: Set[str],
+    summaries: Dict[str, PathSet],
+) -> Tuple[Optional[PathSet], CFG]:
+    cfg = build_cfg(method.node)
+    result = run_forward(cfg, _PathAnalysis(state_attrs, summaries))
+    return result.exit_state, cfg
+
+
+def _compute_summaries(
+    cls_info: ClassInfo, state_attrs: Set[str]
+) -> Dict[str, PathSet]:
+    """Per-method exit path-sets, to a fixpoint.
+
+    Summaries start at the identity path-set and are recomputed from the
+    dataflow until stable; recorder helpers are pinned to the identity
+    (their lazily-bound metrics bundle is not sketch state).  Ten rounds
+    is far beyond any realistic same-class call-chain depth here.
+    """
+    summaries: Dict[str, PathSet] = {
+        name: _IDENTITY for name in cls_info.methods
+    }
+    pinned = {name for name in cls_info.methods if _is_recorder(name)}
+    for _round in range(10):
+        changed = False
+        for name, method in cls_info.methods.items():
+            if name in pinned:
+                continue
+            exit_state, _cfg = _analyze_method(method, state_attrs, summaries)
+            updated = exit_state if exit_state else _IDENTITY
+            if updated != summaries[name]:
+                summaries[name] = updated
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+class DecodeCacheInvalidationRule(PackageRule):
+    """SK101: mutating paths must invalidate the decode cache."""
+
+    code = "SK101"
+    summary = "state mutations must invalidate self._decode_cache on every exit path"
+    description = (
+        "In classes that memoize decode results in self._decode_cache, every "
+        "public method path that mutates sketch state must also assign the "
+        "cache (normally `self._decode_cache = None`) before returning, "
+        "directly or via a helper method. A path that mutates and exits "
+        "without invalidating serves stale decodes."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        for cls_info in package.index.classes_with_attribute(CACHE_ATTRIBUTE):
+            state_attrs = {
+                attr
+                for attr in cls_info.self_attributes
+                if attr != CACHE_ATTRIBUTE
+                and attr not in BOOKKEEPING_ATTRIBUTES
+                and not attr.startswith("_obs")
+            }
+            if not state_attrs:
+                continue
+            summaries = _compute_summaries(cls_info, state_attrs)
+            for name, method in cls_info.methods.items():
+                if name.startswith("_"):
+                    continue  # helpers are covered through summaries
+                exit_state, _cfg = _analyze_method(method, state_attrs, summaries)
+                if not exit_state:
+                    continue
+                if any(mutated and not inv for mutated, inv in exit_state):
+                    yield self.violation_at(
+                        method.path,
+                        method.node,
+                        f"{cls_info.name}.{name} mutates sketch state on a "
+                        "path that returns without assigning "
+                        f"self.{CACHE_ATTRIBUTE}; a later decode() would "
+                        "serve the pre-mutation answer",
+                    )

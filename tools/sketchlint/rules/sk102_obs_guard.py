@@ -1,0 +1,235 @@
+"""SK102 — observability must stay behind hoisted ``_obs.ENABLED`` guards.
+
+The observability layer is pinned to ~1% overhead when disabled, and that
+pin rests on two conventions everywhere in the hot paths:
+
+1. every recorder/metrics call sits on a path dominated by a truthy
+   ``_obs.ENABLED`` check (directly, or via a variable assigned from it,
+   idiomatically ``observing = _obs.ENABLED``); and
+2. the ``ENABLED`` attribute itself is read **once per operation**, never
+   once per item — inside a loop the module-attribute load is the
+   overhead, so the read must be hoisted and the loop may branch on the
+   saved local.
+
+This is the dataflow rule the syntactic SK00x passes could not express:
+"guarded" is a property of paths, not of lexical nesting (a guard inside
+a loop body whose both arms immediately leave the loop is fine; a guard
+lexically outside any loop but re-evaluated through a ``continue`` cycle
+is not).  The CFG's ``on_cycle`` answers the hoisting question exactly:
+can this ``ENABLED`` read execute more than once per call?
+
+Recorder helpers themselves (``_observe``, ``_record_*``) are exempt —
+they are the guarded region's implementation, called only after a guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from tools.sketchlint.cfg import KIND_BRANCH, KIND_STMT, Node, build_cfg
+from tools.sketchlint.dataflow import TagAnalysis, TagState, run_forward
+from tools.sketchlint.engine import FileContext, Rule, Violation
+
+#: module aliases whose ``.ENABLED`` is the observability kill switch
+OBS_ROOTS = frozenset({"_obs", "obs", "observability"})
+
+#: control-plane entry points — enabling, configuring and dumping the
+#: observability layer happens *outside* any guard by definition
+CONTROL_PLANE = frozenset(
+    {"enabled", "disabled", "configure", "snapshot", "reset", "registry"}
+)
+
+#: pseudo-variable carrying the "path is guarded" fact
+_GUARD = "@guarded"
+_TAG_GUARDED = "guarded"
+#: tag for locals holding a saved ``_obs.ENABLED`` value
+_TAG_OBSVAL = "obsval"
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _chain_through_calls(node: ast.expr) -> Optional[List[str]]:
+    """Attribute chain that looks through calls and subscripts.
+
+    ``self._observe().rejections.inc`` -> ``["self", "_observe",
+    "rejections", "inc"]`` — needed because recorder access is lazy.
+    """
+    parts: List[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        elif isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def _is_enabled_read(expr: ast.expr) -> bool:
+    """True for a bare ``_obs.ENABLED`` attribute load."""
+    return (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == "ENABLED"
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in OBS_ROOTS
+    )
+
+
+def _is_obs_call(call: ast.Call) -> bool:
+    chain = _chain_through_calls(call.func)
+    if not chain:
+        return False
+    if chain[-1] in CONTROL_PLANE:
+        return False
+    if chain[0] in OBS_ROOTS:
+        return True
+    if chain[0] == "self":
+        return any(
+            part == "_observe" or part.startswith("_record") for part in chain[1:]
+        )
+    return False
+
+
+def _shallow_walk(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk a statement without descending into nested scopes."""
+    queue: List[ast.AST] = [stmt]
+    while queue:
+        node = queue.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _NESTED_SCOPES):
+                continue
+            queue.append(child)
+
+
+def _implies_enabled(expr: ast.expr, state: TagState) -> bool:
+    """Does this test expression being *truthy* imply ENABLED is truthy?"""
+    if _is_enabled_read(expr):
+        return True
+    if isinstance(expr, ast.Name) and state.has(expr.id, _TAG_OBSVAL):
+        return True
+    if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+        return any(_implies_enabled(value, state) for value in expr.values)
+    return False
+
+
+class _GuardAnalysis(TagAnalysis):
+    """Propagates guardedness and saved-ENABLED locals along the CFG."""
+
+    def transfer(self, node: Node, state: TagState) -> TagState:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            is_obsval = _is_enabled_read(stmt.value) or (
+                isinstance(stmt.value, ast.Name)
+                and state.has(stmt.value.id, _TAG_OBSVAL)
+            )
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if is_obsval:
+                        state = state.set(target.id, {_TAG_OBSVAL})
+                    else:
+                        state = state.clear(target.id)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(stmt.target, ast.Name):
+                state = state.clear(stmt.target.id)
+        return state
+
+    def refine(
+        self, test: Optional[ast.expr], label: Optional[str], state: TagState
+    ) -> TagState:
+        if test is None:
+            return state
+        if label == "true" and _implies_enabled(test, state):
+            return state.set(_GUARD, {_TAG_GUARDED})
+        if (
+            label == "false"
+            and isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and _implies_enabled(test.operand, state)
+        ):
+            return state.set(_GUARD, {_TAG_GUARDED})
+        if label == "false" and _implies_enabled(test, state):
+            # definitely-disabled arm: drop any (contradictory) guard fact
+            return state.clear(_GUARD)
+        return state
+
+
+class ObsGuardRule(Rule):
+    """SK102: obs calls need a dominating guard; guard reads must be hoisted."""
+
+    code = "SK102"
+    summary = "observability calls must be _obs.ENABLED-guarded; hoist the read out of loops"
+    description = (
+        "Metrics/tracing recorder calls must execute only on paths where a "
+        "_obs.ENABLED check (or a local saved from it) is known truthy, and "
+        "the ENABLED attribute itself must not be re-read on a control-flow "
+        "cycle — hoist `observing = _obs.ENABLED` before the loop and branch "
+        "on the local instead. Keeps the disabled-observability overhead "
+        "within its pinned budget."
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        for func in ast.walk(tree):
+            if not isinstance(func, _FUNC_NODES):
+                continue
+            if func.name == "_observe" or func.name.startswith("_record"):
+                continue
+            yield from self._check_function(func, context)
+
+    # ------------------------------------------------------------------ #
+    def _check_function(
+        self, func: ast.AST, context: FileContext
+    ) -> Iterator[Violation]:
+        cfg = build_cfg(func)
+        result = run_forward(cfg, _GuardAnalysis())
+        for node in cfg.nodes.values():
+            if node.kind == KIND_BRANCH:
+                if (
+                    node.test is not None
+                    and cfg.on_cycle(node)
+                    and any(
+                        _is_enabled_read(sub) for sub in ast.walk(node.test)
+                    )
+                ):
+                    yield self.violation(
+                        context,
+                        node.test,
+                        "_obs.ENABLED is re-read on every loop iteration; "
+                        "hoist `observing = _obs.ENABLED` before the loop "
+                        "and branch on the local",
+                    )
+                continue
+            if node.kind != KIND_STMT or node.stmt is None:
+                continue
+            before = result.before.get(node.uid)
+            if before is None:
+                continue  # unreachable statement
+            if cfg.on_cycle(node) and not isinstance(node.stmt, _FUNC_NODES):
+                for sub in _shallow_walk(node.stmt):
+                    if isinstance(sub, ast.expr) and _is_enabled_read(sub):
+                        yield self.violation(
+                            context,
+                            sub,
+                            "_obs.ENABLED is re-read on every loop "
+                            "iteration; hoist the read before the loop",
+                        )
+                        break
+            if not before.has(_GUARD, _TAG_GUARDED):
+                for sub in _shallow_walk(node.stmt):
+                    if isinstance(sub, ast.Call) and _is_obs_call(sub):
+                        yield self.violation(
+                            context,
+                            sub,
+                            "observability call on a path with no truthy "
+                            "_obs.ENABLED guard; wrap it in "
+                            "`if _obs.ENABLED:` (or a hoisted local)",
+                        )
+                        break

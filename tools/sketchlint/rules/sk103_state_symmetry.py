@@ -1,0 +1,319 @@
+"""SK103 — ``to_state``/``from_state`` key-set symmetry.
+
+The wire-v2 state dict is written by one function and read back by
+another, usually far apart (and partly through helpers like
+``sign_state``/``verify_state``).  A key written but never read is dead
+payload that silently bloats every checkpoint; a key read but never
+written is a latent ``KeyError`` (or a silently-None ``.get``) that only
+fires on the restore path — the one exercised least in tests.
+
+The rule pairs serializer/deserializer functions per scope (the
+module-level pair and any per-class method pair, for each name pair in
+:data:`PAIR_NAMES`) and compares the key sets:
+
+* **written** keys: string keys of dict literals bound to the state
+  variable, ``state["k"] = ...`` subscript stores, ``state.setdefault``/
+  ``state.update({...})`` — plus, one call level deep, subscript stores
+  to the matching parameter of a same-package helper the dict is passed
+  to (how ``sign_state`` adds ``digest``);
+* **read** keys: ``state["k"]`` loads, ``state.get("k")``/``pop``,
+  ``"k" in state`` membership, and loop-membership reads
+  (``for f in ("a", "b"): state[f]``) — again following the dict one
+  call level into helpers such as ``verify_state``.
+
+Scopes where either side's key set comes out empty are skipped: a pair
+that just delegates (``return serialization.to_state(self)``) carries no
+key information and must not drown the report in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.sketchlint.dataflow import call_name
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.symbols import FunctionInfo, SymbolIndex
+
+#: serializer/deserializer name pairs checked for key symmetry
+PAIR_NAMES: Tuple[Tuple[str, str], ...] = (
+    ("to_state", "from_state"),
+    ("to_wire", "from_wire"),
+)
+
+_GET_METHODS = frozenset({"get", "pop"})
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _tuple_consts(node: ast.expr) -> List[str]:
+    """String constants of a tuple/list literal (else empty)."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        found = [_const_str(element) for element in node.elts]
+        return [value for value in found if value is not None]
+    return []
+
+
+def _loop_alias_map(func: ast.AST) -> Dict[str, List[str]]:
+    """``for f in ("a", "b"):`` -> ``{"f": ["a", "b"]}``."""
+    aliases: Dict[str, List[str]] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            consts = _tuple_consts(node.iter)
+            if consts:
+                aliases.setdefault(node.target.id, []).extend(consts)
+    return aliases
+
+
+def _keys_from_subscript(
+    sub: ast.Subscript, var: str, aliases: Dict[str, List[str]]
+) -> List[str]:
+    if not (isinstance(sub.value, ast.Name) and sub.value.id == var):
+        return []
+    index = sub.slice
+    key = _const_str(index)
+    if key is not None:
+        return [key]
+    if isinstance(index, ast.Name) and index.id in aliases:
+        return list(aliases[index.id])
+    return []
+
+
+class _KeyCollector:
+    """Reads/writes of string keys on one dict variable in one function."""
+
+    def __init__(self, index: SymbolIndex, path: str) -> None:
+        self.index = index
+        self.path = path
+
+    # ------------------------------------------------------------------ #
+    def collect(
+        self, func: ast.AST, var: str, follow_calls: bool = True
+    ) -> Tuple[Set[str], Set[str]]:
+        """(written, read) key sets for ``var`` inside ``func``."""
+        written: Set[str] = set()
+        read: Set[str] = set()
+        aliases = _loop_alias_map(func)
+        tracked = {var}
+        # one extra name: ``state = {...}`` then returned via helper chains
+        for node in ast.walk(func):
+            # writes --------------------------------------------------- #
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        for name in tracked:
+                            written.update(
+                                _keys_from_subscript(target, name, aliases)
+                            )
+                    if isinstance(target, ast.Name) and target.id in tracked:
+                        if isinstance(node.value, ast.Dict):
+                            written.update(
+                                key
+                                for key in map(
+                                    lambda k: _const_str(k) if k else None,
+                                    node.value.keys,
+                                )
+                                if key is not None
+                            )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id in tracked
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    written.update(
+                        key
+                        for key in (
+                            _const_str(k) for k in node.value.keys if k
+                        )
+                        if key is not None
+                    )
+            # reads ---------------------------------------------------- #
+            if isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                for name in tracked:
+                    read.update(_keys_from_subscript(node, name, aliases))
+            if isinstance(node, ast.Compare) and node.ops:
+                if isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                    comparator = node.comparators[0]
+                    if (
+                        isinstance(comparator, ast.Name)
+                        and comparator.id in tracked
+                    ):
+                        key = _const_str(node.left)
+                        if key is not None:
+                            read.add(key)
+                        elif (
+                            isinstance(node.left, ast.Name)
+                            and node.left.id in aliases
+                        ):
+                            read.update(aliases[node.left.id])
+            if isinstance(node, ast.Call):
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id in tracked
+                ):
+                    if func_expr.attr in _GET_METHODS and node.args:
+                        key = _const_str(node.args[0])
+                        if key is not None:
+                            read.add(key)
+                    elif func_expr.attr == "setdefault" and node.args:
+                        key = _const_str(node.args[0])
+                        if key is not None:
+                            written.add(key)
+                    elif func_expr.attr == "update":
+                        for arg in node.args:
+                            if isinstance(arg, ast.Dict):
+                                written.update(
+                                    key
+                                    for key in (
+                                        _const_str(k) for k in arg.keys if k
+                                    )
+                                    if key is not None
+                                )
+                elif follow_calls:
+                    helper_written, helper_read = self._follow_call(
+                        node, tracked
+                    )
+                    written.update(helper_written)
+                    read.update(helper_read)
+        return written, read
+
+    # ------------------------------------------------------------------ #
+    def _follow_call(
+        self, call: ast.Call, tracked: Set[str]
+    ) -> Tuple[Set[str], Set[str]]:
+        """Keys a same-package helper touches on the dict we pass it."""
+        positions = [
+            position
+            for position, arg in enumerate(call.args)
+            if isinstance(arg, ast.Name) and arg.id in tracked
+        ]
+        if not positions:
+            return set(), set()
+        name = call_name(call)
+        candidates = [
+            info
+            for info in self.index.functions_named(name)
+            if not info.is_method
+        ]
+        if len(candidates) != 1:
+            return set(), set()  # unresolvable or ambiguous: stay silent
+        helper = candidates[0]
+        params = helper.positional_param_names()
+        written: Set[str] = set()
+        read: Set[str] = set()
+        for position in positions:
+            if position >= len(params):
+                continue
+            helper_written, helper_read = self.collect(
+                helper.node, params[position], follow_calls=False
+            )
+            written.update(helper_written)
+            read.update(helper_read)
+        return written, read
+
+
+def _first_param(info: FunctionInfo) -> Optional[str]:
+    params = info.positional_param_names()
+    if info.is_method and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    return params[0] if params else None
+
+
+def _state_var_for_writer(info: FunctionInfo) -> Optional[str]:
+    """The local the state dict is built in (first dict-literal binding)."""
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    return target.id
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.value, ast.Dict)
+            and isinstance(node.target, ast.Name)
+        ):
+            return node.target.id
+    return None
+
+
+class StateSymmetryRule(PackageRule):
+    """SK103: serializer and deserializer must agree on the key set."""
+
+    code = "SK103"
+    summary = "to_state/from_state (and wire) pairs must read and write the same keys"
+    description = (
+        "For each to_state/from_state (and to_wire/from_wire) pair in the "
+        "same module or class, the set of string keys the serializer writes "
+        "into the state dict must equal the set the deserializer reads "
+        "(helpers like sign_state/verify_state are followed one call deep). "
+        "Written-never-read keys are dead checkpoint payload; "
+        "read-never-written keys are restore-path KeyErrors."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        for writer, reader in self._pairs(package.index):
+            yield from self._check_pair(package.index, writer, reader)
+
+    # ------------------------------------------------------------------ #
+    def _pairs(
+        self, index: SymbolIndex
+    ) -> Iterator[Tuple[FunctionInfo, FunctionInfo]]:
+        for module in index.modules.values():
+            for write_name, read_name in PAIR_NAMES:
+                writer = module.functions.get(write_name)
+                reader = module.functions.get(read_name)
+                if writer is not None and reader is not None:
+                    yield writer, reader
+            for cls_info in module.classes.values():
+                for write_name, read_name in PAIR_NAMES:
+                    writer = cls_info.methods.get(write_name)
+                    reader = cls_info.methods.get(read_name)
+                    if writer is not None and reader is not None:
+                        yield writer, reader
+
+    def _check_pair(
+        self,
+        index: SymbolIndex,
+        writer: FunctionInfo,
+        reader: FunctionInfo,
+    ) -> Iterator[Violation]:
+        write_var = _state_var_for_writer(writer)
+        if write_var is None:
+            return
+        read_var = _first_param(reader)
+        if read_var is None:
+            return
+        collector = _KeyCollector(index, writer.path)
+        written, _ = collector.collect(writer.node, write_var)
+        _, read = collector.collect(reader.node, read_var)
+        if not written or not read:
+            return  # a delegating pair carries no key information
+        unread = sorted(written - read)
+        unwritten = sorted(read - written)
+        scope = writer.qualname.rsplit(".", 1)[0] if writer.is_method else "module"
+        if unread:
+            yield self.violation_at(
+                writer.path,
+                writer.node,
+                f"{writer.qualname} writes state key(s) "
+                f"{', '.join(repr(k) for k in unread)} that "
+                f"{reader.qualname} never reads ({scope} pair) — dead "
+                "payload or a missed restore",
+            )
+        if unwritten:
+            yield self.violation_at(
+                reader.path,
+                reader.node,
+                f"{reader.qualname} reads state key(s) "
+                f"{', '.join(repr(k) for k in unwritten)} that "
+                f"{writer.qualname} never writes ({scope} pair) — "
+                "restore-path KeyError waiting to fire",
+            )

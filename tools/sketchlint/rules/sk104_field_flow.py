@@ -1,0 +1,234 @@
+"""SK104 — unreduced field values must not *flow* into sensitive sinks.
+
+SK001 checks the statement-local contract: arithmetic written straight
+into ``iID`` field state must end in ``% p``.  It cannot see the two-step
+version of the same bug::
+
+    acc = self.ids[row][j] + count * key     # unreduced intermediate
+    ...
+    self.ids[row][j] = acc                   # SK001-silent, still wrong
+    if acc == other:                         # compares out-of-range residue
+    payload.append(acc)                      # serializes out-of-range residue
+
+This rule runs the taint-style dataflow pass over each function's CFG:
+a local becomes **unreduced** when it is assigned arithmetic over field
+state (or over another unreduced local) whose top level is not a ``% p``
+reduction or a sanctioned reducer (``to_field``); a ``% p`` / reducer
+assignment clears the tag.  Flagged sinks for tagged values:
+
+* equality/ordering comparisons (``==``, ``!=``, ``<`` ... — a residue
+  outside ``[0, p)`` never compares equal to its canonical form);
+* stores into field state (the deferred SK001 case above);
+* serialization calls (``pack``/``dumps``/``to_bytes``/``append``-into
+  payload style sinks listed in :data:`SERIALIZATION_SINKS`).
+
+Only flows the fixpoint proves reachable are reported, so reducing on
+every path (including inside an ``if``/``else`` split) is recognized.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from tools.sketchlint.cfg import KIND_STMT, Node, build_cfg
+from tools.sketchlint.dataflow import TagAnalysis, TagState, run_forward
+from tools.sketchlint.engine import FileContext, Rule, Violation
+from tools.sketchlint.rules.sk001_field_arithmetic import (
+    FIELD_STATE_NAMES,
+    _ARITH_OPS,
+    _SANCTIONED_REDUCERS,
+    _is_reduced,
+    _subscript_root,
+)
+
+_TAG = "unreduced"
+
+#: call names treated as serialization sinks for residues
+SERIALIZATION_SINKS = frozenset({"pack", "dumps", "to_bytes", "tobytes", "write"})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_field_load(expr: ast.expr) -> bool:
+    """A load of field state: ``self.ids[r][j]``, ``iid``, ``id_sum`` ..."""
+    if isinstance(expr, ast.Subscript):
+        return _subscript_root(expr) is not None
+    if isinstance(expr, ast.Name):
+        return expr.id.lower() in FIELD_STATE_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr.lower() in FIELD_STATE_NAMES
+    return False
+
+
+def _expr_unreduced(expr: ast.expr, state: TagState) -> bool:
+    """Is this expression's value arithmetic over field state, unreduced?
+
+    Reduction is recognized at the expression's top level: ``x % p`` and
+    ``to_field(x)`` launder the value back into the field.
+    """
+    if _is_reduced(expr):
+        return False
+    if isinstance(expr, ast.Name):
+        return state.has(expr.id, _TAG)
+    if isinstance(expr, ast.BinOp):
+        if not isinstance(expr.op, _ARITH_OPS):
+            return False
+        return any(
+            _is_field_load(operand) or _expr_unreduced(operand, state)
+            for operand in (expr.left, expr.right)
+        )
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, (ast.USub, ast.UAdd)):
+        return _is_field_load(expr.operand) or _expr_unreduced(expr.operand, state)
+    return False
+
+
+class _FlowAnalysis(TagAnalysis):
+    """Tags locals holding unreduced field arithmetic."""
+
+    def transfer(self, node: Node, state: TagState) -> TagState:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            tagged = _expr_unreduced(stmt.value, state)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if tagged:
+                        state = state.set(target.id, {_TAG})
+                    else:
+                        state = state.clear(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                if _expr_unreduced(stmt.value, state):
+                    state = state.set(stmt.target.id, {_TAG})
+                else:
+                    state = state.clear(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                if isinstance(stmt.op, ast.Mod):
+                    state = state.clear(stmt.target.id)  # ``acc %= p``
+                elif isinstance(stmt.op, _ARITH_OPS) and (
+                    state.has(stmt.target.id, _TAG)
+                    or _expr_unreduced(stmt.value, state)
+                    or _is_field_load(stmt.value)
+                ):
+                    state = state.set(stmt.target.id, {_TAG})
+        return state
+
+
+def _tagged_name_in(expr: ast.expr, state: TagState) -> Optional[str]:
+    if isinstance(expr, ast.Name) and state.has(expr.id, _TAG):
+        return expr.id
+    return None
+
+
+class FieldFlowRule(Rule):
+    """SK104: the dataflow generalization of SK001."""
+
+    code = "SK104"
+    summary = "unreduced field arithmetic must not flow into compares/stores/serialization"
+    description = (
+        "A local assigned arithmetic over iID field state without a "
+        "top-level % p (or to_field) stays out of the field's canonical "
+        "range; using it in a comparison, storing it back into field state, "
+        "or serializing it propagates a residue that decodes to the wrong "
+        "key. Reduce at the assignment or before the sink."
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Violation]:
+        for func in ast.walk(tree):
+            if isinstance(func, _FUNC_NODES):
+                yield from self._check_function(func, context)
+
+    # ------------------------------------------------------------------ #
+    def _check_function(
+        self, func: ast.AST, context: FileContext
+    ) -> Iterator[Violation]:
+        cfg = build_cfg(func)
+        result = run_forward(cfg, _FlowAnalysis())
+        reported: Set[int] = set()
+        for node in cfg.nodes.values():
+            state = result.before.get(node.uid)
+            if state is None:
+                continue
+            if node.kind == KIND_STMT and node.stmt is not None:
+                yield from self._check_stmt(node.stmt, state, context, reported)
+            elif node.test is not None:
+                yield from self._check_expr_tree(
+                    node.test, state, context, reported
+                )
+
+    def _check_stmt(
+        self,
+        stmt: ast.stmt,
+        state: TagState,
+        context: FileContext,
+        reported: Set[int],
+    ) -> Iterator[Violation]:
+        # sink: store back into field state
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        value = getattr(stmt, "value", None)
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and _subscript_root(target) is not None
+                and value is not None
+            ):
+                name = _tagged_name_in(value, state)
+                if name is not None and id(stmt) not in reported:
+                    reported.add(id(stmt))
+                    yield self.violation(
+                        context,
+                        stmt,
+                        f"'{name}' carries unreduced field arithmetic into a "
+                        "field-state store; reduce it '% p' (or via "
+                        f"{'/'.join(sorted(_SANCTIONED_REDUCERS))}) first",
+                    )
+        yield from self._check_expr_tree(stmt, state, context, reported)
+
+    def _check_expr_tree(
+        self,
+        root: ast.AST,
+        state: TagState,
+        context: FileContext,
+        reported: Set[int],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for operand in operands:
+                    name = _tagged_name_in(operand, state)
+                    if name is not None and id(node) not in reported:
+                        reported.add(id(node))
+                        yield self.violation(
+                            context,
+                            node,
+                            f"'{name}' holds an unreduced field value in a "
+                            "comparison; residues outside [0, p) never "
+                            "match their canonical form — reduce first",
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                call = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                if call not in SERIALIZATION_SINKS:
+                    continue
+                for arg in node.args:
+                    name = _tagged_name_in(arg, state)
+                    if name is not None and id(node) not in reported:
+                        reported.add(id(node))
+                        yield self.violation(
+                            context,
+                            node,
+                            f"'{name}' holds an unreduced field value passed "
+                            f"to serialization sink '{call}'; reduce it "
+                            "'% p' before emitting",
+                        )
+                        break

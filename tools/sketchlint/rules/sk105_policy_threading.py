@@ -1,0 +1,255 @@
+"""SK105 — ``DegradationPolicy`` must thread through task consumers.
+
+The degradation contract (ROADMAP: "graceful decode degradation") holds
+only if the ``policy=`` a caller hands to a facade actually reaches the
+task implementation doing the work.  Three ways the thread gets dropped,
+each checked against the whole-package symbol index:
+
+* **signature asymmetry** — a facade method accepts ``policy`` but the
+  same-named task-consumer function it pairs with (a module-level
+  function of the same name elsewhere in the package) does not, or vice
+  versa: one half of the pair silently cannot receive the setting;
+* **dropped forwarding** — inside a function that accepts ``policy``, a
+  *delegation call* (a call to a function with the caller's own name —
+  the facade→task hop) omits ``policy=`` on a path where the dataflow
+  engine cannot prove ``policy is None``.  The repo's idiom branches on
+  ``policy is not None`` and forwards inside the non-None arm; the CFG
+  refinement recognizes exactly that, so the bare call in the
+  known-None arm stays legal;
+* **dead parameter** — a function accepts ``policy`` and never loads it
+  (``typing.overload`` stubs and empty/abstract bodies are exempt).
+
+Calls to *differently named* policy-aware callees are deliberately not
+checked: composing tasks apply the policy at their own boundary
+(e.g. ``heavy_changers`` calling ``difference`` without a policy is the
+documented design), and flagging those would teach people to pass
+``policy`` twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from tools.sketchlint.cfg import build_cfg, Node
+from tools.sketchlint.dataflow import TagAnalysis, TagState, run_forward
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.symbols import FunctionInfo, SymbolIndex
+
+PARAM = "policy"
+
+#: tag meaning "may hold a non-None policy on this path"
+_TAG_MAYBE = "maybe-set"
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_overload_stub(func: ast.AST) -> bool:
+    for decorator in getattr(func, "decorator_list", []):
+        name = ""
+        if isinstance(decorator, ast.Name):
+            name = decorator.id
+        elif isinstance(decorator, ast.Attribute):
+            name = decorator.attr
+        if name == "overload":
+            return True
+    return False
+
+
+def _is_trivial_body(func: ast.AST) -> bool:
+    """Docstring/``...``/``pass``/``raise``-only bodies (stubs, abstracts)."""
+    for stmt in getattr(func, "body", []):
+        if isinstance(stmt, (ast.Pass, ast.Raise)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+def _loads_param(func: ast.AST, param: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id == param and isinstance(
+            node.ctx, ast.Load
+        ):
+            return True
+    return False
+
+
+def _is_policy_none_test(test: ast.expr) -> Optional[bool]:
+    """``policy is not None`` -> True; ``policy is None`` -> False; else None.
+
+    The return value is "does the *truthy* arm imply policy is set?".
+    """
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.left, ast.Name)
+        and test.left.id == PARAM
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return None
+    if isinstance(test.ops[0], ast.IsNot):
+        return True
+    if isinstance(test.ops[0], ast.Is):
+        return False
+    return None
+
+
+class _PolicyAnalysis(TagAnalysis):
+    """Tracks whether ``policy`` may still be non-None on each path."""
+
+    def initial(self) -> TagState:
+        return TagState().set(PARAM, {_TAG_MAYBE})
+
+    def transfer(self, node: Node, state: TagState) -> TagState:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == PARAM:
+                    value = stmt.value
+                    if isinstance(value, ast.Constant) and value.value is None:
+                        state = state.clear(PARAM)
+                    else:
+                        state = state.set(PARAM, {_TAG_MAYBE})
+        return state
+
+    def refine(
+        self, test: Optional[ast.expr], label: Optional[str], state: TagState
+    ) -> TagState:
+        if test is None:
+            return state
+        implies_set = _is_policy_none_test(test)
+        if implies_set is None:
+            return state
+        # the arm on which policy is known-None:
+        none_label = "false" if implies_set else "true"
+        if label == none_label:
+            return state.clear(PARAM)
+        return state.set(PARAM, {_TAG_MAYBE})
+
+
+def _delegation_calls(stmt: ast.stmt, own_name: str) -> Iterator[ast.Call]:
+    """Calls to a function with the enclosing function's own name."""
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        if name == own_name:
+            yield node
+
+
+def _forwards_policy(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == PARAM:
+            return True
+        if keyword.arg is None:  # **kwargs may carry it; stay silent
+            return True
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == PARAM:
+            return True
+    return False
+
+
+class PolicyThreadingRule(PackageRule):
+    """SK105: facades and task consumers must agree on and forward policy."""
+
+    code = "SK105"
+    summary = "degradation policy must be accepted and forwarded by task consumers"
+    description = (
+        "Facade methods and their same-named task-consumer functions must "
+        "agree on accepting policy=, a function accepting policy must not "
+        "ignore it, and a delegation call (facade to same-named task "
+        "function) must forward policy= on every path where it may be "
+        "non-None. Otherwise a caller's degradation setting is silently "
+        "dropped between layers."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        index = package.index
+        yield from self._check_signatures(index)
+        for info in index.all_functions():
+            if _is_overload_stub(info.node) or _is_trivial_body(info.node):
+                continue
+            if not info.has_param(PARAM):
+                continue
+            yield from self._check_dead_param(info)
+            yield from self._check_forwarding(info)
+
+    # ------------------------------------------------------------------ #
+    def _check_signatures(self, index: SymbolIndex) -> Iterator[Violation]:
+        """Flag facades whose task-consumer side cannot accept policy.
+
+        Name-only resolution cannot tell the real delegation target from
+        an identically named reference oracle (``workloads.groundtruth``
+        defines ``heavy_hitters`` etc. as ground-truth checks), so the
+        pairing is conservative: the contract is satisfied as soon as
+        *any* same-named module-level function accepts ``policy``.  Only
+        when every candidate lacks the parameter is the thread provably
+        broken, and then every candidate is reported.
+        """
+        seen: Set[int] = set()
+        for info in index.all_functions():
+            if not info.is_method or not info.has_param(PARAM):
+                continue
+            if _is_overload_stub(info.node):
+                continue
+            partners = [
+                other
+                for other in index.functions_named(info.name)
+                if not other.is_method and not _is_overload_stub(other.node)
+            ]
+            if not partners or any(p.has_param(PARAM) for p in partners):
+                continue
+            for partner in partners:
+                if id(partner.node) in seen:
+                    continue
+                seen.add(id(partner.node))
+                yield self.violation_at(
+                    partner.path,
+                    partner.node,
+                    f"task consumer {partner.name}() pairs with the "
+                    f"policy-accepting facade {info.qualname} but no "
+                    f"same-named function accepts '{PARAM}' — the "
+                    "caller's degradation setting cannot reach the task",
+                )
+
+    def _check_dead_param(self, info: FunctionInfo) -> Iterator[Violation]:
+        if not _loads_param(info.node, PARAM):
+            yield self.violation_at(
+                info.path,
+                info.node,
+                f"{info.qualname} accepts '{PARAM}' but never uses it; the "
+                "argument is silently dropped — forward it or remove the "
+                "parameter",
+            )
+
+    def _check_forwarding(self, info: FunctionInfo) -> Iterator[Violation]:
+        cfg = build_cfg(info.node)
+        result = run_forward(cfg, _PolicyAnalysis())
+        reported: Set[int] = set()
+        for node in cfg.statement_nodes():
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            state = result.before.get(node.uid)
+            if state is None or not state.has(PARAM, _TAG_MAYBE):
+                continue
+            for call in _delegation_calls(stmt, info.name):
+                if _forwards_policy(call) or id(call) in reported:
+                    continue
+                reported.add(id(call))
+                yield self.violation_at(
+                    info.path,
+                    call,
+                    f"delegation call to {info.name}() drops '{PARAM}=' on "
+                    "a path where it may be non-None; forward "
+                    f"{PARAM}={PARAM} (the known-None branch may omit it)",
+                )
