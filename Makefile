@@ -6,7 +6,7 @@ export PYTHONPATH := src
 
 .PHONY: lint typecheck sketchlint lint-sarif sketchlint-baseline \
 	bench-sketchlint test test-debug faults bench-ingest \
-	bench-checkpoint benchcheck coverage check
+	bench-checkpoint bench-sharded benchcheck coverage check
 
 lint:
 	ruff check src tools
@@ -56,20 +56,31 @@ bench-ingest:
 bench-checkpoint:
 	$(PYTHON) benchmarks/bench_checkpoint.py --max-overhead 0.10
 
+# acceptance benchmark: 4-shard multiprocess ingestion must be >= 2x the
+# single-process run on the 1M-item stream, and the merged sketch must
+# be byte-identical to the sequential per-partition fold
+bench-sharded:
+	$(PYTHON) benchmarks/bench_sharded.py --min-speedup 2.0
+
 # regression gate: quick benches compared against the committed
 # full-scale baselines on their dimensionless metrics (±20% relative by
-# default; the speedup floor is absolute because quick workloads batch
-# less — see tools/benchcheck.py).  Fresh reports go to *_fresh.json so
-# the baselines are never overwritten.
+# default; the speedup floors are absolute because quick workloads batch
+# less, and the 100k-item sharded run is dominated by process startup —
+# see tools/benchcheck.py).  Fresh reports go to *_fresh.json so the
+# baselines are never overwritten.
 benchcheck:
 	$(PYTHON) benchmarks/bench_ingest.py --quick --min-speedup 1.0 \
 		--output BENCH_ingest_fresh.json
 	$(PYTHON) benchmarks/bench_checkpoint.py --quick --repeats 2 \
 		--max-overhead 1.0 --output BENCH_checkpoint_fresh.json
+	$(PYTHON) benchmarks/bench_sharded.py --quick --repeats 2 \
+		--output BENCH_sharded_fresh.json
 	$(PYTHON) -m tools.benchcheck BENCH_ingest_fresh.json \
 		--baseline BENCH_ingest.json --min speedup=1.4
 	$(PYTHON) -m tools.benchcheck BENCH_checkpoint_fresh.json \
 		--baseline BENCH_checkpoint.json --max overhead_fraction=0.5
+	$(PYTHON) -m tools.benchcheck BENCH_sharded_fresh.json \
+		--baseline BENCH_sharded.json --min speedup=0.3
 
 # branch coverage over src/repro with the ratchet-only floor recorded in
 # pyproject.toml ([tool.repro] coverage_floor); needs pytest-cov

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Distributed measurement: merge sketches from many vantage points.
+"""Distributed measurement: sharded ingestion plus cross-site merging.
 
 The paper's union operation (Algorithm 3) exists precisely for this:
 several measurement points each summarize their local traffic into a
@@ -8,6 +8,14 @@ collector, and the collector folds them into one network-wide view on
 which every task still works.  The difference operation then localizes
 *where* traffic was lost between two points on a path.
 
+This example runs the real pipeline end to end:
+
+1. a :class:`~repro.runtime.sharded.ShardedIngestor` spreads one site's
+   stream across worker processes and merge-trees the shards back
+   together (see ``docs/SCALING.md``);
+2. each vantage point ships its sketch as a digest-checked wire-format
+   v2 blob, the collector verifies and unions them.
+
 Run:  python examples/distributed_aggregation.py
 """
 
@@ -15,33 +23,52 @@ import random
 from collections import Counter
 
 from repro import DaVinciConfig, DaVinciSketch
+from repro.core.serialization import from_wire, to_wire
+from repro.runtime import ShardedIngestor
 from repro.workloads import zipf_trace
 
 
-def main() -> None:
+def main(scale: float = 1.0) -> None:
     config = DaVinciConfig.from_memory_kb(32, seed=9)
     rng = random.Random(4)
 
-    # --- four vantage points see disjoint slices of the traffic --------- #
-    traffic = zipf_trace(num_packets=120_000, num_flows=9_000, skew=1.05, seed=1)
+    # --- one busy vantage point ingests with the sharded runtime -------- #
+    packets = int(120_000 * scale)
+    flows = max(100, int(9_000 * scale))
+    traffic = zipf_trace(num_packets=packets, num_flows=flows, skew=1.05, seed=1)
     rng.shuffle(traffic)
-    quarter = len(traffic) // 4
-    slices = [traffic[i * quarter : (i + 1) * quarter] for i in range(4)]
 
-    monitors = []
-    for index, packets in enumerate(slices):
+    with ShardedIngestor(config, num_shards=4) as ingestor:
+        ingestor.ingest_keys(traffic)
+        busy_site_view = ingestor.finalize()
+    print(f"sharded site: {busy_site_view.total_count:,} packets across "
+          f"{ingestor.num_shards} worker processes "
+          f"(mode={busy_site_view.mode})")
+
+    # --- other vantage points see disjoint slices of more traffic ------- #
+    extra = zipf_trace(num_packets=packets, num_flows=flows, skew=1.05, seed=2)
+    rng.shuffle(extra)
+    half = len(extra) // 2
+    slices = [extra[:half], extra[half:]]
+
+    wire_blobs = []
+    for index, site_packets in enumerate(slices):
         sketch = DaVinciSketch(config)
-        sketch.insert_all(packets)
-        monitors.append(sketch)
+        sketch.insert_all(site_packets)
+        # Ship over the network as a checksummed wire-v2 blob: the
+        # collector's from_wire() verifies the embedded digest before
+        # trusting a single counter.
+        blob = to_wire(sketch, "sha256")
+        wire_blobs.append(blob)
         print(f"monitor {index}: {sketch.total_count:,} packets, "
-              f"sketch = {sketch.memory_bytes() / 1024:.0f} KB")
+              f"wire blob = {len(blob) / 1024:.0f} KB")
 
-    # --- collector folds them pairwise ---------------------------------- #
-    network_view = monitors[0]
-    for sketch in monitors[1:]:
-        network_view = network_view.union(sketch)
+    # --- collector verifies and folds everything ------------------------ #
+    network_view = busy_site_view
+    for blob in wire_blobs:
+        network_view = network_view.union(from_wire(blob))
 
-    truth = Counter(traffic)
+    truth = Counter(traffic) + Counter(extra)
     print(f"\nnetwork-wide view: {network_view.total_count:,} packets")
     print(f"cardinality  true={len(truth):,}, "
           f"estimated={network_view.cardinality():,.0f}")

@@ -24,9 +24,9 @@ def exact_join(left, right) -> int:
     return sum(count * freq_right[key] for key, count in freq_left.items())
 
 
-def main() -> None:
+def main(scale: float = 1.0) -> None:
     # two fact-table join columns over the same (small) dimension keys
-    fact_rows, dim_rows = correlated_pair("tpcds", scale=0.02, seed=11)
+    fact_rows, dim_rows = correlated_pair("tpcds", scale=0.02 * scale, seed=11)
     true_join = exact_join(fact_rows, dim_rows)
     print(f"R: {len(fact_rows):,} rows, S: {len(dim_rows):,} rows, "
           f"|keys| = {len(set(fact_rows)):,}")

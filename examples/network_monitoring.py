@@ -36,11 +36,11 @@ def inject_anomaly(packets, attacker: int = 0xBAD, volume: int = 3000):
     return spaced
 
 
-def main() -> None:
+def main(scale: float = 1.0) -> None:
     config = DaVinciConfig.from_memory_kb(48, seed=3)
 
     # two measurement windows from a CAIDA-like packet trace
-    trace = caida_like(scale=0.04, seed=5)
+    trace = caida_like(scale=0.04 * scale, seed=5)
     half = len(trace) // 2
     window1_packets = trace[:half]
     window2_packets = inject_anomaly(trace[half:])

@@ -16,7 +16,7 @@ from repro import DaVinciConfig, DaVinciSketch
 from repro.workloads import zipf_trace
 
 
-def main() -> None:
+def main(scale: float = 1.0) -> None:
     # --- build a sketch from a memory budget --------------------------- #
     config = DaVinciConfig.from_memory_kb(64, seed=42)
     sketch = DaVinciSketch(config)
@@ -30,7 +30,9 @@ def main() -> None:
     # touching the structure, producing a sketch state identical to the
     # per-item loop while doing far fewer memory accesses.  Weighted
     # streams can call sketch.insert_batch([(key, count), ...]) directly.
-    stream = zipf_trace(num_packets=200_000, num_flows=20_000, skew=1.05, seed=7)
+    stream = zipf_trace(num_packets=int(200_000 * scale),
+                        num_flows=max(100, int(20_000 * scale)),
+                        skew=1.05, seed=7)
     truth = Counter(stream)
     sketch.insert_all(stream)
     print(f"inserted {len(stream):,} items over {len(truth):,} distinct keys")

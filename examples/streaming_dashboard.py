@@ -21,12 +21,12 @@ from repro.core.windowed import WindowedDaVinci
 from repro.workloads import caida_like, write_trace
 
 
-def main() -> None:
+def main(scale: float = 1.0) -> None:
     config = DaVinciConfig.from_memory_kb(32, seed=21)
-    epoch = 12_000  # packets per window
+    epoch = max(500, int(12_000 * scale))  # packets per window
     ring = WindowedDaVinci(config, window_size=epoch, retain=4)
 
-    trace = caida_like(scale=0.02, seed=13)
+    trace = caida_like(scale=0.02 * scale, seed=13)
     print(f"streaming {len(trace):,} packets in epochs of {epoch:,}\n")
     print(f"{'epoch':>5s} {'packets':>9s} {'flows':>8s} {'entropy':>8s} "
           f"{'elephants':>9s} {'changers':>8s}")

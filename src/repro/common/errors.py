@@ -115,6 +115,18 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class ShardFailureError(ReproError, RuntimeError):
+    """A sharded-ingestion worker died and the run cannot continue.
+
+    Raised by :class:`repro.runtime.sharded.ShardedIngestor` when a worker
+    process exits unexpectedly and no recovery path exists: the shard was
+    not durable (nothing to replay from), the configured restart budget is
+    exhausted, or a worker failed to deliver its final state within the
+    join timeout.  Durable shards with restarts remaining are respawned
+    and replayed transparently instead of raising.
+    """
+
+
 class UnverifiedStateWarning(UserWarning):
     """A version-1 sketch state was loaded without integrity protection.
 

@@ -7,11 +7,20 @@ counter-wise, which is only meaningful for identically-hashed structures.
 
 **Union.**  Per FP bucket, entries of both inputs are merged by key (counts
 summed); the top-``c`` merged entries stay in the result's frequent part and
-the leftovers are demoted through the result's filter pipeline.  The element
-filter is a saturating counter-wise sum and the infrequent part a field
-sum.  The result uses the *additive* query mode: after a merge an element
-may hold up to ``2T`` in the filter, so Algorithm 4's ``+T`` shortcut no
-longer applies and summing the three parts is the faithful query.
+the leftovers are demoted with a *state-independent* split: ``min(count, T)``
+goes to the element filter and the remainder is encoded directly into the
+infrequent part.  The element filter is a saturating counter-wise sum and
+the infrequent part a field sum.  Because every component of this recipe —
+the per-bucket top-``c`` over key-disjoint inputs, the summed ``ecnt``, the
+OR-plus-eviction ``flag``, the saturating filter sum and the field-linear
+encode — is independent of how inputs are grouped, folding key-disjoint
+sketches (e.g. shards produced by
+:class:`~repro.runtime.sharded.ShardRouter`) is associative up to
+``to_state()`` bytes: a left fold and a balanced merge tree yield the same
+sketch.  The result uses the *additive* query mode: after a merge an
+element may hold up to ``2T`` in the filter, so Algorithm 4's ``+T``
+shortcut no longer applies and summing the three parts is the faithful
+query.
 
 **Difference.**  All three parts subtract, producing signed content.  Per
 FP bucket the merged signed deltas are ranked by magnitude; the top-``c``
@@ -93,6 +102,7 @@ def _union_value(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
     result.ifp = a.ifp.merged(b.ifp)
 
     capacity = result.fp.entries_per_bucket
+    threshold = result.ef.threshold
     for i in range(result.fp.num_buckets):
         entries = _merged_bucket_entries(a, b, i, signed=False)
         keep, leftovers = entries[:capacity], entries[capacity:]
@@ -106,9 +116,18 @@ def _union_value(a: DaVinciSketch, b: DaVinciSketch) -> DaVinciSketch:
         evicted_any = bool(leftovers)
         bucket.flag = a.fp.buckets[i].flag or b.fp.buckets[i].flag or evicted_any
         for key, count in leftovers:
-            overflow = result.ef.offer(key, count)
-            if overflow > 0:
-                result.ifp.insert(key, overflow)
+            # State-independent demotion split.  ``offer`` would absorb
+            # ``T - current_estimate``, which depends on the filter's state
+            # at merge time and therefore on how a multi-way union is
+            # grouped; splitting at the threshold itself keeps the filter
+            # read for a demoted key at >= T (it re-promotes on sight),
+            # conserves the additive-query mass exactly, and makes the
+            # union of key-disjoint sketches byte-associative — the
+            # property the sharded merge tree relies on.
+            absorbed = min(count, threshold)
+            result.ef.add(key, absorbed)
+            if count > absorbed:
+                result.ifp.insert(key, count - absorbed)
     result._decode_cache = None
     return result
 

@@ -58,6 +58,9 @@ class WindowedDaVinci:
         self.closed: Deque[DaVinciSketch] = deque(maxlen=retain)
         #: total windows closed since construction
         self.windows_closed: int = 0
+        #: memoized fold of the *closed* windows for :meth:`merged_view`,
+        #: as ``(windows_closed at fold time, folded sketch)``
+        self._merged_closed_cache: Optional[Tuple[int, DaVinciSketch]] = None
 
     # ------------------------------------------------------------------ #
     # stream side
@@ -201,17 +204,32 @@ class WindowedDaVinci:
 
         Gives a long-horizon sketch for frequency/HH/cardinality queries
         spanning the retention period.  Always returns a fresh
-        *additive-mode* sketch — never an alias of a live window, and with
-        a consistent mode even when nothing was ever inserted (an empty
-        union is still a union).
+        *additive-mode* sketch — never an alias of a live window (or of the
+        internal cache), and with a consistent mode even when nothing was
+        ever inserted (an empty union is still a union).
+
+        The fold over the *closed* windows is memoized, keyed on
+        :attr:`windows_closed` (closed windows are immutable once rotated
+        in, and the deque's content is a pure function of the rotation
+        count): repeated calls between rotations pay for at most one union
+        — the half-filled live window on top — instead of re-unioning every
+        retained window from scratch.
         """
-        view = DaVinciSketch(self.config)
-        view.mode = MODE_ADDITIVE
-        for window in list(self.closed) + [self.current]:
-            if window.total_count == 0:
-                continue
-            view = view.union(window)
-        return view
+        cached = self._merged_closed_cache
+        if cached is None or cached[0] != self.windows_closed:
+            folded = DaVinciSketch(self.config)
+            folded.mode = MODE_ADDITIVE
+            for window in self.closed:
+                if window.total_count == 0:
+                    continue
+                folded = folded.union(window)
+            cached = (self.windows_closed, folded)
+            self._merged_closed_cache = cached
+        if self.current.total_count == 0:
+            # Nothing live to union on top; clone so callers never hold a
+            # reference into the cache.
+            return DaVinciSketch.from_state(cached[1].to_state())
+        return cached[1].union(self.current)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

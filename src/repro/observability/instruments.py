@@ -42,11 +42,13 @@ __all__ = [
     "FrequentPartMetrics",
     "InfrequentPartMetrics",
     "IngestorMetrics",
+    "ShardedMetrics",
     "davinci_metrics",
     "element_filter_metrics",
     "frequent_part_metrics",
     "infrequent_part_metrics",
     "ingestor_metrics",
+    "sharded_metrics",
 ]
 
 #: checkpoint/recovery operations span micro-seconds to many seconds
@@ -355,3 +357,40 @@ class IngestorMetrics:
 def ingestor_metrics(registry: Optional[MetricsRegistry]) -> IngestorMetrics:
     """Bundle for one :class:`~repro.runtime.ingestor.CheckpointingIngestor`."""
     return IngestorMetrics(_registry(registry))
+
+
+class ShardedMetrics:
+    """Telemetry for the sharded multiprocess ingestion runtime."""
+
+    __slots__ = (
+        "shard_items",
+        "queue_depth",
+        "merge_seconds",
+        "worker_restarts",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.shard_items: MetricFamily = registry.counter_family(
+            "sharded_shard_items_total",
+            "Pairs dispatched to each shard worker",
+            ("shard",),
+        )
+        self.queue_depth: MetricFamily = registry.gauge_family(
+            "sharded_queue_depth",
+            "Task-queue depth per shard at the most recent dispatch",
+            ("shard",),
+        )
+        self.merge_seconds: Histogram = registry.histogram(
+            "sharded_merge_seconds",
+            "Latency of the finalize merge tree (from_wire + union fold)",
+            buckets=DURABILITY_BUCKETS,
+        )
+        self.worker_restarts: Counter = registry.counter(
+            "sharded_worker_restarts_total",
+            "Shard workers respawned after an unexpected death",
+        )
+
+
+def sharded_metrics(registry: Optional[MetricsRegistry]) -> ShardedMetrics:
+    """Bundle for one :class:`~repro.runtime.sharded.ShardedIngestor`."""
+    return ShardedMetrics(_registry(registry))

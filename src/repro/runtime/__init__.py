@@ -4,8 +4,12 @@
 core sketch: keeping a long-running ingestion safe against process
 crashes without giving up the batched fast path or byte-exact semantics.
 
-The one public entry point is
-:class:`~repro.runtime.ingestor.CheckpointingIngestor` — a wrapper over
+Two entry points live here.
+:class:`~repro.runtime.sharded.ShardedIngestor` partitions the key space
+across worker processes with a deterministic
+:class:`~repro.runtime.sharded.ShardRouter` and folds the per-shard
+sketches back through the union merge tree (see ``docs/SCALING.md``).
+:class:`~repro.runtime.ingestor.CheckpointingIngestor` is a wrapper over
 :meth:`~repro.core.davinci.DaVinciSketch.insert_batch` that journals
 every chunk to a write-ahead log before applying it and periodically
 persists an atomic, checksummed checkpoint.  Reopening the same
@@ -22,9 +26,13 @@ from repro.runtime.ingestor import (
     JOURNAL_FILENAME,
     CheckpointingIngestor,
 )
+from repro.runtime.sharded import ShardedIngestor, ShardRouter, merge_tree
 
 __all__ = [
     "CHECKPOINT_FILENAME",
     "JOURNAL_FILENAME",
     "CheckpointingIngestor",
+    "ShardRouter",
+    "ShardedIngestor",
+    "merge_tree",
 ]

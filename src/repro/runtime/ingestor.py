@@ -715,21 +715,25 @@ class CheckpointingIngestor:
         _fsync_dir(self.directory)
         self._hook("checkpoint:replace")
 
-        # The snapshot covers every journaled record; drop the log.
-        self._journal_file.close()
-        self._journal_file = open(self._journal_path, "wb")
-        self._journal_file.flush()
+        # The snapshot covers every journaled record; drop the log.  A
+        # single truncate on the live handle keeps the inode (no close/
+        # reopen churn, no window where the journal path has no handle);
+        # truncate() flushes the buffered writer first, and subsequent
+        # O_APPEND writes land at the new end of file.  The data fsync
+        # makes the empty length durable and the directory fsync covers
+        # filesystems that journal size changes through the dirent.
+        self._journal_file.truncate(0)
         os.fsync(self._journal_file.fileno())
-        self._journal_file.close()
-        self._journal_file = open(self._journal_path, "ab")
+        _fsync_dir(self.directory)
         self._hook("journal:truncate")
 
         if observing:
             bundle = self._observe()
             bundle.checkpoint_seconds.observe(time.perf_counter() - started)
             bundle.checkpoints.inc()
-            # tmp-file fsync + directory fsync + journal-truncate fsync
-            bundle.fsyncs.inc(3)
+            # tmp-file fsync + directory fsync after replace +
+            # journal-truncate fsync + directory fsync after truncate
+            bundle.fsyncs.inc(4)
         self._items_at_checkpoint = self.items_ingested
         self._time_at_checkpoint = self._clock()
 

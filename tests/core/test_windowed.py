@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.core import MODE_ADDITIVE
+from repro.core import MODE_ADDITIVE, DaVinciSketch
 from repro.core.serialization import to_state
 from repro.core.windowed import WindowedDaVinci
 
@@ -169,3 +169,55 @@ class TestTasks:
         assert window.cardinality() > 0
         assert window.entropy() > 0
         assert window.heavy_hitters(5)
+
+
+class TestMergedViewCache:
+    """The closed-window fold is memoized, keyed on ``windows_closed``."""
+
+    @staticmethod
+    def _from_scratch(ring) -> DaVinciSketch:
+        view = DaVinciSketch(ring.config)
+        view.mode = MODE_ADDITIVE
+        for window in list(ring.closed) + [ring.current]:
+            if window.total_count == 0:
+                continue
+            view = view.union(window)
+        return view
+
+    def test_cached_view_identical_to_from_scratch_across_rotations(
+        self, small_config
+    ):
+        ring = WindowedDaVinci(small_config, window_size=200, retain=3)
+        stream = [k % 60 + 1 for k in range(1700)]
+        for step, key in enumerate(stream):
+            ring.insert(key)
+            if step % 111 == 0:
+                cached = ring.merged_view()
+                assert cached.to_state() == self._from_scratch(ring).to_state()
+        # repeated calls between rotations reuse the memoized fold
+        again = ring.merged_view()
+        assert again.to_state() == self._from_scratch(ring).to_state()
+
+    def test_cache_reused_between_rotations_and_invalidated_on_rotate(
+        self, small_config
+    ):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=2)
+        ring.insert_all([3] * 250)  # two closed windows + live content
+        ring.merged_view()
+        first = ring._merged_closed_cache
+        assert first is not None and first[0] == ring.windows_closed
+        ring.merged_view()
+        assert ring._merged_closed_cache is first  # reused, not rebuilt
+        ring.insert_all([4] * 100)  # forces a rotation
+        ring.merged_view()
+        assert ring._merged_closed_cache is not first
+        assert ring._merged_closed_cache[0] == ring.windows_closed
+
+    def test_view_with_empty_live_window_is_not_the_cache(self, small_config):
+        ring = WindowedDaVinci(small_config, window_size=100, retain=2)
+        ring.insert_all([9] * 200)  # exactly two rotations, live empty
+        view = ring.merged_view()
+        assert view is not ring._merged_closed_cache[1]
+        before = view.query(9)
+        ring.insert_all([9] * 100)
+        assert view.query(9) == before

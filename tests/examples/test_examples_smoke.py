@@ -1,0 +1,62 @@
+"""Every file in examples/ runs end to end (tiny workload).
+
+The examples double as executable documentation; this smoke suite keeps
+them honest.  Each module exposes ``main(scale=1.0)`` — the tests run it
+with a small ``scale`` so the whole directory executes in seconds while
+still touching every code path (sharded ingestion, wire round-trips,
+window rotation, CSV/JSON export).
+
+New example files are picked up automatically: the parametrization
+globs ``examples/*.py``, so forgetting to add a test here is impossible
+(a new example without a ``main`` fails loudly).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: per-example workload scale: small enough to be quick, large enough
+#: that each example's derived quantities (windows, thresholds, joins)
+#: stay non-degenerate
+SCALES = {
+    "distributed_aggregation": 0.05,
+    "join_estimation": 0.25,
+    "network_monitoring": 0.25,
+    "quickstart": 0.05,
+    "streaming_dashboard": 0.25,
+}
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    assert EXAMPLE_FILES, "examples/ directory is missing or empty"
+    assert {p.stem for p in EXAMPLE_FILES} == set(SCALES), (
+        "examples/ and the SCALES map disagree; add the new example's "
+        "scale (or prune a removed one)"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    module.main(scale=SCALES.get(path.stem, 0.1))
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"

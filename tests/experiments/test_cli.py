@@ -157,3 +157,47 @@ class TestMetricsFlag:
             obs.set_default_registry(previous_registry)
         assert code == 0
         assert all(value == 0 for value in snap["counters"].values())
+
+
+class TestShardedSubcommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sharded"])
+        assert args.shards == 4
+        assert args.durable_root is None
+        assert args.metrics is None
+
+    def test_runs_and_reports(self, capsys):
+        code = main(["sharded", "--shards", "2", "--scale", "0.002"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worker processes" in out
+        assert "mode=additive" in out
+
+    def test_durable_root_and_metrics(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "sharded",
+                "--shards",
+                "2",
+                "--scale",
+                "0.002",
+                "--durable-root",
+                str(tmp_path / "shards"),
+                "--metrics",
+                str(snapshot_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable shard checkpoints" in out
+        import json as _json
+
+        snap = _json.loads(snapshot_path.read_text())
+        counters = snap["counters"]
+        routed = [
+            value
+            for name, value in counters.items()
+            if name.startswith("sharded_shard_items_total")
+        ]
+        assert sum(routed) > 0

@@ -1,0 +1,399 @@
+"""Sharded multiprocess ingestion: routing, identity, faults, shutdown.
+
+The heart of the contract is byte-identity: a ``ShardedIngestor`` run
+must produce a merged sketch whose ``to_state()`` equals a sequential
+fold over the router's partitions built with the same per-shard chunking
+— including when a worker is SIGKILLed mid-run and recovered from its
+durable shard checkpoint (the acceptance fault test).
+"""
+
+import functools
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ShardFailureError
+from repro.core import setops
+from repro.core.config import DaVinciConfig
+from repro.core.davinci import DaVinciSketch
+from repro.observability import metrics as obs_metrics
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime import ShardedIngestor, ShardRouter, merge_tree
+
+CHUNK = 1024
+
+
+def small_config(seed: int = 3) -> DaVinciConfig:
+    return DaVinciConfig.from_memory(16384, seed=seed)
+
+
+def zipfish_keys(n: int, seed: int = 7):
+    rng = random.Random(seed)
+    return [rng.randint(1, 50_000) for _ in range(n)]
+
+
+def reference_fold(config, router, pairs, chunk_items):
+    """Sequential per-partition build + fold, the byte-identity oracle."""
+    shards = []
+    for part in router.partition_pairs(pairs):
+        sketch = DaVinciSketch(config)
+        if part:
+            sketch.insert_batch(part, chunk_size=chunk_items)
+        shards.append(sketch)
+    return merge_tree(shards), shards
+
+
+# --------------------------------------------------------------------- #
+# router
+# --------------------------------------------------------------------- #
+class TestShardRouter:
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(5)
+        for key in [1, 2, 2**31, "flow-9", b"\x00\x01", -17, 0]:
+            shard = router.shard_of(key)
+            assert 0 <= shard < 5
+            assert router.shard_of(key) == shard
+
+    def test_matches_canonical_key_of_sketch(self):
+        sketch = DaVinciSketch(small_config())
+        router = ShardRouter(4)
+        for key in [5, "alpha", b"beta", 2**40, -3]:
+            assert router.canonical_key(key) == sketch.canonical_key(key)
+
+    def test_residue_classes_still_spread(self):
+        # All keys congruent mod num_shards: a plain modulo router would
+        # put everything on one shard; the multiplicative mix must not.
+        router = ShardRouter(4)
+        hits = [0] * 4
+        for i in range(4000):
+            hits[router.shard_of(1 + 4 * i)] += 1
+        assert all(h > 0 for h in hits)
+        assert max(hits) < 0.5 * sum(hits)
+
+    def test_partition_preserves_order_and_identity(self):
+        router = ShardRouter(3)
+        pairs = [(k, 1) for k in zipfish_keys(5000)]
+        parts = router.partition_pairs(pairs)
+        assert sum(len(p) for p in parts) == len(pairs)
+        for index, part in enumerate(parts):
+            assert all(
+                router.shard_of(key) == index for key, _count in part[:50]
+            )
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+
+
+# --------------------------------------------------------------------- #
+# merge tree
+# --------------------------------------------------------------------- #
+class TestMergeTree:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_tree([])
+
+    def test_single_sketch_passes_through(self):
+        sketch = DaVinciSketch(small_config())
+        assert merge_tree([sketch]) is sketch
+
+    def test_tree_equals_fold_left_on_partitions(self):
+        config = small_config()
+        router = ShardRouter(5)
+        pairs = [(k, 1) for k in zipfish_keys(30_000)]
+        _merged, shards = reference_fold(config, router, pairs, CHUNK)
+        tree = merge_tree(shards)
+        fold_left = functools.reduce(setops.union, shards)
+        assert tree.to_state() == fold_left.to_state()
+
+
+# --------------------------------------------------------------------- #
+# the facade: identity, weighted pairs, lifecycle
+# --------------------------------------------------------------------- #
+class TestShardedIngestor:
+    def test_merged_state_matches_sequential_fold(self):
+        config = small_config()
+        keys = zipfish_keys(40_000)
+        with ShardedIngestor(
+            config, 4, chunk_items=CHUNK, batch_items=4096
+        ) as ingestor:
+            ingestor.ingest_keys(keys)
+            merged = ingestor.finalize()
+        reference, _ = reference_fold(
+            config, ShardRouter(4), [(k, 1) for k in keys], CHUNK
+        )
+        assert merged.mode == "additive"
+        assert merged.to_state() == reference.to_state()
+
+    def test_weighted_pairs_and_mixed_key_types(self):
+        config = small_config()
+        rng = random.Random(11)
+        pairs = []
+        for i in range(8000):
+            kind = rng.randrange(3)
+            key = (
+                rng.randint(1, 10_000)
+                if kind == 0
+                else f"flow-{rng.randint(1, 500)}"
+                if kind == 1
+                else bytes([rng.randrange(256), rng.randrange(256)])
+            )
+            pairs.append((key, rng.randint(1, 5)))
+        router = ShardRouter(3)
+        with ShardedIngestor(
+            config, 3, chunk_items=CHUNK, batch_items=1024
+        ) as ingestor:
+            ingestor.ingest(pairs)
+            merged = ingestor.finalize()
+        reference, _ = reference_fold(config, router, pairs, CHUNK)
+        assert merged.to_state() == reference.to_state()
+        assert ingestor.items_routed == len(pairs)
+
+    def test_weighted_then_unweighted_in_same_buffer_window(self):
+        # ingest() leaves explicit per-shard count lists pending; a
+        # following ingest_keys() into the same dispatch window must not
+        # desync keys from counts (a mismatch would silently truncate
+        # the batch at the worker's zip).
+        config = small_config()
+        pairs = [(k, 3) for k in zipfish_keys(500, seed=5)]
+        keys = zipfish_keys(700, seed=6)
+        with ShardedIngestor(
+            config, 2, chunk_items=CHUNK, batch_items=8192
+        ) as ingestor:
+            ingestor.ingest(pairs)
+            ingestor.ingest_keys(keys)
+            merged = ingestor.finalize()
+        reference, _ = reference_fold(
+            config,
+            ShardRouter(2),
+            pairs + [(k, 1) for k in keys],
+            CHUNK,
+        )
+        assert merged.total_count == 3 * 500 + 700
+        assert merged.to_state() == reference.to_state()
+
+    def test_vectorized_routing_matches_scalar_partition(self):
+        # A large all-int list takes the numpy routing fast path; the
+        # partitions it produces must be bit-for-bit what the scalar
+        # router computes (order included).
+        from repro.runtime.sharded import (
+            _VECTOR_MIN_KEYS,
+            _vector_partition,
+        )
+
+        keys = zipfish_keys(max(20_000, _VECTOR_MIN_KEYS), seed=13)
+        router = ShardRouter(4)
+        parts = _vector_partition(keys, 4)
+        assert parts is not None
+        scalar = [
+            [k for k, _c in part]
+            for part in router.partition_pairs((k, 1) for k in keys)
+        ]
+        assert parts == scalar
+        # non-qualifying inputs must fall back, never mis-route
+        assert _vector_partition([1.5, 2.0], 4) is None
+        assert _vector_partition(["a", "b"], 4) is None
+        assert _vector_partition([True, False], 4) is None
+        assert _vector_partition([0, 1], 4) is None  # 0 out of domain
+        assert _vector_partition([1, 2**40], 4) is None
+
+    def test_finalize_is_idempotent(self):
+        with ShardedIngestor(
+            small_config(), 2, chunk_items=CHUNK, batch_items=1024
+        ) as ingestor:
+            ingestor.ingest_keys(zipfish_keys(3000))
+            first = ingestor.finalize()
+            assert ingestor.finalize() is first
+
+    def test_close_is_idempotent_and_blocks_further_ingest(self):
+        ingestor = ShardedIngestor(
+            small_config(), 2, chunk_items=CHUNK, batch_items=1024
+        )
+        ingestor.ingest_keys(zipfish_keys(1000))
+        ingestor.close()
+        ingestor.close()
+        with pytest.raises(ShardFailureError):
+            ingestor.ingest_keys([1, 2, 3])
+
+    def test_single_shard_round_trips(self):
+        config = small_config()
+        keys = zipfish_keys(5000)
+        with ShardedIngestor(
+            config, 1, chunk_items=CHUNK, batch_items=512
+        ) as ingestor:
+            ingestor.ingest_keys(keys)
+            merged = ingestor.finalize()
+        reference, _ = reference_fold(
+            config, ShardRouter(1), [(k, 1) for k in keys], CHUNK
+        )
+        assert merged.to_state() == reference.to_state()
+
+    def test_shard_sketches_are_key_disjoint(self):
+        config = small_config()
+        with ShardedIngestor(
+            config, 4, chunk_items=CHUNK, batch_items=2048
+        ) as ingestor:
+            ingestor.ingest_keys(zipfish_keys(20_000))
+            ingestor.finalize()
+        assert len(ingestor.shard_sketches) == 4
+        router = ShardRouter(4)
+        for index, shard in enumerate(ingestor.shard_sketches):
+            for bucket in shard.fp.buckets:
+                for key, _count, _flag in bucket.entries:
+                    assert router.shard_of(key) == index
+
+    def test_configuration_validation(self):
+        config = small_config()
+        for kwargs in (
+            {"chunk_items": 0},
+            {"batch_items": 0},
+            {"queue_depth": 0},
+            {"max_restarts": -1},
+            {"join_timeout": 0},
+            {"digest_algo": "md5"},
+        ):
+            with pytest.raises(ConfigurationError):
+                ShardedIngestor(config, 2, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# failure semantics
+# --------------------------------------------------------------------- #
+class TestFaults:
+    def _kill_worker(self, ingestor, shard):
+        process = ingestor._shards[shard].process
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10.0)
+
+    def test_worker_kill_durable_recovers_to_identical_state(self, tmp_path):
+        """The acceptance fault test: SIGKILL one worker mid-run; the
+        respawn recovers from the shard checkpoint, the parent replays
+        the unacknowledged tail, and the merged state is byte-identical
+        to an uninterrupted run."""
+        config = small_config()
+        keys = zipfish_keys(24_000)
+        common = dict(
+            chunk_items=CHUNK,
+            batch_items=2048,
+            checkpoint_every_items=4096,
+        )
+
+        with ShardedIngestor(
+            config, 4, durable_root=str(tmp_path / "clean"), **common
+        ) as ingestor:
+            ingestor.ingest_keys(keys)
+            clean = ingestor.finalize()
+
+        with ShardedIngestor(
+            config,
+            4,
+            durable_root=str(tmp_path / "faulty"),
+            max_restarts=2,
+            **common,
+        ) as ingestor:
+            half = len(keys) // 2
+            ingestor.ingest_keys(keys[:half])
+            self._kill_worker(ingestor, 1)
+            ingestor.ingest_keys(keys[half:])
+            recovered = ingestor.finalize()
+            assert ingestor._shards[1].restarts == 1
+
+        assert recovered.to_state() == clean.to_state()
+        # And both match the fully sequential oracle.
+        reference, _ = reference_fold(
+            config, ShardRouter(4), [(k, 1) for k in keys], CHUNK
+        )
+        assert recovered.to_state() == reference.to_state()
+
+    def test_kill_during_finalize_recovers(self, tmp_path):
+        config = small_config()
+        keys = zipfish_keys(10_000)
+        with ShardedIngestor(
+            config,
+            2,
+            chunk_items=CHUNK,
+            batch_items=2048,
+            durable_root=str(tmp_path),
+            checkpoint_every_items=2048,
+            max_restarts=1,
+        ) as ingestor:
+            ingestor.ingest_keys(keys)
+            # Give the workers a moment to drain, then kill one right
+            # before collection.
+            time.sleep(0.3)
+            self._kill_worker(ingestor, 0)
+            merged = ingestor.finalize()
+        reference, _ = reference_fold(
+            config, ShardRouter(2), [(k, 1) for k in keys], CHUNK
+        )
+        assert merged.to_state() == reference.to_state()
+
+    def test_non_durable_death_fails_fast(self):
+        ingestor = ShardedIngestor(
+            small_config(), 2, chunk_items=CHUNK, batch_items=256
+        )
+        try:
+            self._kill_worker(ingestor, 0)
+            with pytest.raises(ShardFailureError):
+                # Enough batches to hit the dead worker's queue limit.
+                for _ in range(200):
+                    ingestor.ingest_keys(zipfish_keys(2000))
+                ingestor.finalize()
+        finally:
+            ingestor.close()
+
+    def test_restart_budget_exhaustion_raises(self, tmp_path):
+        ingestor = ShardedIngestor(
+            small_config(),
+            2,
+            chunk_items=CHUNK,
+            batch_items=512,
+            durable_root=str(tmp_path),
+            max_restarts=0,
+        )
+        try:
+            self._kill_worker(ingestor, 1)
+            with pytest.raises(ShardFailureError):
+                for _ in range(100):
+                    ingestor.ingest_keys(zipfish_keys(2000))
+                ingestor.finalize()
+        finally:
+            ingestor.close()
+
+
+# --------------------------------------------------------------------- #
+# observability
+# --------------------------------------------------------------------- #
+class TestShardedMetrics:
+    def test_counters_when_enabled(self):
+        registry = MetricsRegistry()
+        obs_metrics.set_enabled(True)
+        try:
+            with ShardedIngestor(
+                small_config(),
+                2,
+                chunk_items=CHUNK,
+                batch_items=512,
+                metrics_registry=registry,
+            ) as ingestor:
+                ingestor.ingest_keys(zipfish_keys(4000))
+                ingestor.finalize()
+        finally:
+            obs_metrics.set_enabled(False)
+        snap = registry.snapshot()
+        items = {
+            name: value
+            for name, value in snap["counters"].items()
+            if name.startswith("sharded_shard_items_total")
+        }
+        assert len(items) == 2
+        assert sum(items.values()) == 4000
+        merge = [
+            name
+            for name, data in snap["histograms"].items()
+            if name.startswith("sharded_merge_seconds") and data["count"] >= 1
+        ]
+        assert merge

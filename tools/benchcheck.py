@@ -1,8 +1,9 @@
 """benchcheck — compare a fresh benchmark report against its baseline.
 
-The acceptance benchmarks (``benchmarks/bench_ingest.py`` and
-``benchmarks/bench_checkpoint.py``) write JSON reports; the committed
-``BENCH_ingest.json`` / ``BENCH_checkpoint.json`` at the repo root are
+The acceptance benchmarks (``benchmarks/bench_ingest.py``,
+``benchmarks/bench_checkpoint.py`` and ``benchmarks/bench_sharded.py``)
+write JSON reports; the committed ``BENCH_ingest.json`` /
+``BENCH_checkpoint.json`` / ``BENCH_sharded.json`` at the repo root are
 the blessed full-scale baselines.  This tool guards against performance
 regressions by comparing a *fresh* report against a baseline:
 
@@ -56,6 +57,7 @@ BOOLEAN_GUARDS = (
     "state_identical_to_sequential",
     "state_identical_to_plain",
     "recovered_state_identical",
+    "merged_identical_to_sequential_fold",
 )
 
 

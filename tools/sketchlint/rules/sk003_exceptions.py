@@ -33,6 +33,7 @@ ALLOWED_EXCEPTIONS = frozenset(
         "IncompatibleSketchError",
         "InvariantViolation",
         "ObservabilityError",
+        "ShardFailureError",
         "SketchModeError",
         "StateCorruptionError",
     }
