@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: lint typecheck sketchlint lint-sarif sketchlint-baseline \
-	bench-sketchlint test test-debug faults bench-ingest \
-	bench-checkpoint bench-sharded benchcheck coverage check
+	bench-sketchlint test test-debug faults chaos bench-ingest \
+	bench-checkpoint bench-sharded bench-service benchcheck coverage check
 
 lint:
 	ruff check src tools
@@ -46,6 +46,15 @@ faults:
 		tests/core/test_degrade.py \
 		tests/core/test_serialization_integrity.py -q
 
+# networked fault suite: retries/dedup/breaker/shedding/drain plus the
+# chaos-proxy acceptance (convergence under resets, corruption, delays
+# and blackholes must be byte-identical with zero duplicate applies),
+# all with runtime invariant checks switched on and the hang watchdog
+# armed — a wedged socket dumps stacks instead of blocking the gate
+chaos:
+	REPRO_DEBUG_INVARIANTS=1 REPRO_TEST_WATCHDOG=600 \
+		$(PYTHON) -m pytest tests/service tests/runtime/test_stall.py -q
+
 # acceptance benchmark: 1M-item Zipf(1.1) stream, batched path must be
 # >= 2x the per-item loop and byte-identical in state
 bench-ingest:
@@ -62,6 +71,12 @@ bench-checkpoint:
 bench-sharded:
 	$(PYTHON) benchmarks/bench_sharded.py --min-speedup 2.0
 
+# acceptance benchmark: loopback PUSH/QUERY service throughput and
+# latency vs the in-process fold; the remote aggregate must stay
+# byte-identical to the sequential reference
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --max-overhead 0.5
+
 # regression gate: quick benches compared against the committed
 # full-scale baselines on their dimensionless metrics (±20% relative by
 # default; the speedup floors are absolute because quick workloads batch
@@ -75,12 +90,16 @@ benchcheck:
 		--max-overhead 1.0 --output BENCH_checkpoint_fresh.json
 	$(PYTHON) benchmarks/bench_sharded.py --quick --repeats 2 \
 		--output BENCH_sharded_fresh.json
+	$(PYTHON) benchmarks/bench_service.py --quick --repeats 2 \
+		--output BENCH_service_fresh.json
 	$(PYTHON) -m tools.benchcheck BENCH_ingest_fresh.json \
 		--baseline BENCH_ingest.json --min speedup=1.4
 	$(PYTHON) -m tools.benchcheck BENCH_checkpoint_fresh.json \
 		--baseline BENCH_checkpoint.json --max overhead_fraction=0.5
 	$(PYTHON) -m tools.benchcheck BENCH_sharded_fresh.json \
 		--baseline BENCH_sharded.json --min speedup=0.3
+	$(PYTHON) -m tools.benchcheck BENCH_service_fresh.json \
+		--baseline BENCH_service.json --max overhead_fraction=0.5
 
 # branch coverage over src/repro with the ratchet-only floor recorded in
 # pyproject.toml ([tool.repro] coverage_floor); needs pytest-cov

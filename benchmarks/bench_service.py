@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Loopback aggregation-service throughput vs the in-process fold.
+
+The service layer (``docs/SERVICE.md``) moves the union fold behind a
+CRC-framed TCP protocol with deadlines, retries and idempotent pushes.
+This script measures what that costs end to end on one host: ``--parts``
+partial sketches are built from a Zipf(1.1) trace, then aggregated two
+ways —
+
+* **in-process**: a plain sequential ``setops.union`` fold;
+* **service**: each part is serialized, PUSHed to a loopback
+  ``SketchServer`` and folded server-side, then the aggregate is
+  FETCHed back.
+
+Both timed regions include the local sketching of the parts (the work a
+producer must do regardless), so ``overhead_fraction`` is the *extra*
+wall-clock the networked path adds over the in-process one.  The
+fetched aggregate must be ``to_state()``-byte-identical to the
+sequential fold, and a query storm reports service-side task latency
+percentiles.
+
+Run (from the repository root):
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI smoke
+
+Writes ``BENCH_service.json`` (see ``--output``) with rates, the
+overhead fraction, query percentiles and the identity verdict, gated by
+``tools/benchcheck.py`` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.core import DaVinciConfig, DaVinciSketch, serialization, setops
+from repro.service import AggregationClient, RetryPolicy, SketchServer
+from repro.workloads import zipf_trace
+
+DEFAULT_MEMORY_KB = 8.0
+
+#: generous budgets — loopback should never trip them, and a wedged run
+#: fails loudly instead of hanging the benchmark
+BENCH_POLICY = RetryPolicy(max_attempts=3, deadline_seconds=60.0)
+
+
+def build_parts(
+    config: DaVinciConfig, trace: List[int], parts: int
+) -> Tuple[float, List[DaVinciSketch]]:
+    """Sketch ``parts`` interleaved sub-streams; returns (seconds, parts)."""
+    start = time.perf_counter()
+    sketches = []
+    for part in range(parts):
+        sketch = DaVinciSketch(config)
+        sketch.insert_all(trace[part::parts])
+        sketches.append(sketch)
+    return time.perf_counter() - start, sketches
+
+
+def time_inprocess(
+    config: DaVinciConfig, trace: List[int], parts: int
+) -> Tuple[float, DaVinciSketch]:
+    start = time.perf_counter()
+    _, sketches = build_parts(config, trace, parts)
+    merged = sketches[0]
+    for sketch in sketches[1:]:
+        merged = setops.union(merged, sketch)
+    return time.perf_counter() - start, merged
+
+
+def time_service(
+    config: DaVinciConfig, trace: List[int], parts: int
+) -> Tuple[float, DaVinciSketch, float, List[float]]:
+    """Returns (total seconds, fetched sketch, push seconds, query times)."""
+    server = SketchServer()
+    server.start()
+    try:
+        host, port = server.address
+        client = AggregationClient(host, port, retry_policy=BENCH_POLICY)
+        start = time.perf_counter()
+        sketch_seconds, sketches = build_parts(config, trace, parts)
+        push_start = time.perf_counter()
+        for sketch in sketches:
+            client.push("bench", sketch)
+        blob = client.fetch_blob("bench")
+        total = time.perf_counter() - start
+        push_seconds = time.perf_counter() - push_start
+        fetched = serialization.from_wire(blob)
+
+        query_times: List[float] = []
+        for _ in range(200):
+            query_start = time.perf_counter()
+            client.query("bench", "cardinality")
+            query_times.append(time.perf_counter() - query_start)
+        return total, fetched, push_seconds, query_times
+    finally:
+        server.close()
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run(args: argparse.Namespace) -> Dict[str, object]:
+    print(
+        f"generating Zipf({args.skew}) trace: {args.items:,} items over "
+        f"{args.flows:,} flows (seed {args.seed}) ...",
+        flush=True,
+    )
+    trace = zipf_trace(
+        num_packets=args.items,
+        num_flows=args.flows,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    config = DaVinciConfig.from_memory_kb(args.memory_kb, seed=args.seed + 2)
+
+    # warm-up so both paths see hot bytecode/caches
+    warm = DaVinciSketch(
+        DaVinciConfig.from_memory_kb(args.memory_kb, seed=args.seed + 1)
+    )
+    warm.insert_all(trace[: min(len(trace), 50_000)])
+
+    inproc_best = float("inf")
+    service_best = float("inf")
+    reference: DaVinciSketch | None = None
+    fetched: DaVinciSketch | None = None
+    push_seconds = float("inf")
+    query_times: List[float] = []
+    for round_index in range(max(1, args.repeats)):
+        inproc_seconds, merged = time_inprocess(config, trace, args.parts)
+        if inproc_seconds < inproc_best:
+            inproc_best, reference = inproc_seconds, merged
+        service_seconds, candidate, pushed, queries = time_service(
+            config, trace, args.parts
+        )
+        if service_seconds < service_best:
+            service_best, fetched = service_seconds, candidate
+            push_seconds = pushed
+        query_times.extend(queries)
+        print(
+            f"  round {round_index + 1}/{args.repeats}: in-process "
+            f"{inproc_seconds:.3f} s, service {service_seconds:.3f} s",
+            flush=True,
+        )
+    assert reference is not None and fetched is not None
+
+    identical = fetched.to_state() == reference.to_state()
+    overhead = (service_best - inproc_best) / inproc_best
+    pushes_per_second = args.parts / push_seconds
+    p50 = percentile(query_times, 0.50)
+    p99 = percentile(query_times, 0.99)
+
+    result: Dict[str, object] = {
+        "workload": {
+            "items": args.items,
+            "flows": args.flows,
+            "skew": args.skew,
+            "seed": args.seed,
+            "memory_kb": args.memory_kb,
+            "parts": args.parts,
+            "repeats": args.repeats,
+        },
+        "inprocess": {"seconds": inproc_best},
+        "service": {
+            "seconds": service_best,
+            "push_seconds": push_seconds,
+            "pushes_per_second": pushes_per_second,
+            "query_p50_seconds": p50,
+            "query_p99_seconds": p99,
+        },
+        "overhead_fraction": overhead,
+        "state_identical_to_sequential": identical,
+    }
+
+    print(f"in-process : {inproc_best:8.3f} s")
+    print(
+        f"service    : {service_best:8.3f} s  "
+        f"({pushes_per_second:,.0f} pushes/s)"
+    )
+    print(f"overhead   : {overhead * 100:.1f}%")
+    print(
+        f"query p50  : {p50 * 1e3:.2f} ms    p99: {p99 * 1e3:.2f} ms "
+        f"({len(query_times)} samples)"
+    )
+    print(f"fetched state identical to sequential fold: {identical}")
+    return result
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--items", type=int, default=500_000, help="stream length"
+    )
+    parser.add_argument(
+        "--flows", type=int, default=50_000, help="distinct keys"
+    )
+    parser.add_argument("--skew", type=float, default=1.1, help="Zipf skew")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--memory-kb",
+        type=float,
+        default=DEFAULT_MEMORY_KB,
+        help="sketch memory budget (KB)",
+    )
+    parser.add_argument(
+        "--parts", type=int, default=4, help="partial sketches to push"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="interleaved rounds"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale"
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.0,
+        help="exit non-zero if overhead_fraction exceeds this (<=0 disables)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json", help="report path"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.items = min(args.items, 100_000)
+        args.flows = min(args.flows, 20_000)
+
+    result = run(args)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if not result["state_identical_to_sequential"]:
+        print("ERROR: fetched aggregate diverged from the sequential fold")
+        return 1
+    if (
+        args.max_overhead > 0
+        and float(result["overhead_fraction"]) > args.max_overhead
+    ):
+        print(
+            f"ERROR: overhead {float(result['overhead_fraction']):.3f} "
+            f"above the {args.max_overhead:.3f} ceiling"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -127,6 +127,114 @@ class ShardFailureError(ReproError, RuntimeError):
     """
 
 
+class ShardTimeoutError(ShardFailureError):
+    """A shard worker is alive but stopped draining its task queue.
+
+    Raised by :meth:`repro.runtime.sharded.ShardedIngestor` backpressure
+    (the blocking ``put``) when ``stall_timeout`` is configured and the
+    worker's queue showed zero drain for that long while the producer was
+    blocked on a full queue.  Distinct from a *dead* worker — the process
+    is still running (wedged on a lock, swapped out, SIGSTOPped) — so the
+    respawn-and-replay path does not apply; the producer surfaces the
+    stall instead of spinning forever.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for the remote-aggregation service layer.
+
+    Every failure the :mod:`repro.service` client/server stack can
+    produce derives from this class, with :attr:`retryable` telling the
+    retry machinery whether a fresh attempt of the *same idempotent
+    request* can possibly succeed (transient transport/overload faults)
+    or is pointless (malformed request, corrupt payload, budget gone).
+    """
+
+    #: may a retry of the same idempotent request succeed?
+    retryable: bool = False
+
+
+class TransportError(ServiceError):
+    """The byte stream failed underneath the request/response protocol.
+
+    Connection refused/reset, unexpected EOF mid-frame, an oversized or
+    CRC-mismatched frame — anything that breaks the framing before a
+    well-formed response arrived.  Retryable: the request may never have
+    reached the server (and idempotent requests are safe to resend even
+    if it did).
+    """
+
+    retryable = True
+
+
+class DeadlineExceededError(ServiceError):
+    """The caller's deadline budget ran out before a response arrived.
+
+    Carries the transient error of the final attempt (if any) as
+    :attr:`last_error`.  Not retryable — the budget is an end-to-end
+    contract, and it is spent.
+    """
+
+    def __init__(
+        self, message: str, last_error: Optional[BaseException] = None
+    ) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class ResourceExhaustedError(ServiceError):
+    """The server shed this request at admission (bounded in-flight).
+
+    The explicit alternative to queueing unboundedly: the server is
+    alive but at capacity.  Retryable after backoff.
+    """
+
+    retryable = True
+
+
+class CircuitOpenError(ServiceError):
+    """The per-endpoint circuit breaker refused the call locally.
+
+    No bytes were sent: the endpoint's recent failure rate tripped the
+    breaker and the cool-down has not elapsed (or the half-open probe
+    budget is spent).  Not retryable *within* the failing call — the
+    point of the breaker is to stop hammering; a later call may find the
+    breaker half-open and probe.
+    """
+
+
+class RetryExhaustedError(ServiceError):
+    """Every allowed attempt failed with a retryable error.
+
+    Carries the final attempt's error as :attr:`last_error` and the
+    attempt count as :attr:`attempts`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        last_error: Optional[BaseException] = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+class RemoteError(ServiceError):
+    """The server answered with a non-OK, non-transient status.
+
+    A *well-formed* refusal — unknown aggregate, malformed request,
+    corrupt pushed state, a STRICT-policy decode failure — transported
+    back as :attr:`status` plus the server's message.  Not retryable:
+    resending the same request yields the same refusal.
+    """
+
+    def __init__(self, status: str, message: str) -> None:
+        super().__init__(f"{status}: {message}")
+        self.status = status
+
+
 class UnverifiedStateWarning(UserWarning):
     """A version-1 sketch state was loaded without integrity protection.
 

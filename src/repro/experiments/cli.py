@@ -15,7 +15,18 @@ Every subcommand accepts ``--metrics PATH``: it arms
 :mod:`repro.observability` for the duration of the run and writes the
 default registry's :func:`~repro.observability.metrics.snapshot` to
 ``PATH`` as JSON afterwards (``-`` prints to stdout) — a machine-readable
-telemetry artifact to ride along with the figure text.
+telemetry artifact to ride along with the figure text.  The sibling
+``--trace PATH`` writes the default
+:class:`~repro.observability.tracing.TraceSink`'s buffered events as
+JSON Lines after the run (trace emission is always on, so no arming is
+involved).
+
+The ``serve`` / ``push`` pair exposes the fault-tolerant aggregation
+service (:mod:`repro.service`) from a shell: ``serve`` runs a
+:class:`~repro.service.server.SketchServer` in the foreground, ``push``
+sketches a dataset trace client-side and union-folds it into a named
+remote aggregate with full retry/breaker protection.  See
+``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -57,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="arm metric collection for the run and write a JSON snapshot "
         "of the default registry to PATH ('-' for stdout)",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="after the run, write the default trace sink's buffered "
+        "events to PATH as JSON Lines ('-' for stdout)",
     )
 
     figure = subparsers.add_parser(
@@ -127,6 +145,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each shard inside a checkpointing ingestor rooted here",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a fault-tolerant sketch aggregation server "
+        "(see docs/SERVICE.md)",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission bound; requests beyond it are shed",
+    )
+    serve.add_argument(
+        "--read-deadline",
+        type=float,
+        default=30.0,
+        help="seconds an idle/stalled connection may hold a reader",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then drain and exit "
+        "(default: until interrupted)",
+    )
+
+    push = subparsers.add_parser(
+        "push",
+        help="sketch a dataset trace and union-fold it into a remote "
+        "aggregate",
+        parents=[common],
+    )
+    push.add_argument("--host", default="127.0.0.1")
+    push.add_argument("--port", type=int, required=True)
+    push.add_argument(
+        "--aggregate", default="default", help="remote aggregate name"
+    )
+    push.add_argument("--dataset", default="caida")
+    push.add_argument("--scale", type=float, default=0.01)
+    push.add_argument("--seed", type=int, default=0)
+    push.add_argument(
+        "--memory-kb", type=float, default=16.0, help="sketch memory budget"
+    )
+    push.add_argument(
+        "--parts",
+        type=int,
+        default=1,
+        help="split the trace into this many sketches pushed separately",
+    )
+    push.add_argument(
+        "--task",
+        default=None,
+        choices=["cardinality", "entropy"],
+        help="after pushing, run this task against the remote aggregate",
+    )
+    push.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="per-push end-to-end deadline budget in seconds",
+    )
+
     return parser
 
 
@@ -142,16 +226,32 @@ def _write_metrics_snapshot(path: str) -> None:
             handle.write(payload + "\n")
 
 
+def _write_trace_jsonl(path: str) -> None:
+    """Dump the default trace sink as JSON Lines to ``path``/stdout."""
+    from repro.observability.tracing import get_default_trace_sink
+
+    payload = get_default_trace_sink().render_jsonl()
+    if path == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     metrics_path: Optional[str] = getattr(args, "metrics", None)
+    trace_path: Optional[str] = getattr(args, "trace", None)
     if metrics_path is None:
-        return _dispatch(args)
-    from repro.observability import metrics as obs
-
-    with obs.enabled():
         code = _dispatch(args)
-        _write_metrics_snapshot(metrics_path)
+    else:
+        from repro.observability import metrics as obs
+
+        with obs.enabled():
+            code = _dispatch(args)
+            _write_metrics_snapshot(metrics_path)
+    if trace_path is not None:
+        _write_trace_jsonl(trace_path)
     return code
 
 
@@ -188,6 +288,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sharded":
         return _run_sharded(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "push":
+        return _run_push(args)
 
     if args.command == "table3":
         rows = table3_accuracy(
@@ -233,6 +339,65 @@ def _run_sharded(args: argparse.Namespace) -> int:
     )
     if args.durable_root is not None:
         print(f"durable shard checkpoints under {args.durable_root}")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve sketch aggregation in the foreground until stopped."""
+    import time
+
+    from repro.service import SketchServer
+
+    server = SketchServer(
+        args.host,
+        args.port,
+        max_inflight=args.max_inflight,
+        read_deadline_seconds=args.read_deadline,
+    )
+    server.start()
+    host, port = server.address
+    print(f"serving sketch aggregation on {host}:{port}", flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive mode, exercised manually
+            while True:
+                time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.close()
+    print("drained and stopped")
+    return 0
+
+
+def _run_push(args: argparse.Namespace) -> int:
+    """Sketch a trace (optionally in parts) and push it to a server."""
+    from repro.core.config import DaVinciConfig
+    from repro.core.davinci import DaVinciSketch
+    from repro.service import AggregationClient
+    from repro.workloads import load_trace
+
+    trace = load_trace(args.dataset, scale=args.scale, seed=args.seed)
+    config = DaVinciConfig.from_memory_kb(args.memory_kb, seed=args.seed)
+    client = AggregationClient(args.host, args.port)
+    parts = max(1, args.parts)
+    for part in range(parts):
+        sketch = DaVinciSketch(config)
+        sketch.insert_all(trace[part::parts])
+        response = client.push(
+            args.aggregate, sketch, deadline_seconds=args.deadline
+        )
+        print(
+            f"pushed part {part + 1}/{parts}: seq={response['seq']} "
+            f"duplicate={response['duplicate']} "
+            f"applied={response['applied']}"
+        )
+    if args.task is not None:
+        value = client.query(
+            args.aggregate, args.task, deadline_seconds=args.deadline
+        )
+        print(f"{args.task}: {value:,.1f}")
     return 0
 
 

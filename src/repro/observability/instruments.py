@@ -42,12 +42,16 @@ __all__ = [
     "FrequentPartMetrics",
     "InfrequentPartMetrics",
     "IngestorMetrics",
+    "ServiceClientMetrics",
+    "ServiceServerMetrics",
     "ShardedMetrics",
     "davinci_metrics",
     "element_filter_metrics",
     "frequent_part_metrics",
     "infrequent_part_metrics",
     "ingestor_metrics",
+    "service_client_metrics",
+    "service_server_metrics",
     "sharded_metrics",
 ]
 
@@ -394,3 +398,109 @@ class ShardedMetrics:
 def sharded_metrics(registry: Optional[MetricsRegistry]) -> ShardedMetrics:
     """Bundle for one :class:`~repro.runtime.sharded.ShardedIngestor`."""
     return ShardedMetrics(_registry(registry))
+
+
+class ServiceServerMetrics:
+    """Telemetry for one :class:`~repro.service.server.SketchServer`."""
+
+    __slots__ = (
+        "requests",
+        "request_seconds",
+        "shed",
+        "connections",
+        "frame_rejects",
+        "pushes_applied",
+        "pushes_deduplicated",
+        "inflight",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.requests: MetricFamily = registry.counter_family(
+            "service_requests_total",
+            "Requests handled by the sketch server, by op and status",
+            ("op", "status"),
+        )
+        self.request_seconds: MetricFamily = registry.histogram_family(
+            "service_request_seconds",
+            "Server-side wall-clock latency of one request, by op",
+            ("op",),
+        )
+        self.shed: Counter = registry.counter(
+            "service_shed_total",
+            "Requests refused at admission (RESOURCE_EXHAUSTED)",
+        )
+        self.connections: Counter = registry.counter(
+            "service_connections_total",
+            "TCP connections accepted by the server",
+        )
+        self.frame_rejects: Counter = registry.counter(
+            "service_frame_rejects_total",
+            "Frames rejected before dispatch (CRC mismatch, bad magic, "
+            "oversize)",
+        )
+        self.pushes_applied: Counter = registry.counter(
+            "service_pushes_applied_total",
+            "PUSH blobs union-folded into an aggregate (first application)",
+        )
+        self.pushes_deduplicated: Counter = registry.counter(
+            "service_pushes_deduplicated_total",
+            "PUSH retries dropped by sequence-id dedup (idempotency)",
+        )
+        self.inflight: Gauge = registry.gauge(
+            "service_inflight_requests",
+            "Requests currently inside the admission window",
+        )
+
+
+def service_server_metrics(
+    registry: Optional[MetricsRegistry],
+) -> ServiceServerMetrics:
+    """Bundle for one :class:`~repro.service.server.SketchServer`."""
+    return ServiceServerMetrics(_registry(registry))
+
+
+class ServiceClientMetrics:
+    """Telemetry for one :class:`~repro.service.client.AggregationClient`."""
+
+    __slots__ = (
+        "attempts",
+        "retries",
+        "errors",
+        "breaker_transitions",
+        "request_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.attempts: MetricFamily = registry.counter_family(
+            "service_client_attempts_total",
+            "Network attempts issued by the aggregation client, by op",
+            ("op",),
+        )
+        self.retries: MetricFamily = registry.counter_family(
+            "service_client_retries_total",
+            "Attempts beyond the first (the retry volume), by op",
+            ("op",),
+        )
+        self.errors: MetricFamily = registry.counter_family(
+            "service_client_errors_total",
+            "Typed failures observed by the client, by error kind",
+            ("kind",),
+        )
+        self.breaker_transitions: MetricFamily = registry.counter_family(
+            "service_client_breaker_transitions_total",
+            "Circuit-breaker state entries, by the state entered",
+            ("state",),
+        )
+        self.request_seconds: MetricFamily = registry.histogram_family(
+            "service_client_request_seconds",
+            "End-to-end client latency of one logical call (retries "
+            "included), by op",
+            ("op",),
+        )
+
+
+def service_client_metrics(
+    registry: Optional[MetricsRegistry],
+) -> ServiceClientMetrics:
+    """Bundle for one :class:`~repro.service.client.AggregationClient`."""
+    return ServiceClientMetrics(_registry(registry))

@@ -25,6 +25,7 @@ even when nobody remembered to arm metrics.
 from __future__ import annotations
 
 import itertools
+import json
 import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
@@ -115,6 +116,25 @@ class TraceSink:
             for event in self.events(name)
             if field in event.fields
         ]
+
+    def render_jsonl(self, name: Optional[str] = None) -> str:
+        """The buffered events as JSON Lines (one object per event).
+
+        Each line is the event's :meth:`TraceEvent.as_dict` serialized
+        compactly with sorted keys, in buffer order — the format the
+        experiments CLI's ``--trace`` flag writes, greppable and
+        streamable where a single JSON array is not.  Fields must be
+        JSON-serializable (every in-tree emitter only uses scalars).
+        Returns ``""`` for an empty (or fully filtered) buffer,
+        otherwise the text ends with a newline.
+        """
+        lines = [
+            json.dumps(event.as_dict(), separators=(",", ":"), sort_keys=True)
+            for event in self.events(name)
+        ]
+        if not lines:
+            return ""
+        return "\n".join(lines) + "\n"
 
     def clear(self) -> None:
         self._events.clear()

@@ -71,7 +71,11 @@ from typing import (
     Union,
 )
 
-from repro.common.errors import ConfigurationError, ShardFailureError
+from repro.common.errors import (
+    ConfigurationError,
+    ShardFailureError,
+    ShardTimeoutError,
+)
 from repro.common.hashing import hash64, key_to_int
 from repro.core import serialization, setops
 from repro.core.config import DaVinciConfig
@@ -389,6 +393,14 @@ class ShardedIngestor:
         Seconds to wait, per phase, for workers to hand over their final
         states and exit during :meth:`finalize` before declaring the
         run failed.
+    stall_timeout:
+        Optional bound on how long a blocked :meth:`ingest` put will
+        wait on a full queue whose worker is *alive but consuming
+        nothing* (wedged, stopped, deadlocked).  When the queue shows
+        zero drain for this many seconds,
+        :class:`~repro.common.errors.ShardTimeoutError` is raised
+        instead of blocking forever.  ``None`` (default) keeps the
+        historical block-until-drain behavior.
     digest_algo:
         Digest for the per-shard wire blobs (verified by ``from_wire``
         on collection).
@@ -420,6 +432,7 @@ class ShardedIngestor:
         checkpoint_every_items: Optional[int] = 262144,
         max_restarts: int = 1,
         join_timeout: float = 30.0,
+        stall_timeout: Optional[float] = None,
         digest_algo: str = "sha256",
         mp_context: Optional[Union[str, Any]] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
@@ -434,6 +447,10 @@ class ShardedIngestor:
             raise ConfigurationError("max_restarts must be >= 0")
         if join_timeout <= 0:
             raise ConfigurationError("join_timeout must be positive")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ConfigurationError(
+                "stall_timeout must be positive when set"
+            )
         if digest_algo not in serialization.DIGEST_ALGOS:
             raise ConfigurationError(
                 f"unknown digest algorithm {digest_algo!r}; expected one of "
@@ -451,6 +468,9 @@ class ShardedIngestor:
         self.checkpoint_every_items = checkpoint_every_items
         self.max_restarts = int(max_restarts)
         self.join_timeout = float(join_timeout)
+        self.stall_timeout = (
+            float(stall_timeout) if stall_timeout is not None else None
+        )
         self.digest_algo = digest_algo
         self._obs_registry = metrics_registry
 
@@ -667,7 +687,16 @@ class ShardedIngestor:
             handle.finalized_sent = True
 
     def _put(self, handle: _ShardHandle, message: Tuple[Any, ...]) -> None:
-        """Blocking put with liveness checks (the backpressure point)."""
+        """Blocking put with liveness checks (the backpressure point).
+
+        A dead worker is detected by ``is_alive`` and respawned, but a
+        worker that is alive yet consuming nothing (wedged in a
+        syscall, stopped, deadlocked downstream) would otherwise block
+        this put forever.  With ``stall_timeout`` set, a queue that
+        stays full for that many seconds with zero drain raises
+        :class:`~repro.common.errors.ShardTimeoutError` instead.
+        """
+        stalled_since: Optional[float] = None
         while True:
             process = handle.process
             task_queue = handle.task_queue
@@ -689,6 +718,17 @@ class ShardedIngestor:
                     # the replay.
                     if message[0] == "batch":
                         return
+                    stalled_since = None
+                elif self.stall_timeout is not None:
+                    now = time.monotonic()
+                    if stalled_since is None:
+                        stalled_since = now
+                    elif now - stalled_since >= self.stall_timeout:
+                        raise ShardTimeoutError(
+                            f"shard {handle.index} accepted no work for "
+                            f"{self.stall_timeout:.1f}s (worker alive but "
+                            "its queue never drained)"
+                        )
 
     # ------------------------------------------------------------------ #
     # ingestion

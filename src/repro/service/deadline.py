@@ -1,0 +1,71 @@
+"""Deadline budgets: one monotonic end-to-end timer per logical call.
+
+Timeout handling in a retrying client is easy to get wrong in two
+directions — per-attempt timeouts that multiply into an unbounded total,
+or a single wall-clock subtraction repeated at every call site.  A
+:class:`Deadline` is created once per *logical* operation (a PUSH with
+all of its retries, a fan-out query with all of its fetches) and then
+threaded through every blocking step; each step asks for the remaining
+budget and sizes its socket timeout / backoff sleep accordingly, so the
+caller's budget is an end-to-end contract no matter how many attempts
+happen inside it.
+
+The clock is injectable (monotonic by default) so retry/backoff tests
+run on a virtual clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigurationError, DeadlineExceededError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A fixed budget of seconds, measured on an injectable clock."""
+
+    __slots__ = ("_expires_at", "_clock", "budget")
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds <= 0:
+            raise ConfigurationError(
+                f"deadline budget must be positive, got {seconds!r}"
+            )
+        self.budget = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left (never negative; 0.0 means expired)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def require(
+        self, what: str, last_error: Optional[BaseException] = None
+    ) -> float:
+        """The remaining budget, or :class:`DeadlineExceededError`.
+
+        ``what`` names the step for the error message; ``last_error``
+        (when the budget died during retries) rides along so callers can
+        see the transient fault that consumed the budget.
+        """
+        left = self.remaining()
+        if left <= 0.0:
+            raise DeadlineExceededError(
+                f"deadline of {self.budget:.3f}s exhausted before {what}"
+                + (f" (last error: {last_error})" if last_error else ""),
+                last_error=last_error,
+            )
+        return left
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"

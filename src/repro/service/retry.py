@@ -1,0 +1,99 @@
+"""Retry policy: bounded attempts, deadline budget, decorrelated jitter.
+
+The client retries only errors whose :attr:`ServiceError.retryable` flag
+says a fresh attempt can help (transport faults, server shedding) and
+only for requests that are *idempotent-safe* — reads are naturally
+idempotent, and PUSH is made idempotent by the client-supplied sequence
+id the server deduplicates (see :mod:`repro.service.client`).
+
+Backoff uses **decorrelated jitter** (Brooker, "Exponential Backoff and
+Jitter"): each sleep is drawn uniformly from ``[base, prev * 3]`` and
+capped, which de-synchronizes a thundering herd faster than equal-jitter
+while keeping the expected growth exponential.  The randomness comes
+from the package-standard :func:`repro.common.hashing.resolve_rng`
+injection, so tests pin the exact backoff sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import resolve_rng
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, how long, and how fast to back off.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per logical call (the first attempt included).
+    deadline_seconds:
+        Default end-to-end budget per logical call; a per-call
+        ``deadline=`` argument overrides it.
+    base_backoff_seconds / max_backoff_seconds:
+        The decorrelated-jitter band: every sleep is drawn from
+        ``uniform(base, prev * 3)`` and clamped to the max.
+    attempt_timeout_seconds:
+        Optional cap on any *single* attempt's I/O.  Without it, a
+        black-holed connection (accepted, never answered) burns the
+        whole deadline in one attempt; with it, the attempt fails fast
+        and the remaining budget funds retries against a healthier
+        path.  ``None`` (default) means each attempt may use the full
+        remaining deadline.
+    seed:
+        Seed for the jitter RNG when no ``rng`` is injected at the
+        client (see :func:`repro.common.hashing.resolve_rng`).
+    """
+
+    max_attempts: int = 4
+    deadline_seconds: float = 10.0
+    base_backoff_seconds: float = 0.05
+    max_backoff_seconds: float = 2.0
+    attempt_timeout_seconds: Optional[float] = None
+    seed: int = 0x5E11ACE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
+        if (
+            self.attempt_timeout_seconds is not None
+            and self.attempt_timeout_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "attempt_timeout_seconds must be positive when set"
+            )
+        if self.base_backoff_seconds <= 0:
+            raise ConfigurationError("base_backoff_seconds must be positive")
+        if self.max_backoff_seconds < self.base_backoff_seconds:
+            raise ConfigurationError(
+                "max_backoff_seconds must be >= base_backoff_seconds"
+            )
+
+    def rng(self, rng: Optional[random.Random] = None) -> random.Random:
+        """The jitter RNG: injected instance, or one seeded from ``seed``."""
+        return resolve_rng(self.seed, rng)
+
+    def backoff(self, previous: float, rng: random.Random) -> float:
+        """Next decorrelated-jitter sleep given the ``previous`` one.
+
+        Pass ``0.0`` for the first backoff (the draw then starts at the
+        base band).
+        """
+        upper = max(self.base_backoff_seconds, previous * 3.0)
+        return min(
+            self.max_backoff_seconds,
+            rng.uniform(self.base_backoff_seconds, upper),
+        )
+
+
+#: the client default: 4 attempts inside a 10s budget, 50ms-2s jitter
+DEFAULT_RETRY_POLICY = RetryPolicy()

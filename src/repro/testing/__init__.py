@@ -7,6 +7,7 @@ integrity and degradation paths are exercised by real failures instead
 of mocks.  Nothing here is imported by production code.
 """
 
+from repro.testing.chaos import ChaosProxy, ChaosRule
 from repro.testing.faults import (
     CrashInjector,
     InjectedCrash,
@@ -16,6 +17,8 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ChaosProxy",
+    "ChaosRule",
     "CrashInjector",
     "InjectedCrash",
     "flip_bit",

@@ -1,0 +1,382 @@
+"""ChaosProxy: a deterministic in-process TCP fault injector.
+
+The service layer's guarantees (retry-to-convergence, idempotent PUSH,
+frame-CRC rejection, deadline enforcement, breaker trips) are only
+worth stating if they hold under *real* network failures.  The
+:class:`ChaosProxy` sits between an
+:class:`~repro.service.client.AggregationClient` and a
+:class:`~repro.service.server.SketchServer` as a plain TCP relay and
+misbehaves **by rule**: connection N gets the N-th
+:class:`ChaosRule` (connections beyond the list pass cleanly), so a
+sequential client sees a fully scripted failure schedule —
+no randomness, no timing races in what fault fires when.
+
+Actions
+-------
+``pass``
+    Relay both directions untouched.
+``reset_on_connect``
+    Accept, then RST-close immediately (SO_LINGER 0): the client's
+    first send or recv fails with a reset.
+``reset_after_bytes``
+    Relay ``after_bytes`` of the client→server stream, then RST-close
+    both sides: a torn frame mid-request or mid-response.
+``corrupt``
+    Flip one bit at absolute offset ``corrupt_offset`` of the
+    client→server stream, relay everything else untouched: the server's
+    frame CRC must reject the request with ``BAD_FRAME``.
+``delay``
+    Hold the client's first chunk for ``delay_seconds`` before
+    forwarding: with a delay past the client's deadline this pins
+    deadline enforcement rather than a hang.
+``blackhole``
+    Accept, read and discard forever, never connect upstream, never
+    reply: the client's response read must die by deadline.
+
+Like the rest of :mod:`repro.testing`, trace emission is unconditional
+(fault paths are cold and most valuable when unobserved otherwise);
+``fault.proxy.*`` events record which rule fired on which connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from types import TracebackType
+from typing import List, Optional, Set, Tuple, Type
+
+from repro.common.errors import ConfigurationError
+from repro.observability.tracing import TraceSink, get_default_trace_sink
+
+__all__ = ["ChaosProxy", "ChaosRule", "ACTIONS"]
+
+ACTIONS = frozenset(
+    {
+        "pass",
+        "reset_on_connect",
+        "reset_after_bytes",
+        "corrupt",
+        "delay",
+        "blackhole",
+    }
+)
+
+#: SO_LINGER on, timeout 0 → close sends RST instead of FIN
+_LINGER_RST = struct.pack("ii", 1, 0)
+
+_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """What happens to one proxied connection."""
+
+    action: str = "pass"
+    #: for ``reset_after_bytes``: client→server bytes relayed first
+    after_bytes: int = 0
+    #: for ``corrupt``: absolute client→server stream offset to bit-flip
+    corrupt_offset: int = 0
+    #: for ``delay``: seconds to hold the first client chunk
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigurationError(
+                f"unknown chaos action {self.action!r}; expected one of "
+                f"{sorted(ACTIONS)}"
+            )
+        if self.after_bytes < 0:
+            raise ConfigurationError("after_bytes must be >= 0")
+        if self.corrupt_offset < 0:
+            raise ConfigurationError("corrupt_offset must be >= 0")
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be >= 0")
+
+
+def _rst_close(sock: socket.socket) -> None:
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, _LINGER_RST)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+class ChaosProxy:
+    """Scripted TCP relay in front of one upstream endpoint."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        rules: Tuple[ChaosRule, ...] = (),
+        trace: Optional[TraceSink] = None,
+    ) -> None:
+        self.upstream = (upstream_host, int(upstream_port))
+        self.rules: Tuple[ChaosRule, ...] = tuple(rules)
+        self._trace = trace
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._sockets: Set[socket.socket] = set()
+        self._closed = False
+        self._connections = 0
+
+    def _sink(self) -> TraceSink:
+        return self._trace if self._trace is not None else (
+            get_default_trace_sink()
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Where clients should connect (listener must be started)."""
+        if self._listener is None:
+            raise ConfigurationError("proxy is not started")
+        addr = self._listener.getsockname()
+        return (str(addr[0]), int(addr[1]))
+
+    @property
+    def connections_seen(self) -> int:
+        with self._lock:
+            return self._connections
+
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(16)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sockets = list(self._sockets)
+            self._sockets.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+    def _track(self, sock: socket.socket) -> bool:
+        """Register a socket for close(); False if already shut down."""
+        with self._lock:
+            if self._closed:
+                return False
+            self._sockets.add(sock)
+            return True
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._sockets.discard(sock)
+
+    # ------------------------------------------------------------------ #
+    # relay
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        if listener is None:  # pragma: no cover - started sets it first
+            return
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                index = self._connections
+                self._connections += 1
+                rule = (
+                    self.rules[index]
+                    if index < len(self.rules)
+                    else ChaosRule()
+                )
+                thread = threading.Thread(
+                    target=self._handle,
+                    args=(conn, rule, index),
+                    name=f"chaos-proxy-conn-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+            thread.start()
+
+    def _handle(
+        self, conn: socket.socket, rule: ChaosRule, index: int
+    ) -> None:
+        self._sink().emit(
+            "fault.proxy.connect", connection=index, action=rule.action
+        )
+        if not self._track(conn):
+            conn.close()
+            return
+        try:
+            if rule.action == "reset_on_connect":
+                self._sink().emit("fault.proxy.reset", connection=index)
+                _rst_close(conn)
+                return
+            if rule.action == "blackhole":
+                self._sink().emit("fault.proxy.blackhole", connection=index)
+                self._drain_forever(conn)
+                return
+            try:
+                upstream = socket.create_connection(self.upstream, timeout=10)
+            except OSError:
+                _rst_close(conn)
+                return
+            if not self._track(upstream):
+                upstream.close()
+                return
+            try:
+                forward = threading.Thread(
+                    target=self._pump_client_to_server,
+                    args=(conn, upstream, rule, index),
+                    name=f"chaos-proxy-c2s-{index}",
+                    daemon=True,
+                )
+                forward.start()
+                self._pump(upstream, conn)
+                forward.join(timeout=10.0)
+            finally:
+                self._untrack(upstream)
+                try:
+                    upstream.close()
+                except OSError:
+                    pass
+        finally:
+            self._untrack(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _drain_forever(self, conn: socket.socket) -> None:
+        while True:
+            try:
+                chunk = conn.recv(_CHUNK)
+            except OSError:
+                return
+            if not chunk:
+                return
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        """Plain one-direction relay until EOF or error."""
+        while True:
+            try:
+                chunk = src.recv(_CHUNK)
+            except OSError:
+                return
+            if not chunk:
+                try:
+                    dst.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                return
+
+    def _pump_client_to_server(
+        self,
+        conn: socket.socket,
+        upstream: socket.socket,
+        rule: ChaosRule,
+        index: int,
+    ) -> None:
+        """Client→server relay with the rule's mutation applied."""
+        offset = 0
+        first = True
+        while True:
+            try:
+                chunk = conn.recv(_CHUNK)
+            except OSError:
+                return
+            if not chunk:
+                try:
+                    upstream.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            if first and rule.action == "delay" and rule.delay_seconds > 0:
+                self._sink().emit(
+                    "fault.proxy.delay",
+                    connection=index,
+                    seconds=rule.delay_seconds,
+                )
+                # A scripted stall, bounded by the rule (tests keep it
+                # shorter than their own teardown timeouts).
+                threading.Event().wait(rule.delay_seconds)
+            first = False
+            if rule.action == "corrupt":
+                end = offset + len(chunk)
+                if offset <= rule.corrupt_offset < end:
+                    mutable = bytearray(chunk)
+                    mutable[rule.corrupt_offset - offset] ^= 0x80
+                    chunk = bytes(mutable)
+                    self._sink().emit(
+                        "fault.proxy.corrupt",
+                        connection=index,
+                        offset=rule.corrupt_offset,
+                    )
+            if rule.action == "reset_after_bytes":
+                end = offset + len(chunk)
+                if end >= rule.after_bytes:
+                    keep = max(0, rule.after_bytes - offset)
+                    if keep:
+                        try:
+                            upstream.sendall(chunk[:keep])
+                        except OSError:
+                            return
+                    self._sink().emit(
+                        "fault.proxy.reset",
+                        connection=index,
+                        after_bytes=rule.after_bytes,
+                    )
+                    _rst_close(conn)
+                    _rst_close(upstream)
+                    return
+            offset += len(chunk)
+            try:
+                upstream.sendall(chunk)
+            except OSError:
+                return

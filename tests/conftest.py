@@ -6,6 +6,8 @@ milliseconds; the scaled paper experiments live in ``benchmarks/``.
 
 from __future__ import annotations
 
+import faulthandler
+import os
 import random
 from collections import Counter
 from typing import Dict, List
@@ -13,6 +15,17 @@ from typing import Dict, List
 import pytest
 
 from repro.core import DaVinciConfig, DaVinciSketch
+
+# Dependency-free hang watchdog for the networked/multiprocess suites:
+# REPRO_TEST_WATCHDOG=<seconds> dumps every thread's traceback and
+# aborts the run if the whole session exceeds the bound (CI sets it so
+# a wedged socket test fails with stacks instead of a 6h timeout; the
+# per-test pytest-timeout plugin is CI-only and not assumed locally).
+_WATCHDOG_SECONDS = os.environ.get("REPRO_TEST_WATCHDOG")
+if _WATCHDOG_SECONDS:
+    faulthandler.dump_traceback_later(
+        float(_WATCHDOG_SECONDS), exit=True
+    )
 
 
 @pytest.fixture

@@ -201,3 +201,93 @@ class TestShardedSubcommand:
             if name.startswith("sharded_shard_items_total")
         ]
         assert sum(routed) > 0
+
+
+class TestServeAndPush:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.duration is None
+
+    def test_push_requires_a_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["push"])
+
+    def test_serve_runs_for_a_bounded_duration(self, capsys):
+        code = main(["serve", "--duration", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving sketch aggregation on 127.0.0.1:" in out
+        assert "drained and stopped" in out
+
+    def test_push_roundtrip_against_a_live_server(self, capsys):
+        from repro.service import SketchServer
+
+        server = SketchServer()
+        server.start()
+        try:
+            _, port = server.address
+            code = main(
+                [
+                    "push",
+                    "--port",
+                    str(port),
+                    "--scale",
+                    "0.002",
+                    "--parts",
+                    "2",
+                    "--task",
+                    "cardinality",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "pushed part 1/2: seq=1" in out
+            assert "pushed part 2/2: seq=2" in out
+            assert "cardinality:" in out
+            assert server.aggregate_names() == ("default",)
+        finally:
+            server.close()
+
+
+class TestTraceFlag:
+    def test_trace_artifact_captures_drain_events(self, tmp_path):
+        import json
+
+        from repro.observability.tracing import (
+            TraceSink,
+            set_default_trace_sink,
+        )
+
+        target = tmp_path / "trace.jsonl"
+        previous = set_default_trace_sink(TraceSink())
+        try:
+            code = main(
+                ["serve", "--duration", "0.1", "--trace", str(target)]
+            )
+        finally:
+            set_default_trace_sink(previous)
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in target.read_text(encoding="utf-8").splitlines()
+        ]
+        names = [event["name"] for event in events]
+        assert "service.drain.begin" in names
+        assert "service.drain.end" in names
+
+    def test_trace_dash_writes_stdout(self, capsys):
+        from repro.observability.tracing import (
+            TraceSink,
+            set_default_trace_sink,
+        )
+
+        previous = set_default_trace_sink(TraceSink())
+        try:
+            code = main(["serve", "--duration", "0.1", "--trace", "-"])
+        finally:
+            set_default_trace_sink(previous)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"name":"service.drain.begin"' in out

@@ -124,3 +124,40 @@ class TestFaultInjectorEmission:
             assert mine.names() == ["fault.flip_bit"]
         finally:
             set_default_trace_sink(previous)
+
+
+class TestRenderJsonl:
+    def test_empty_sink_renders_empty_string(self):
+        assert TraceSink().render_jsonl() == ""
+
+    def test_lines_are_compact_sorted_and_parse_back(self):
+        import json
+
+        sink = TraceSink(clock=lambda: 3.0)
+        sink.emit("b", z=1, a="x")
+        sink.emit("a", n=2)
+        text = sink.render_jsonl()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "fields": {"a": "x", "z": 1},
+            "name": "b",
+            "seq": 1,
+            "timestamp": 3.0,
+        }
+        # compact separators, keys sorted in the raw text
+        assert ", " not in lines[0]
+        assert lines[0].index('"fields"') < lines[0].index('"name"')
+
+    def test_name_filter_selects_a_single_stream(self):
+        import json
+
+        sink = TraceSink()
+        sink.emit("keep", i=1)
+        sink.emit("drop", i=2)
+        sink.emit("keep", i=3)
+        lines = sink.render_jsonl("keep").splitlines()
+        assert [json.loads(line)["fields"]["i"] for line in lines] == [1, 3]
+        assert sink.render_jsonl("absent") == ""

@@ -1,0 +1,229 @@
+"""Chaos acceptance: convergence under faults, dedup, breaker cycle.
+
+A client pushing through a ``ChaosProxy`` that drops, resets, corrupts,
+and delays connections must converge to the exact same aggregate bytes
+as a sequential in-process fold, with zero duplicate applications.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import DeadlineExceededError, RetryExhaustedError
+from repro.core import serialization, setops
+from repro.observability import metrics as obs
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import TraceSink
+from repro.service import (
+    AggregationClient,
+    CircuitBreaker,
+    RetryPolicy,
+    SketchServer,
+)
+from repro.testing import ChaosProxy, ChaosRule
+
+CHAOS_POLICY = RetryPolicy(
+    max_attempts=6,
+    deadline_seconds=8.0,
+    base_backoff_seconds=0.01,
+    max_backoff_seconds=0.05,
+    attempt_timeout_seconds=0.4,
+)
+
+
+def lenient_breaker():
+    # chaos tests hammer a faulty path on purpose; never trip locally
+    return CircuitBreaker(
+        failure_threshold=1.0, window=10_000, min_samples=10_000
+    )
+
+
+class TestConvergence:
+    def test_pushes_converge_byte_identically_under_faults(
+        self, sketch_factory
+    ):
+        registry = MetricsRegistry()
+        trace = TraceSink()
+        parts = [
+            sketch_factory([(i, i + 1), (i + 100, 2)]) for i in range(3)
+        ]
+        expected = parts[0]
+        for part in parts[1:]:
+            expected = setops.union(expected, part)
+
+        server = SketchServer(
+            metrics_registry=registry, read_deadline_seconds=2.0
+        )
+        server.start()
+        host, port = server.address
+        rules = [
+            ChaosRule(action="reset_on_connect"),
+            ChaosRule(action="corrupt", corrupt_offset=40),
+            ChaosRule(action="pass"),
+            ChaosRule(action="reset_after_bytes", after_bytes=30),
+            ChaosRule(action="pass"),
+            ChaosRule(action="blackhole"),
+            ChaosRule(action="pass"),
+        ]
+        try:
+            with ChaosProxy(host, port, rules=rules, trace=trace) as proxy:
+                proxy_host, proxy_port = proxy.address
+                client = AggregationClient(
+                    proxy_host,
+                    proxy_port,
+                    retry_policy=CHAOS_POLICY,
+                    breaker=lenient_breaker(),
+                    rng=random.Random(0),
+                )
+                with obs.enabled():
+                    for part in parts:
+                        response = client.push("agg", part)
+                        assert response["status"] == "OK"
+                assert proxy.connections_seen >= len(rules) - 1
+            remote = serialization.from_wire(server.aggregate_state("agg"))
+            assert remote.to_state() == expected.to_state()
+
+            counters = registry.snapshot()["counters"]
+            # zero duplicate applications despite retries over faulty links
+            assert counters["service_pushes_applied_total"] == len(parts)
+            assert (
+                counters.get("service_pushes_deduplicated_total", 0) == 0
+            )
+            # the corrupt rule produced at least one CRC-rejected frame
+            assert counters["service_frame_rejects_total"] >= 1
+        finally:
+            server.close()
+        assert "fault.proxy.reset" in trace.names()
+        assert "fault.proxy.blackhole" in trace.names()
+        assert "fault.proxy.corrupt" in trace.names()
+
+    def test_explicit_seq_replay_is_deduplicated_end_to_end(
+        self, server, sketch_factory
+    ):
+        host, port = server.address
+        client = AggregationClient(
+            host,
+            port,
+            retry_policy=CHAOS_POLICY,
+            breaker=lenient_breaker(),
+        )
+        sketch = sketch_factory([(1, 5)])
+        first = client.push("agg", sketch)
+        before = server.aggregate_state("agg")
+        replay = client.push("agg", sketch, seq=first["seq"])
+        assert replay["duplicate"] is True
+        assert server.aggregate_state("agg") == before
+
+    def test_delay_past_attempt_timeout_still_converges(
+        self, sketch_factory
+    ):
+        server = SketchServer(read_deadline_seconds=2.0)
+        server.start()
+        host, port = server.address
+        rules = [
+            ChaosRule(action="delay", delay_seconds=1.5),  # > attempt cap
+            ChaosRule(action="pass"),
+        ]
+        try:
+            with ChaosProxy(host, port, rules=rules) as proxy:
+                proxy_host, proxy_port = proxy.address
+                client = AggregationClient(
+                    proxy_host,
+                    proxy_port,
+                    retry_policy=CHAOS_POLICY,
+                    breaker=lenient_breaker(),
+                    rng=random.Random(1),
+                )
+                sketch = sketch_factory([(7, 7)])
+                assert client.push("agg", sketch)["status"] == "OK"
+            remote = serialization.from_wire(server.aggregate_state("agg"))
+            assert remote.to_state() == sketch.to_state()
+        finally:
+            server.close()
+
+    def test_blackhole_with_tiny_deadline_fails_loudly(
+        self, server, sketch_factory
+    ):
+        host, port = server.address
+        with ChaosProxy(
+            host, port, rules=[ChaosRule(action="blackhole")] * 3
+        ) as proxy:
+            proxy_host, proxy_port = proxy.address
+            client = AggregationClient(
+                proxy_host,
+                proxy_port,
+                retry_policy=RetryPolicy(
+                    max_attempts=2,
+                    deadline_seconds=0.3,
+                    base_backoff_seconds=0.01,
+                    attempt_timeout_seconds=0.2,
+                ),
+                breaker=lenient_breaker(),
+            )
+            with pytest.raises(
+                (DeadlineExceededError, RetryExhaustedError)
+            ):
+                client.push("agg", sketch_factory([(1, 1)]))
+
+
+class TestBreakerCycle:
+    def test_closed_open_half_open_closed_is_observable(
+        self, server, sketch_factory
+    ):
+        host, port = server.address
+        registry = MetricsRegistry()
+        trace = TraceSink()
+        rules = [
+            ChaosRule(action="reset_on_connect"),
+            ChaosRule(action="reset_on_connect"),
+        ]  # beyond the list every connection passes through
+        with ChaosProxy(host, port, rules=rules) as proxy:
+            proxy_host, proxy_port = proxy.address
+            breaker = CircuitBreaker(
+                failure_threshold=0.5,
+                window=4,
+                min_samples=2,
+                open_seconds=0.2,
+                half_open_probes=1,
+            )
+            client = AggregationClient(
+                proxy_host,
+                proxy_port,
+                retry_policy=RetryPolicy(
+                    max_attempts=1, deadline_seconds=5.0
+                ),
+                breaker=breaker,
+                metrics_registry=registry,
+                trace=trace,
+            )
+            with obs.enabled():
+                for _ in range(2):  # two resets trip the breaker
+                    with pytest.raises(RetryExhaustedError):
+                        client.health()
+                assert breaker.state == "open"
+                assert not client.ready()  # fails locally, no dial
+
+                import time
+
+                time.sleep(0.25)  # cooldown elapses -> half-open probe
+                assert client.health()["status"] == "OK"
+                assert breaker.state == "closed"
+
+        counters = registry.snapshot()["counters"]
+        for state in ("open", "half_open", "closed"):
+            key = (
+                "service_client_breaker_transitions_total"
+                f'{{state="{state}"}}'
+            )
+            assert counters[key] == 1, key
+        transitions = [
+            (event.fields["previous"], event.fields["state"])
+            for event in trace.events("service.breaker.transition")
+        ]
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]

@@ -1,0 +1,184 @@
+"""AggregationClient: retry schedules, typed errors, breaker integration."""
+
+from __future__ import annotations
+
+import random
+import socket
+
+import pytest
+
+from repro.common.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RemoteError,
+    RetryExhaustedError,
+    TransportError,
+)
+from repro.observability import metrics as obs
+from repro.observability.metrics import MetricsRegistry
+from repro.service import (
+    AggregationClient,
+    CircuitBreaker,
+    RetryPolicy,
+    SketchServer,
+)
+
+
+def unused_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def dead_client(**overrides):
+    kwargs = dict(
+        retry_policy=RetryPolicy(
+            max_attempts=3,
+            deadline_seconds=5.0,
+            base_backoff_seconds=0.001,
+            max_backoff_seconds=0.002,
+        ),
+        rng=random.Random(0),
+    )
+    kwargs.update(overrides)
+    sleeps = []
+    kwargs.setdefault("sleep", sleeps.append)
+    client = AggregationClient("127.0.0.1", unused_port(), **kwargs)
+    return client, sleeps
+
+
+class TestRetrying:
+    def test_connect_refused_exhausts_attempts(self):
+        client, sleeps = dead_client()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            client.health()
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, TransportError)
+        assert len(sleeps) == 2  # a backoff between each attempt pair
+
+    def test_backoff_schedule_is_deterministic(self):
+        first, sleeps_a = dead_client(rng=random.Random(42))
+        second, sleeps_b = dead_client(rng=random.Random(42))
+        with pytest.raises(RetryExhaustedError):
+            first.health()
+        with pytest.raises(RetryExhaustedError):
+            second.health()
+        assert sleeps_a == sleeps_b
+        assert all(0.001 <= s <= 0.002 for s in sleeps_a)
+
+    def test_deadline_beats_the_attempt_budget(self):
+        import time
+
+        client, _ = dead_client(
+            retry_policy=RetryPolicy(
+                max_attempts=1000,
+                deadline_seconds=0.2,
+                base_backoff_seconds=0.05,
+                max_backoff_seconds=0.05,
+            ),
+            breaker=CircuitBreaker(
+                failure_threshold=1.0, window=10_000, min_samples=10_000
+            ),
+            sleep=time.sleep,
+        )
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            client.health()
+        # the transient fault that consumed the budget rides along
+        assert isinstance(excinfo.value.last_error, TransportError)
+
+    def test_definitive_remote_answer_is_not_retried(
+        self, server, sketch_factory
+    ):
+        registry = MetricsRegistry()
+        host, port = server.address
+        client = AggregationClient(
+            host,
+            port,
+            retry_policy=RetryPolicy(max_attempts=5),
+            metrics_registry=registry,
+        )
+        with obs.enabled():
+            with pytest.raises(RemoteError) as excinfo:
+                client.query("missing", "cardinality")
+        assert excinfo.value.status == "NOT_FOUND"
+        counters = registry.snapshot()["counters"]
+        assert counters['service_client_attempts_total{op="QUERY"}'] == 1
+
+
+class TestBreaker:
+    def test_open_breaker_fails_locally(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1.0, window=4, min_samples=1
+        )
+        client, _ = dead_client(
+            breaker=breaker,
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        with pytest.raises(RetryExhaustedError):
+            client.health()  # one transport failure opens the breaker
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.health()
+
+    def test_breaker_transitions_are_counted_in_metrics(self):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(
+            failure_threshold=1.0, window=4, min_samples=1
+        )
+        client, _ = dead_client(
+            breaker=breaker,
+            retry_policy=RetryPolicy(max_attempts=1),
+            metrics_registry=registry,
+        )
+        with obs.enabled():
+            with pytest.raises(RetryExhaustedError):
+                client.health()
+        counters = registry.snapshot()["counters"]
+        assert (
+            counters['service_client_breaker_transitions_total{state="open"}']
+            == 1
+        )
+
+    def test_remote_not_found_counts_as_breaker_success(
+        self, server, sketch_factory
+    ):
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, window=4, min_samples=1
+        )
+        host, port = server.address
+        client = AggregationClient(host, port, breaker=breaker)
+        for _ in range(4):
+            with pytest.raises(RemoteError):
+                client.query("missing", "cardinality")
+        assert breaker.state == "closed"
+
+
+class TestIdentity:
+    def test_client_id_is_deterministic_under_injected_rng(self):
+        a = AggregationClient("h", 1, rng=random.Random(5))
+        b = AggregationClient("h", 1, rng=random.Random(5))
+        assert a.client_id == b.client_id
+
+    def test_explicit_client_id_wins(self):
+        client = AggregationClient("h", 1, client_id="me")
+        assert client.client_id == "me"
+
+    def test_push_roundtrip_after_server_restart_on_same_port(
+        self, sketch_factory
+    ):
+        # a fresh server on the same port serves a reconnecting client
+        first = SketchServer().start()
+        host, port = first.address
+        client = AggregationClient(
+            host,
+            port,
+            breaker=CircuitBreaker(
+                failure_threshold=1.0, window=10_000, min_samples=10_000
+            ),
+        )
+        client.push("agg", sketch_factory([(1, 1)]))
+        first.close()
+        with pytest.raises((RetryExhaustedError, DeadlineExceededError)):
+            client.push(
+                "agg", sketch_factory([(2, 1)]), deadline_seconds=0.5
+            )

@@ -1,0 +1,181 @@
+"""ClusterQuerier: fan-out merges, missing shards, degradation contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ServiceError
+from repro.core import setops
+from repro.core.degrade import DegradationPolicy, DegradedResult
+from repro.service import (
+    AggregationClient,
+    CircuitBreaker,
+    ClusterQuerier,
+    RetryPolicy,
+    SketchServer,
+)
+
+FAST_POLICY = RetryPolicy(
+    max_attempts=2, deadline_seconds=5.0, base_backoff_seconds=0.01
+)
+
+
+def impatient_breaker():
+    return CircuitBreaker(
+        failure_threshold=1.0, window=10_000, min_samples=10_000
+    )
+
+
+@pytest.fixture
+def two_servers():
+    servers = [SketchServer().start(), SketchServer().start()]
+    yield servers
+    for server in servers:
+        server.close()
+
+
+def client_for(server_or_address):
+    if isinstance(server_or_address, SketchServer):
+        host, port = server_or_address.address
+    else:
+        host, port = server_or_address
+    return AggregationClient(
+        host,
+        port,
+        retry_policy=FAST_POLICY,
+        breaker=impatient_breaker(),
+    )
+
+
+@pytest.fixture
+def populated(two_servers, sketch_factory):
+    parts = [
+        sketch_factory([(1, 10), (2, 5)]),
+        sketch_factory([(100, 20), (200, 1)]),
+    ]
+    clients = [client_for(server) for server in two_servers]
+    for client, part in zip(clients, parts):
+        client.push("agg", part)
+    merged = setops.union(parts[0], parts[1])
+    return clients, parts, merged
+
+
+class TestHealthy:
+    def test_merged_answer_matches_local_fold(self, populated):
+        clients, _, merged = populated
+        querier = ClusterQuerier(clients)
+        assert querier.query("agg", "cardinality") == pytest.approx(
+            merged.cardinality()
+        )
+        assert querier.query("agg", "query", key=1) == merged.query(1)
+
+    def test_policy_wraps_a_healthy_answer_undegraded(self, populated):
+        clients, _, merged = populated
+        querier = ClusterQuerier(clients)
+        result = querier.query(
+            "agg", "cardinality", policy=DegradationPolicy.BEST_EFFORT
+        )
+        assert isinstance(result, DegradedResult)
+        assert result.degraded is False
+        assert result.value == pytest.approx(merged.cardinality())
+
+    def test_requires_at_least_one_client(self):
+        with pytest.raises(ConfigurationError):
+            ClusterQuerier([])
+
+
+class TestMissingShards:
+    @pytest.fixture
+    def one_dead(self, populated, two_servers):
+        clients, parts, merged = populated
+        two_servers[1].close()
+        return clients, parts, merged
+
+    def test_strict_raises_the_shard_error(self, one_dead):
+        clients, _, _ = one_dead
+        querier = ClusterQuerier(clients)
+        with pytest.raises(ServiceError):
+            querier.query(
+                "agg", "cardinality", policy=DegradationPolicy.STRICT
+            )
+        with pytest.raises(ServiceError):
+            querier.query("agg", "cardinality")  # policy=None is strict
+
+    def test_degrade_names_the_missing_endpoint(self, one_dead):
+        clients, parts, _ = one_dead
+        querier = ClusterQuerier(clients)
+        result = querier.query(
+            "agg", "cardinality", policy=DegradationPolicy.DEGRADE
+        )
+        assert isinstance(result, DegradedResult)
+        assert result.degraded is True
+        assert clients[1].endpoint in result.reason
+        assert "missing shards" in result.reason
+        # the surviving shard still contributes its answer
+        assert result.value == pytest.approx(parts[0].cardinality())
+
+    def test_not_found_shard_degrades_too(self, populated, sketch_factory):
+        clients, parts, _ = populated
+        clients[0].push("solo", sketch_factory([(5, 5)]))
+        result = ClusterQuerier(clients).query(
+            "solo", "cardinality", policy=DegradationPolicy.DEGRADE
+        )
+        assert result.degraded is True
+        assert "NOT_FOUND" in result.reason or "not found" in result.reason
+
+    def test_best_effort_with_zero_shards_falls_back_neutral(
+        self, sketch_factory
+    ):
+        # endpoints that were never up: every shard is missing
+        import socket
+
+        def unused_port():
+            with socket.socket() as sock:
+                sock.bind(("127.0.0.1", 0))
+                return sock.getsockname()[1]
+
+        clients = [
+            client_for(("127.0.0.1", unused_port())) for _ in range(2)
+        ]
+        querier = ClusterQuerier(clients)
+        result = querier.query(
+            "agg",
+            "cardinality",
+            policy=DegradationPolicy.BEST_EFFORT,
+            deadline_seconds=3.0,
+        )
+        assert isinstance(result, DegradedResult)
+        assert result.degraded is True
+        assert result.value == 0.0
+        for client in clients:
+            assert client.endpoint in result.reason
+
+    def test_best_effort_zero_shards_sketch_task_still_raises(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            address = sock.getsockname()
+        querier = ClusterQuerier([client_for(address)])
+        with pytest.raises(ConfigurationError):
+            querier.query(
+                "agg",
+                "union",
+                other="agg",
+                policy=DegradationPolicy.BEST_EFFORT,
+                deadline_seconds=2.0,
+            )
+
+    def test_degrade_without_best_effort_raises_when_all_missing(
+        self, one_dead, two_servers
+    ):
+        clients, _, _ = one_dead
+        two_servers[0].close()
+        querier = ClusterQuerier(clients)
+        with pytest.raises(ServiceError):
+            querier.query(
+                "agg",
+                "cardinality",
+                policy=DegradationPolicy.DEGRADE,
+                deadline_seconds=3.0,
+            )

@@ -1,0 +1,50 @@
+"""Deadline budgets: monotonic, end-to-end, typed on expiry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    TransportError,
+)
+from repro.service.deadline import Deadline
+
+
+class TestDeadline:
+    def test_rejects_non_positive_budget(self):
+        for bad in (0, -1.0):
+            with pytest.raises(ConfigurationError):
+                Deadline(bad)
+
+    def test_remaining_counts_down_on_injected_clock(self, clock):
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(0.5)
+        assert deadline.remaining() == pytest.approx(1.5)
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_remaining_never_negative(self, clock):
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+
+    def test_require_returns_budget_then_raises(self, clock):
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.require("step") == pytest.approx(1.0)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            deadline.require("step")
+
+    def test_require_carries_the_last_error(self, clock):
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        cause = TransportError("connection reset")
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.require("retry loop", last_error=cause)
+        assert excinfo.value.last_error is cause
+        assert "connection reset" in str(excinfo.value)

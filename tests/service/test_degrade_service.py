@@ -1,0 +1,122 @@
+"""A corrupt shard blob degrades every task consumer, never crashes one.
+
+Satellite for the degradation contract: when one endpoint's fetched
+blob fails its embedded digest (``from_wire`` raises
+``StateCorruptionError``), a ``BEST_EFFORT`` cluster query must answer
+with a ``DegradedResult`` naming the corrupt shard — for all nine task
+consumers, scalar and sketch-valued alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StateCorruptionError
+from repro.core import serialization
+from repro.core.davinci import DaVinciSketch
+from repro.core.degrade import DegradationPolicy, DegradedResult
+from repro.service import (
+    AggregationClient,
+    CircuitBreaker,
+    ClusterQuerier,
+    RetryPolicy,
+    SketchServer,
+)
+
+NINE_CONSUMERS = [
+    ("query", {"key": 1}),
+    ("heavy_hitters", {"threshold": 1}),
+    ("cardinality", {}),
+    ("distribution", {}),
+    ("entropy", {}),
+    ("inner_join", {"other": "agg"}),
+    ("heavy_changers", {"threshold": 1, "other": "agg"}),
+    ("union", {"other": "agg"}),
+    ("difference", {"other": "agg"}),
+]
+
+
+def flip_bit(blob: bytes) -> bytes:
+    # flip inside the payload, far from the envelope braces
+    corrupted = bytearray(blob)
+    corrupted[len(corrupted) // 2] ^= 0x01
+    return bytes(corrupted)
+
+
+@pytest.fixture
+def corrupt_cluster(sketch_factory, monkeypatch):
+    servers = [SketchServer().start(), SketchServer().start()]
+    clients = [
+        AggregationClient(
+            *server.address,
+            retry_policy=RetryPolicy(
+                max_attempts=2,
+                deadline_seconds=5.0,
+                base_backoff_seconds=0.01,
+            ),
+            breaker=CircuitBreaker(
+                failure_threshold=1.0, window=10_000, min_samples=10_000
+            ),
+        )
+        for server in servers
+    ]
+    parts = [
+        sketch_factory([(1, 10), (2, 5)]),
+        sketch_factory([(100, 20), (200, 1)]),
+    ]
+    for client, part in zip(clients, parts):
+        client.push("agg", part)
+
+    real_fetch = clients[1].fetch_blob
+
+    def corrupt_fetch(aggregate, **kwargs):
+        return flip_bit(real_fetch(aggregate, **kwargs))
+
+    monkeypatch.setattr(clients[1], "fetch_blob", corrupt_fetch)
+    yield clients, parts
+    for server in servers:
+        server.close()
+
+
+def test_the_flipped_blob_really_fails_its_digest(corrupt_cluster):
+    clients, _ = corrupt_cluster
+    with pytest.raises(StateCorruptionError):
+        serialization.from_wire(clients[1].fetch_blob("agg"))
+
+
+@pytest.mark.parametrize(
+    "task,args", NINE_CONSUMERS, ids=[task for task, _ in NINE_CONSUMERS]
+)
+def test_corrupt_shard_degrades_every_consumer(corrupt_cluster, task, args):
+    clients, parts = corrupt_cluster
+    querier = ClusterQuerier(clients)
+    result = querier.query(
+        "agg", task, policy=DegradationPolicy.BEST_EFFORT, **args
+    )
+    assert isinstance(result, DegradedResult)
+    assert result.degraded is True
+    assert clients[1].endpoint in result.reason
+    if task in ("union", "difference"):
+        assert isinstance(result.value, DaVinciSketch)
+    else:
+        assert result.value is not None
+
+
+@pytest.mark.parametrize(
+    "task,args", NINE_CONSUMERS, ids=[task for task, _ in NINE_CONSUMERS]
+)
+def test_corrupt_shard_raises_under_strict(corrupt_cluster, task, args):
+    clients, _ = corrupt_cluster
+    querier = ClusterQuerier(clients)
+    with pytest.raises(StateCorruptionError):
+        querier.query(
+            "agg", task, policy=DegradationPolicy.STRICT, **args
+        )
+
+
+def test_surviving_shard_still_answers(corrupt_cluster):
+    clients, parts = corrupt_cluster
+    result = ClusterQuerier(clients).query(
+        "agg", "cardinality", policy=DegradationPolicy.BEST_EFFORT
+    )
+    assert result.value == pytest.approx(parts[0].cardinality())

@@ -1,0 +1,133 @@
+"""Frame protocol: round-trips, CRC rejection, torn frames, deadlines."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    TransportError,
+)
+from repro.service import protocol
+from repro.service.deadline import Deadline
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestEncoding:
+    def test_roundtrip_header_and_blob(self, pair):
+        left, right = pair
+        header = {"op": "PUSH", "aggregate": "a", "seq": 3}
+        blob = bytes(range(256)) * 4
+        protocol.send_message(left, header, blob)
+        got_header, got_blob = protocol.recv_message(
+            right, deadline=Deadline(5.0)
+        )
+        assert got_header == header
+        assert got_blob == blob
+
+    def test_empty_blob_roundtrip(self, pair):
+        left, right = pair
+        protocol.send_message(left, {"status": "OK"})
+        header, blob = protocol.recv_message(right, deadline=Deadline(5.0))
+        assert header == {"status": "OK"}
+        assert blob == b""
+
+    def test_decode_payload_rejects_overrunning_header_length(self):
+        bad = struct.pack(">I", 100) + b"{}"
+        with pytest.raises(TransportError):
+            protocol.decode_payload(bad)
+
+    def test_decode_payload_rejects_non_object_header(self):
+        body = b"[1,2]"
+        payload = struct.pack(">I", len(body)) + body
+        with pytest.raises(TransportError):
+            protocol.decode_payload(payload)
+
+    def test_oversize_payload_refused_at_encode(self):
+        with pytest.raises(ConfigurationError):
+            protocol.encode_message({}, b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+
+class TestRejection:
+    def test_single_flipped_bit_fails_the_crc(self, pair):
+        left, right = pair
+        frame = bytearray(
+            protocol.encode_message({"op": "PUSH"}, b"payload-bytes")
+        )
+        frame[-3] ^= 0x10  # corrupt the payload, not the header
+        left.sendall(bytes(frame))
+        with pytest.raises(TransportError, match="CRC"):
+            protocol.recv_message(right, deadline=Deadline(5.0))
+
+    def test_bad_magic_rejected(self, pair):
+        left, right = pair
+        frame = bytearray(protocol.encode_message({"op": "PUSH"}))
+        frame[0] = ord("X")
+        left.sendall(bytes(frame))
+        with pytest.raises(TransportError, match="magic"):
+            protocol.recv_message(right, deadline=Deadline(5.0))
+
+    def test_unknown_version_rejected(self, pair):
+        left, right = pair
+        frame = bytearray(protocol.encode_message({"op": "PUSH"}))
+        frame[2] = 99
+        left.sendall(bytes(frame))
+        with pytest.raises(TransportError, match="version"):
+            protocol.recv_message(right, deadline=Deadline(5.0))
+
+    def test_declared_length_beyond_limit_rejected(self, pair):
+        left, right = pair
+        frame = protocol.encode_message({"op": "PUSH"}, b"x" * 128)
+        left.sendall(frame)
+        with pytest.raises(TransportError, match="limit"):
+            protocol.recv_message(
+                right, deadline=Deadline(5.0), max_frame_bytes=16
+            )
+
+    def test_torn_frame_is_a_transport_error(self, pair):
+        left, right = pair
+        frame = protocol.encode_message({"op": "PUSH"}, b"x" * 64)
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            protocol.recv_message(right, deadline=Deadline(5.0))
+
+    def test_clean_eof_returns_none_only_with_eof_ok(self, pair):
+        left, right = pair
+        left.close()
+        assert (
+            protocol.recv_message(right, deadline=Deadline(5.0), eof_ok=True)
+            is None
+        )
+
+    def test_clean_eof_without_eof_ok_raises(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(TransportError):
+            protocol.recv_message(right, deadline=Deadline(5.0))
+
+
+class TestDeadlines:
+    def test_recv_on_a_silent_peer_times_out(self, pair):
+        _, right = pair
+        with pytest.raises(DeadlineExceededError):
+            protocol.recv_message(right, deadline=Deadline(0.2))
+
+    def test_mid_frame_stall_times_out(self, pair):
+        left, right = pair
+        frame = protocol.encode_message({"op": "PUSH"}, b"x" * 64)
+        left.sendall(frame[:5])  # header started, never finished
+        with pytest.raises(DeadlineExceededError):
+            protocol.recv_message(right, deadline=Deadline(0.2))

@@ -28,14 +28,22 @@ ALLOWED_EXCEPTIONS = frozenset(
     {
         "ReproError",
         "CheckpointError",
+        "CircuitOpenError",
         "ConfigurationError",
+        "DeadlineExceededError",
         "DecodeError",
         "IncompatibleSketchError",
         "InvariantViolation",
         "ObservabilityError",
+        "RemoteError",
+        "ResourceExhaustedError",
+        "RetryExhaustedError",
+        "ServiceError",
         "ShardFailureError",
+        "ShardTimeoutError",
         "SketchModeError",
         "StateCorruptionError",
+        "TransportError",
     }
 )
 
