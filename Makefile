@@ -6,7 +6,8 @@ export PYTHONPATH := src
 
 .PHONY: lint typecheck sketchlint lint-sarif sketchlint-baseline \
 	bench-sketchlint test test-debug faults chaos bench-ingest \
-	bench-checkpoint bench-sharded bench-service benchcheck coverage check
+	bench-checkpoint bench-sharded bench-service bench-kernel benchcheck \
+	coverage check
 
 lint:
 	ruff check src tools
@@ -71,6 +72,11 @@ bench-checkpoint:
 bench-sharded:
 	$(PYTHON) benchmarks/bench_sharded.py --min-speedup 2.0
 
+# acceptance benchmark: the numpy array kernel must be >= 1.8x the
+# object-kernel batched path on the 1M-item stream, byte-identically
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py --min-speedup 1.8
+
 # acceptance benchmark: loopback PUSH/QUERY service throughput and
 # latency vs the in-process fold; the remote aggregate must stay
 # byte-identical to the sequential reference
@@ -92,6 +98,8 @@ benchcheck:
 		--output BENCH_sharded_fresh.json
 	$(PYTHON) benchmarks/bench_service.py --quick --repeats 2 \
 		--output BENCH_service_fresh.json
+	$(PYTHON) benchmarks/bench_kernel.py --quick --repeats 2 \
+		--min-speedup 1.5 --output BENCH_kernel_fresh.json
 	$(PYTHON) -m tools.benchcheck BENCH_ingest_fresh.json \
 		--baseline BENCH_ingest.json --min speedup=1.4
 	$(PYTHON) -m tools.benchcheck BENCH_checkpoint_fresh.json \
@@ -100,6 +108,8 @@ benchcheck:
 		--baseline BENCH_sharded.json --min speedup=0.3
 	$(PYTHON) -m tools.benchcheck BENCH_service_fresh.json \
 		--baseline BENCH_service.json --max overhead_fraction=0.5
+	$(PYTHON) -m tools.benchcheck BENCH_kernel_fresh.json \
+		--baseline BENCH_kernel.json --min speedup=1.5
 
 # branch coverage over src/repro with the ratchet-only floor recorded in
 # pyproject.toml ([tool.repro] coverage_floor); needs pytest-cov

@@ -1,0 +1,93 @@
+"""Shared interleaved best-of-N measurement harness for the benchmarks.
+
+Every throughput benchmark in this directory compares two (or more)
+implementations of the same work.  Measuring one side ``N`` times and then
+the other lets slow host noise (CPU frequency drift, background IO,
+page-cache warmth) land entirely on one side of the comparison.  The
+harness here interleaves the sides inside each round and reports the
+per-side minimum, so each path is scored on its capability rather than on
+the host's worst moment.
+
+Usage::
+
+    from _harness import Side, interleaved_best
+
+    plain, durable = interleaved_best(
+        [
+            Side("plain", lambda: time_plain(...)),
+            Side("durable", lambda: time_durable(...)),
+        ],
+        repeats=args.repeats,
+    )
+    print(plain.seconds, plain.artifact)
+
+Each side callable returns ``(seconds, artifact)``; the artifact captured
+alongside the fastest round is kept (sides that produce no artifact can
+return ``(seconds, None)``).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence
+
+
+@dataclass
+class Side:
+    """One measured implementation: a label and a timed thunk.
+
+    The thunk performs a full measurement and returns ``(seconds,
+    artifact)`` where the artifact is whatever the caller wants to keep
+    from the fastest round (a sketch, an ingestor, ``None``).
+    """
+
+    label: str
+    measure: Callable[[], "tuple[float, Any]"]
+
+
+@dataclass
+class SideBest:
+    """Per-side outcome: best seconds, its artifact and all round times."""
+
+    label: str
+    seconds: float = float("inf")
+    artifact: Any = None
+    history: List[float] = field(default_factory=list)
+
+    def _observe(self, seconds: float, artifact: Any) -> None:
+        self.history.append(seconds)
+        if seconds < self.seconds:
+            self.seconds = seconds
+            self.artifact = artifact
+
+
+def interleaved_best(
+    sides: Sequence[Side],
+    repeats: int,
+    *,
+    progress: bool = True,
+) -> List[SideBest]:
+    """Run every side once per round, ``repeats`` rounds, interleaved.
+
+    Returns one :class:`SideBest` per side, in the order given.  With
+    ``progress`` (the default) each round prints a one-line summary so
+    long benchmarks show liveness in CI logs.
+    """
+    if not sides:
+        raise ValueError("interleaved_best needs at least one side")
+    rounds = max(1, repeats)
+    bests = [SideBest(side.label) for side in sides]
+    for round_index in range(rounds):
+        parts: List[str] = []
+        for side, best in zip(sides, bests):
+            seconds, artifact = side.measure()
+            best._observe(seconds, artifact)
+            parts.append(f"{side.label} {seconds:.3f} s")
+        if progress:
+            print(
+                f"  round {round_index + 1}/{rounds}: " + ", ".join(parts),
+                flush=True,
+            )
+            sys.stdout.flush()
+    return bests

@@ -33,6 +33,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
+from _harness import Side, interleaved_best
 from repro.core import DaVinciConfig, DaVinciSketch
 from repro.core.serialization import to_state, verify_state
 from repro.runtime import CheckpointingIngestor
@@ -54,6 +55,24 @@ def time_plain(
     return time.perf_counter() - start, sketch
 
 
+def _measure_durable_round(args: argparse.Namespace, config: DaVinciConfig, trace: List[int]) -> "tuple[float, None]":
+    with tempfile.TemporaryDirectory(
+        prefix="bench-checkpoint-rep-"
+    ) as scratch:
+        ingestor = CheckpointingIngestor(
+            config,
+            scratch,
+            checkpoint_every_items=args.checkpoint_every_items,
+            journal_chunk_items=args.journal_chunk_items,
+        )
+        start = time.perf_counter()
+        ingestor.ingest_keys(trace)
+        ingestor.flush()
+        seconds = time.perf_counter() - start
+        ingestor.close()
+    return seconds, None
+
+
 def _interleaved_best(
     args: argparse.Namespace,
     config: DaVinciConfig,
@@ -61,44 +80,26 @@ def _interleaved_best(
 ) -> "tuple[float, float, DaVinciSketch]":
     """Best-of-``--repeats`` plain/durable seconds, interleaved.
 
-    Alternating the two measurements inside each round keeps slow host
-    noise (CPU frequency drift, background IO) from landing entirely on
-    one side of the comparison; taking the per-side minimum reports the
-    capability of each path rather than the host's worst moment.
+    Delegates to :func:`_harness.interleaved_best`, which alternates the
+    two measurements inside each round so host noise lands on neither
+    side of the comparison.
     """
-    plain_best = float("inf")
-    durable_best = float("inf")
-    plain_sketch: Optional[DaVinciSketch] = None
-    for round_index in range(max(1, args.repeats)):
-        plain_seconds, sketch = time_plain(
-            config, trace, args.journal_chunk_items
-        )
-        if plain_seconds < plain_best:
-            plain_best, plain_sketch = plain_seconds, sketch
-        with tempfile.TemporaryDirectory(
-            prefix="bench-checkpoint-rep-"
-        ) as scratch:
-            ingestor = CheckpointingIngestor(
-                config,
-                scratch,
-                checkpoint_every_items=args.checkpoint_every_items,
-                journal_chunk_items=args.journal_chunk_items,
-            )
-            start = time.perf_counter()
-            ingestor.ingest_keys(trace)
-            ingestor.flush()
-            durable_best = min(
-                durable_best, time.perf_counter() - start
-            )
-            ingestor.close()
-        print(
-            f"  round {round_index + 1}/{args.repeats}: plain "
-            f"{plain_seconds:.3f} s, durable best so far "
-            f"{durable_best:.3f} s",
-            flush=True,
-        )
+    plain, durable = interleaved_best(
+        [
+            Side(
+                "plain",
+                lambda: time_plain(config, trace, args.journal_chunk_items),
+            ),
+            Side(
+                "durable",
+                lambda: _measure_durable_round(args, config, trace),
+            ),
+        ],
+        repeats=args.repeats,
+    )
+    plain_sketch: Optional[DaVinciSketch] = plain.artifact
     assert plain_sketch is not None
-    return plain_best, durable_best, plain_sketch
+    return plain.seconds, durable.seconds, plain_sketch
 
 
 def time_durable(

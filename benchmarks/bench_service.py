@@ -37,6 +37,7 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
+from _harness import Side, interleaved_best
 from repro.core import DaVinciConfig, DaVinciSketch, serialization, setops
 from repro.service import AggregationClient, RetryPolicy, SketchServer
 from repro.workloads import zipf_trace
@@ -127,29 +128,31 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
     )
     warm.insert_all(trace[: min(len(trace), 50_000)])
 
-    inproc_best = float("inf")
-    service_best = float("inf")
-    reference: DaVinciSketch | None = None
-    fetched: DaVinciSketch | None = None
-    push_seconds = float("inf")
     query_times: List[float] = []
-    for round_index in range(max(1, args.repeats)):
-        inproc_seconds, merged = time_inprocess(config, trace, args.parts)
-        if inproc_seconds < inproc_best:
-            inproc_best, reference = inproc_seconds, merged
-        service_seconds, candidate, pushed, queries = time_service(
+
+    def measure_service() -> "tuple[float, tuple[DaVinciSketch, float]]":
+        seconds, candidate, pushed, queries = time_service(
             config, trace, args.parts
         )
-        if service_seconds < service_best:
-            service_best, fetched = service_seconds, candidate
-            push_seconds = pushed
         query_times.extend(queries)
-        print(
-            f"  round {round_index + 1}/{args.repeats}: in-process "
-            f"{inproc_seconds:.3f} s, service {service_seconds:.3f} s",
-            flush=True,
-        )
-    assert reference is not None and fetched is not None
+        return seconds, (candidate, pushed)
+
+    inproc, service = interleaved_best(
+        [
+            Side(
+                "in-process",
+                lambda: time_inprocess(config, trace, args.parts),
+            ),
+            Side("service", measure_service),
+        ],
+        repeats=args.repeats,
+    )
+    inproc_best = inproc.seconds
+    service_best = service.seconds
+    reference: DaVinciSketch | None = inproc.artifact
+    assert reference is not None and service.artifact is not None
+    fetched: DaVinciSketch
+    fetched, push_seconds = service.artifact
 
     identical = fetched.to_state() == reference.to_state()
     overhead = (service_best - inproc_best) / inproc_best

@@ -32,6 +32,7 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
+from _harness import Side, interleaved_best
 from repro.core import DaVinciConfig, DaVinciSketch
 from repro.runtime import ShardedIngestor, ShardRouter, merge_tree
 from repro.workloads import zipf_trace
@@ -78,29 +79,25 @@ def _interleaved_best(
 ) -> Tuple[float, float, DaVinciSketch]:
     """Best-of-``--repeats`` single/sharded seconds, interleaved.
 
-    Alternating the two measurements inside each round keeps slow host
-    noise (CPU frequency drift, background IO) from landing entirely on
-    one side of the comparison; taking the per-side minimum reports the
-    capability of each path rather than the host's worst moment.
+    Delegates to :func:`_harness.interleaved_best`, which alternates the
+    two measurements inside each round so host noise lands on neither
+    side of the comparison.
     """
-    single_best = float("inf")
-    sharded_best = float("inf")
-    merged: DaVinciSketch | None = None
-    for round_index in range(max(1, args.repeats)):
-        single_seconds, _sketch = time_single(
-            config, trace, args.baseline_chunk_items
-        )
-        single_best = min(single_best, single_seconds)
-        sharded_seconds, candidate = time_sharded(args, config, trace)
-        if sharded_seconds < sharded_best:
-            sharded_best, merged = sharded_seconds, candidate
-        print(
-            f"  round {round_index + 1}/{args.repeats}: single "
-            f"{single_seconds:.3f} s, sharded {sharded_seconds:.3f} s",
-            flush=True,
-        )
+    single, sharded = interleaved_best(
+        [
+            Side(
+                "single",
+                lambda: time_single(
+                    config, trace, args.baseline_chunk_items
+                ),
+            ),
+            Side("sharded", lambda: time_sharded(args, config, trace)),
+        ],
+        repeats=args.repeats,
+    )
+    merged: DaVinciSketch | None = sharded.artifact
     assert merged is not None
-    return single_best, sharded_best, merged
+    return single.seconds, sharded.seconds, merged
 
 
 def reference_fold(

@@ -56,6 +56,7 @@ from repro.core.degrade import DegradationPolicy, DegradedResult, execute
 from repro.core.element_filter import ElementFilter
 from repro.core.frequent_part import FrequentPart
 from repro.core.infrequent_part import DecodeResult, InfrequentPart
+from repro.core.kernel import KERNEL_ARRAY, KERNEL_OBJECT, resolve_kernel
 from repro.observability import instruments as _obs_instruments
 from repro.observability import metrics as _obs
 from repro.observability.instruments import DaVinciMetrics
@@ -100,10 +101,17 @@ class DaVinciSketch(Sketch):
         self,
         config: DaVinciConfig,
         metrics_registry: Optional[MetricsRegistry] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__()
         self.config = config
         self._obs_registry = metrics_registry
+        #: resolved execution kernel for bulk ingestion ("object" or
+        #: "array"); ``None`` consults REPRO_KERNEL and defaults to the
+        #: object kernel, degrading gracefully when numpy is absent.
+        #: Both kernels are byte-identical, so the choice is never part
+        #: of serialized state.
+        self.kernel: str = resolve_kernel(kernel)
         self.fp = FrequentPart(
             buckets=config.fp_buckets,
             entries_per_bucket=config.fp_entries,
@@ -270,6 +278,19 @@ class DaVinciSketch(Sketch):
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
         iterator = iter(pairs)
+        if self.kernel == KERNEL_ARRAY:
+            from repro.core.kernel import ArrayKernelEngine
+
+            engine = ArrayKernelEngine(self)
+            try:
+                while True:
+                    chunk = list(islice(iterator, chunk_size))
+                    if not chunk:
+                        break
+                    engine.ingest_chunk(chunk)
+            finally:
+                engine.flush()
+            return
         while True:
             chunk = list(islice(iterator, chunk_size))
             if not chunk:
@@ -314,6 +335,7 @@ class DaVinciSketch(Sketch):
         self._decode_cache = None
         if _obs.ENABLED:
             self._record_inserts(len(chunk), chunk_total)
+            self._observe().kernel_chunks.counter_child(KERNEL_OBJECT).inc()
 
         demoted, accesses = self.fp.insert_batch(list(aggregated.items()))
         self.memory_accesses += accesses
@@ -509,11 +531,19 @@ class DaVinciSketch(Sketch):
         return to_state(self)
 
     @classmethod
-    def from_state(cls, state: Dict) -> "DaVinciSketch":
-        """Rebuild a sketch from :meth:`to_state` output."""
+    def from_state(
+        cls, state: Dict, kernel: Optional[str] = None
+    ) -> "DaVinciSketch":
+        """Rebuild a sketch from :meth:`to_state` output.
+
+        ``kernel`` selects the execution kernel of the rebuilt sketch
+        independently of whichever kernel serialized the state — the two
+        kernels are byte-identical, so states carry no kernel marker and
+        any state loads into either kernel.
+        """
         from repro.core.serialization import from_state
 
-        return from_state(state)
+        return from_state(state, kernel=kernel)
 
     @overload
     def cardinality(self) -> float: ...
@@ -687,7 +717,7 @@ class DaVinciSketch(Sketch):
 
     def empty_like(self) -> "DaVinciSketch":
         """A fresh sketch with the same config (for set-op results)."""
-        return DaVinciSketch(self.config)
+        return DaVinciSketch(self.config, kernel=self.kernel)
 
     def known_keys(self) -> Dict[int, int]:
         """Exactly-tracked keys: FP residents plus decoded IFP elements.

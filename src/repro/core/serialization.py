@@ -47,7 +47,7 @@ import hashlib
 import json
 import warnings
 import zlib
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import (
     ConfigurationError,
@@ -429,8 +429,16 @@ def verify_state(state: Dict[str, Any]) -> DaVinciConfig:
 # --------------------------------------------------------------------- #
 # rebuild
 # --------------------------------------------------------------------- #
-def from_state(state: Dict[str, Any]) -> DaVinciSketch:
+def from_state(
+    state: Dict[str, Any], kernel: Optional[str] = None
+) -> DaVinciSketch:
     """Rebuild a sketch from :func:`to_state` output.
+
+    ``kernel`` selects the rebuilt sketch's execution kernel.  States
+    carry no kernel marker — the array and object kernels are
+    byte-identical by contract — so any state deserializes into either
+    kernel regardless of which one produced it; ``None`` resolves through
+    the usual default (``REPRO_KERNEL`` or the object kernel).
 
     Order of defenses (see the module docstring's taxonomy):
 
@@ -465,7 +473,7 @@ def from_state(state: Dict[str, Any]) -> DaVinciSketch:
     mode = state["mode"]
     total_count = state["total_count"]
 
-    sketch = DaVinciSketch(config)
+    sketch = DaVinciSketch(config, kernel=kernel)
     sketch.mode = mode
     sketch.total_count = total_count
 
@@ -487,8 +495,13 @@ def from_state(state: Dict[str, Any]) -> DaVinciSketch:
     return sketch
 
 
-def from_wire(blob: Union[bytes, bytearray, memoryview]) -> DaVinciSketch:
+def from_wire(
+    blob: Union[bytes, bytearray, memoryview], kernel: Optional[str] = None
+) -> DaVinciSketch:
     """Rebuild a sketch from :func:`to_wire` bytes.
+
+    ``kernel`` passes through to :func:`from_state` — any wire blob
+    deserializes into either kernel regardless of which one produced it.
 
     Undecodable bytes (truncation, flipped structural characters) raise
     :class:`~repro.common.errors.StateCorruptionError` — a wire blob is
@@ -506,7 +519,7 @@ def from_wire(blob: Union[bytes, bytearray, memoryview]) -> DaVinciSketch:
         raise StateCorruptionError(
             "state blob decoded to a non-mapping — corrupted in transit"
         )
-    return from_state(state)
+    return from_state(state, kernel=kernel)
 
 
 __all__: List[str] = [

@@ -270,6 +270,7 @@ class DaVinciMetrics:
         "items",
         "cache_hits",
         "cache_misses",
+        "kernel_chunks",
         "task_seconds",
     )
 
@@ -289,6 +290,11 @@ class DaVinciMetrics:
         self.cache_misses: Counter = registry.counter(
             "davinci_decode_cache_misses_total",
             "decode_result() calls that ran a fresh Algorithm-5 peel",
+        )
+        self.kernel_chunks: MetricFamily = registry.counter_family(
+            "davinci_kernel_chunks_total",
+            "Ingestion chunks processed, labeled by the executing kernel",
+            ("kernel",),
         )
         self.task_seconds: MetricFamily = registry.histogram_family(
             "davinci_task_seconds",

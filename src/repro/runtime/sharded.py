@@ -80,6 +80,7 @@ from repro.common.hashing import hash64, key_to_int
 from repro.core import serialization, setops
 from repro.core.config import DaVinciConfig
 from repro.core.davinci import DEFAULT_BATCH_CHUNK, DaVinciSketch
+from repro.core.kernel import resolve_kernel
 from repro.observability import instruments as _obs_instruments
 from repro.observability import metrics as _obs
 from repro.observability.instruments import ShardedMetrics
@@ -232,6 +233,7 @@ def _shard_worker(
     durable_dir: Optional[str],
     checkpoint_every_items: Optional[int],
     digest_algo: str,
+    kernel: Optional[str] = None,
 ) -> None:
     """One shard's process body: apply batches, report the final state.
 
@@ -249,11 +251,12 @@ def _shard_worker(
             durable_dir,
             journal_chunk_items=chunk_items,
             checkpoint_every_items=checkpoint_every_items,
+            kernel=kernel,
         )
         sketch = ingestor.sketch
         result_queue.put(("ready", shard_id, ingestor.items_ingested))
     else:
-        sketch = DaVinciSketch(config)
+        sketch = DaVinciSketch(config, kernel=kernel)
         result_queue.put(("ready", shard_id, 0))
     pending_keys: List[int] = []
     pending_counts: Optional[List[int]] = None
@@ -436,6 +439,7 @@ class ShardedIngestor:
         digest_algo: str = "sha256",
         mp_context: Optional[Union[str, Any]] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if chunk_items < 1:
             raise ConfigurationError("chunk_items must be >= 1")
@@ -472,6 +476,9 @@ class ShardedIngestor:
             float(stall_timeout) if stall_timeout is not None else None
         )
         self.digest_algo = digest_algo
+        #: execution kernel every shard worker builds its sketch with
+        #: (validated here so a typo fails in the parent, not per worker)
+        self.kernel = kernel if kernel is None else resolve_kernel(kernel)
         self._obs_registry = metrics_registry
 
         if isinstance(mp_context, str) or mp_context is None:
@@ -548,6 +555,7 @@ class ShardedIngestor:
                 self._shard_dir(handle.index),
                 self.checkpoint_every_items,
                 self.digest_algo,
+                self.kernel,
             ),
             daemon=True,
         )

@@ -1,9 +1,10 @@
 """benchcheck — compare a fresh benchmark report against its baseline.
 
 The acceptance benchmarks (``benchmarks/bench_ingest.py``,
-``benchmarks/bench_checkpoint.py`` and ``benchmarks/bench_sharded.py``)
-write JSON reports; the committed ``BENCH_ingest.json`` /
-``BENCH_checkpoint.json`` / ``BENCH_sharded.json`` at the repo root are
+``benchmarks/bench_checkpoint.py``, ``benchmarks/bench_sharded.py`` and
+``benchmarks/bench_kernel.py``) write JSON reports; the committed
+``BENCH_ingest.json`` / ``BENCH_checkpoint.json`` /
+``BENCH_sharded.json`` / ``BENCH_kernel.json`` at the repo root are
 the blessed full-scale baselines.  This tool guards against performance
 regressions by comparing a *fresh* report against a baseline:
 
@@ -56,6 +57,7 @@ GUARDED_METRICS: Dict[str, str] = {
 BOOLEAN_GUARDS = (
     "state_identical_to_sequential",
     "state_identical_to_plain",
+    "state_identical_to_object_kernel",
     "recovered_state_identical",
     "merged_identical_to_sequential_fold",
 )
