@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint typecheck sketchlint lint-sarif sketchlint-baseline \
-	bench-sketchlint test test-debug faults chaos bench-ingest \
-	bench-checkpoint bench-sharded bench-service bench-kernel benchcheck \
-	coverage check
+.PHONY: lint typecheck sketchlint lint-concurrency lint-sarif \
+	sketchlint-baseline bench-sketchlint test test-debug faults chaos \
+	bench-ingest bench-checkpoint bench-sharded bench-service \
+	bench-kernel benchcheck coverage check
 
 lint:
 	ruff check src tools
@@ -15,10 +15,17 @@ lint:
 typecheck:
 	mypy
 
-# domain rules SK001-SK105 over the library and the tooling itself,
+# domain rules SK001-SK206 over the library and the tooling itself,
 # modulo the checked-in baseline (.sketchlint-baseline.json)
 sketchlint:
 	$(PYTHON) -m tools.sketchlint src tools
+
+# the SK2xx concurrency rules alone (lock-order graph, blocking under a
+# lock, unguarded shared writes, fork safety, wait loops, recording
+# under a lock) — must report zero findings, no baseline entries allowed
+lint-concurrency:
+	$(PYTHON) -m tools.sketchlint --no-baseline \
+		--select SK201,SK202,SK203,SK204,SK205,SK206 src tools
 
 # same gate, emitted as a SARIF 2.1.0 log for GitHub code scanning
 lint-sarif:
@@ -110,6 +117,11 @@ benchcheck:
 		--baseline BENCH_service.json --max overhead_fraction=0.5
 	$(PYTHON) -m tools.benchcheck BENCH_kernel_fresh.json \
 		--baseline BENCH_kernel.json --min speedup=1.5
+	$(PYTHON) benchmarks/bench_sketchlint.py \
+		--output BENCH_sketchlint_fresh.json
+	$(PYTHON) -m tools.benchcheck BENCH_sketchlint_fresh.json \
+		--baseline BENCH_sketchlint.json \
+		--max cold_seconds=10 --max cached_seconds=1
 
 # branch coverage over src/repro with the ratchet-only floor recorded in
 # pyproject.toml ([tool.repro] coverage_floor); needs pytest-cov

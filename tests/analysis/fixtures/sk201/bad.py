@@ -1,0 +1,37 @@
+"""SK201 true positives: an ABBA pair and an interprocedural self-deadlock."""
+
+import threading
+
+
+class Transfer:
+    """Two paths acquire the same pair of locks in opposite order."""
+
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def debit(self):
+        with self._accounts:
+            with self._journal:
+                return "debit"
+
+    def audit(self):
+        with self._journal:
+            with self._accounts:
+                return "audit"
+
+
+class Recount:
+    """A non-reentrant lock re-acquired through a private helper."""
+
+    def __init__(self):
+        self._guard = threading.Lock()
+        self.total = 0
+
+    def bump(self):
+        with self._guard:
+            return self._unsafe_read()
+
+    def _unsafe_read(self):
+        with self._guard:
+            return self.total

@@ -1,0 +1,74 @@
+"""SK201 clean fixtures: global order, RLock re-entry, sorted groups."""
+
+import threading
+
+
+class Transfer:
+    """Both paths honor the same acquisition order: accounts, journal."""
+
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def debit(self):
+        with self._accounts:
+            with self._journal:
+                return "debit"
+
+    def audit(self):
+        with self._accounts:
+            with self._journal:
+                return "audit"
+
+
+class Reread:
+    """RLock re-entry through a helper is reentrant-safe, not a cycle."""
+
+    def __init__(self):
+        self._guard = threading.RLock()
+        self.total = 0
+
+    def bump(self):
+        with self._guard:
+            return self._safe_read()
+
+    def _safe_read(self):
+        with self._guard:
+            return self.total
+
+
+class Shard:
+    def __init__(self, name):
+        self.name = name
+        self.lock = threading.Lock()
+
+
+class PairRunner:
+    """Name-sorted group acquisition: acyclic by construction."""
+
+    def run_pair(self, left, right):
+        ordered = [lock for _, lock in sorted(
+            [(left.name, left.lock), (right.name, right.lock)]
+        )]
+        for lock in ordered:
+            lock.acquire()
+        try:
+            return (left.name, right.name)
+        finally:
+            for lock in reversed(ordered):
+                lock.release()
+
+
+class Rebound:
+    """Aliasing and try/finally release keep the walk precise."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def once(self):
+        lock = self._lock
+        lock.acquire()
+        try:
+            return 1
+        finally:
+            lock.release()

@@ -1,0 +1,45 @@
+"""SK202 true positives: blocking calls inside held lock regions."""
+
+import socket
+import threading
+import time
+
+
+class Relay:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sock = socket.socket()
+        self._queue = None
+
+    def pump(self):
+        with self._lock:
+            return self._sock.recv(4096)
+
+    def nap(self):
+        self._lock.acquire()
+        try:
+            time.sleep(0.5)
+        finally:
+            self._lock.release()
+
+    def reap(self, worker):
+        with self._lock:
+            worker.join()
+
+    def drain_queue(self):
+        with self._lock:
+            return self._queue.get()
+
+
+class Gate:
+    """Waiting on one condition while holding an unrelated lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+
+    def stall(self):
+        with self._lock:
+            with self._cond:
+                while True:
+                    self._cond.wait()

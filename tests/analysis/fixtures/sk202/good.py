@@ -1,0 +1,48 @@
+"""SK202 clean fixtures: I/O outside the region, bounded waits inside."""
+
+import socket
+import threading
+import time
+
+
+class Relay:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sock = socket.socket()
+        self._queue = None
+        self.last = b""
+
+    def pump(self):
+        data = self._sock.recv(4096)
+        with self._lock:
+            self.last = data
+        return data
+
+    def nap(self):
+        self._lock.acquire()
+        try:
+            self.last = b"napping"
+        finally:
+            self._lock.release()
+        time.sleep(0.5)
+
+    def reap(self, worker):
+        with self._lock:
+            worker.join(timeout=2.0)
+
+    def drain_queue(self):
+        with self._lock:
+            return self._queue.get(timeout=0.5)
+
+
+class Gate:
+    """wait() on the held condition is the one legitimate block."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.ready = False
+
+    def block(self):
+        with self._cond:
+            while not self.ready:
+                self._cond.wait(timeout=1.0)

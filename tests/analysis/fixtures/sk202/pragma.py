@@ -1,0 +1,13 @@
+"""SK202 with the finding suppressed by pragma."""
+
+import threading
+import time
+
+
+class Relay:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.5)  # sketchlint: disable=SK202

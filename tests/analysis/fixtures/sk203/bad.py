@@ -1,0 +1,32 @@
+"""SK203 true positives: thread-reachable writes without the lock."""
+
+import socketserver
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.total = 0
+
+    def start(self):
+        worker = threading.Thread(target=self._run, daemon=True)
+        worker.start()
+        return worker
+
+    def _run(self):
+        self._items.append(1)
+        self._tally()
+
+    def _tally(self):
+        self.total += 1
+
+
+class Handler(socketserver.BaseRequestHandler):
+    """A socketserver handler method is a thread entry point."""
+
+    _lock = threading.Lock()
+
+    def handle(self):
+        self.hits = 1

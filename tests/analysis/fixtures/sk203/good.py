@@ -1,0 +1,56 @@
+"""SK203 clean fixtures: guarded writes, exempt helpers, cold paths."""
+
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.total = 0
+        self._obs_bundle = None
+
+    def start(self):
+        worker = threading.Thread(target=self._run, daemon=True)
+        worker.start()
+        return worker
+
+    def _run(self):
+        with self._lock:
+            self._items.append(1)
+        self._tally()
+        self._record_sample(1)
+
+    def _tally(self):
+        with self._lock:
+            self.total += 1
+
+    def _record_sample(self, n):
+        # recorder helpers are exempt: the lazy memo write is idempotent
+        self._obs_bundle = n
+
+
+class ColdPath:
+    """Writes from methods never reached by a thread stay silent."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.configured = False
+
+    def configure(self):
+        self.configured = True
+
+
+class Unshared:
+    """A class that declares no locks has made no sharing claim."""
+
+    def __init__(self):
+        self.count = 0
+
+    def start(self):
+        worker = threading.Thread(target=self._run, daemon=True)
+        worker.start()
+        return worker
+
+    def _run(self):
+        self.count += 1

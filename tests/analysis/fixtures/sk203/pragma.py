@@ -1,0 +1,17 @@
+"""SK203 with the finding suppressed by pragma."""
+
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def start(self):
+        worker = threading.Thread(target=self._run, daemon=True)
+        worker.start()
+        return worker
+
+    def _run(self):
+        self._items.append(1)  # sketchlint: disable=SK203

@@ -1,0 +1,28 @@
+"""SK204 true positives: threads + forks mixed in one module."""
+
+import multiprocessing
+import threading
+
+
+def _child(payload):
+    return payload
+
+
+class Hybrid:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._watcher = None
+
+    def start(self):
+        self._watcher = threading.Thread(target=self._watch, daemon=True)
+        self._watcher.start()
+        worker = multiprocessing.Process(
+            target=_child, args=(self._lock,)
+        )
+        worker.start()
+        bound = multiprocessing.Process(target=self._watch)
+        bound.start()
+        return worker, bound
+
+    def _watch(self):
+        return self._watcher

@@ -1,0 +1,29 @@
+"""SK204 clean fixture: the sharded-runtime shape — processes only,
+module-level targets, queue arguments."""
+
+import multiprocessing
+
+
+def _shard_worker(inbox, outbox):
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        outbox.put(item)
+
+
+class ShardPool:
+    def __init__(self, shards):
+        self.shards = int(shards)
+        self._procs = []
+
+    def start(self):
+        for _ in range(self.shards):
+            inbox = multiprocessing.Queue()
+            outbox = multiprocessing.Queue()
+            proc = multiprocessing.Process(
+                target=_shard_worker, args=(inbox, outbox)
+            )
+            proc.start()
+            self._procs.append(proc)
+        return self._procs

@@ -1,0 +1,26 @@
+"""SK204 with the findings suppressed by pragma."""
+
+import multiprocessing
+import threading
+
+
+def _child(payload):
+    return payload
+
+
+class Hybrid:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def start(self):
+        watcher = threading.Thread(target=self._watch, daemon=True)
+        watcher.start()
+        worker = multiprocessing.Process(  # sketchlint: disable=SK204
+            target=_child,
+            args=(self._lock,),
+        )
+        worker.start()
+        return worker
+
+    def _watch(self):
+        return None

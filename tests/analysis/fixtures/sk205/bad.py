@@ -1,0 +1,22 @@
+"""SK205 true positives: Condition.wait() without a predicate re-check loop."""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._ready = False
+        self._payload = None
+
+    def take(self):
+        with self._cond:
+            if not self._ready:
+                self._cond.wait()
+            self._ready = False
+            return self._payload
+
+    def take_eventually(self):
+        with self._cond:
+            self._cond.wait(timeout=5.0)
+            return self._payload

@@ -1,0 +1,28 @@
+"""SK205 clean fixtures: waits wrapped in predicate re-check loops."""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._ready = False
+        self._payload = None
+
+    def take(self):
+        with self._cond:
+            while not self._ready:
+                self._cond.wait()
+            self._ready = False
+            return self._payload
+
+    def take_bounded(self):
+        with self._cond:
+            while not self._ready:
+                self._cond.wait(timeout=1.0)
+            return self._payload
+
+    def take_predicated(self):
+        with self._cond:
+            self._cond.wait_for(lambda: self._ready)
+            return self._payload

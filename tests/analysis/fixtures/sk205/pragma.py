@@ -1,0 +1,14 @@
+"""SK205 with the finding suppressed by pragma."""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._payload = None
+
+    def take(self):
+        with self._cond:
+            self._cond.wait()  # sketchlint: disable=SK205
+            return self._payload

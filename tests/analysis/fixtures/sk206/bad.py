@@ -1,0 +1,42 @@
+"""SK206 true positives: recorder calls issued while a lock is held."""
+
+import threading
+
+from repro import observability as _obs
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+            self._record_put(key)
+
+    def put_counted(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+            _obs.counter("store.puts").inc()
+
+    def put_traced(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+            self._sink().emit({"key": key})
+
+    def _locked_insert(self, key, value):
+        # only ever called with the lock held -> callers_held kicks in
+        self._rows[key] = value
+        _obs.histogram("store.size").observe(len(self._rows))
+
+    def bulk(self, pairs):
+        with self._lock:
+            for key, value in pairs:
+                self._locked_insert(key, value)
+
+    def _record_put(self, key):
+        _obs.counter("store.puts").inc()
+
+    def _sink(self):
+        return _obs.registry()

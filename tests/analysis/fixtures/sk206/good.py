@@ -1,0 +1,28 @@
+"""SK206 clean fixtures: snapshot under the lock, record after release."""
+
+import threading
+
+from repro import observability as _obs
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+            size = len(self._rows)
+        self._record_put(key, size)
+
+    def put_guarded(self, key, value):
+        with self._lock:
+            if not _obs.enabled():
+                self._rows[key] = value
+        _obs.counter("store.puts").inc()
+
+    def _record_put(self, key, size):
+        # the recorder implementation itself is exempt
+        _obs.counter("store.puts").inc()
+        _obs.histogram("store.size").observe(size)

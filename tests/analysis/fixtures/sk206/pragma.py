@@ -1,0 +1,16 @@
+"""SK206 with the finding suppressed by pragma."""
+
+import threading
+
+from repro import observability as _obs
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+            _obs.counter("store.puts").inc()  # sketchlint: disable=SK206

@@ -1,0 +1,289 @@
+"""Edge cases of the :mod:`tools.sketchlint.lockgraph` model."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict
+
+from tools.sketchlint.lockgraph import LockModel, function_key, lock_model
+from tools.sketchlint.engine import FileContext, PackageContext
+from tools.sketchlint.symbols import SymbolIndex
+
+
+def model_of(sources: Dict[str, str]) -> LockModel:
+    trees = {
+        path: ast.parse(textwrap.dedent(source), filename=path)
+        for path, source in sources.items()
+    }
+    return LockModel.build(SymbolIndex.build(trees))
+
+
+def events_of(model: LockModel, path: str, qualname: str):
+    return model.functions[f"{path}::{qualname}"]
+
+
+def test_rlock_reentry_is_not_a_self_deadlock():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._g = threading.RLock()
+
+            def outer(self):
+                with self._g:
+                    return self.inner()
+
+            def inner(self):
+                with self._g:
+                    return 1
+    """})
+    assert model.self_deadlocks == []
+    assert ("C._g", "C._g") not in model.order_edges
+
+
+def test_direct_nested_acquire_of_plain_lock_is_a_self_deadlock():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._g = threading.Lock()
+
+            def outer(self):
+                with self._g:
+                    with self._g:
+                        return 1
+    """})
+    assert [dl.lock for dl in model.self_deadlocks] == ["C._g"]
+
+
+def test_condition_reentrancy_tracks_the_underlying_lock():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._soft = threading.Condition()
+                self._hard = threading.Condition(threading.Lock())
+    """})
+    assert model.decls["C._soft"].kind == "condition"
+    assert model.decls["C._soft"].reentrant is True
+    assert model.decls["C._hard"].reentrant is False
+
+
+def test_alias_acquire_and_try_finally_release():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def run(self):
+                lock = self._lock
+                lock.acquire()
+                try:
+                    self._inside()
+                except ValueError:
+                    self._failed()
+                finally:
+                    lock.release()
+                self._after()
+
+            def _inside(self):
+                return 1
+
+            def _failed(self):
+                return 2
+
+            def _after(self):
+                return 3
+    """})
+    events = events_of(model, "m.py", "C.run")
+    assert [acq.lock for acq in events.acquires] == ["C._lock"]
+    held_by_callee = {call.callee: call.held for call in events.calls}
+    # the try body and the exceptional edge both run with the lock held
+    assert held_by_callee["m.py::C._inside"] == ("C._lock",)
+    assert held_by_callee["m.py::C._failed"] == ("C._lock",)
+    # the finally released it, so the tail of the function is lock-free
+    assert held_by_callee["m.py::C._after"] == ()
+
+
+def test_name_sorted_group_acquisition_adds_no_order_edges():
+    model = model_of({"m.py": """
+        import threading
+
+        class Shard:
+            def __init__(self, name):
+                self.name = name
+                self.lock = threading.Lock()
+
+        def run_pair(left, right):
+            ordered = [lock for _, lock in sorted(
+                [(left.name, left.lock), (right.name, right.lock)]
+            )]
+            for lock in ordered:
+                lock.acquire()
+            try:
+                return (left.name, right.name)
+            finally:
+                for lock in reversed(ordered):
+                    lock.release()
+    """})
+    assert model.order_edges == {}
+    assert model.self_deadlocks == []
+
+
+def test_opposite_order_pair_records_both_edges_with_sites():
+    model = model_of({"m.py": """
+        import threading
+
+        class T:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    with self._b:
+                        return 1
+
+            def two(self):
+                with self._b:
+                    with self._a:
+                        return 2
+    """})
+    assert ("T._a", "T._b") in model.order_edges
+    assert ("T._b", "T._a") in model.order_edges
+    sites = model.order_edges[("T._a", "T._b")]
+    assert all(site.path == "m.py" for site in sites)
+
+
+def test_same_class_name_in_two_modules_merges_to_reentrant():
+    # two classes sharing a name and attribute disagree on the factory;
+    # the identity is ambiguous, so the model must not claim a
+    # self-deadlock it cannot prove
+    model = model_of({
+        "a.py": """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._g = threading.Lock()
+
+                def outer(self):
+                    with self._g:
+                        with self._g:
+                            return 1
+        """,
+        "b.py": """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._g = threading.RLock()
+        """,
+    })
+    assert model.decls["C._g"].reentrant is True
+    assert model.self_deadlocks == []
+
+
+def test_callers_held_is_the_intersection_over_call_sites():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def push(self):
+                with self._lock:
+                    self._insert()
+
+            def pop(self):
+                with self._lock:
+                    self._insert()
+
+            def peek(self):
+                self._probe()
+
+            def guarded_probe(self):
+                with self._lock:
+                    self._probe()
+
+            def _insert(self):
+                return 1
+
+            def _probe(self):
+                return 2
+    """})
+    # every call site holds the lock -> the helper inherits it
+    assert model.callers_held["m.py::C._insert"] == frozenset({"C._lock"})
+    # one bare call site -> intersection collapses to nothing
+    assert model.callers_held["m.py::C._probe"] == frozenset()
+    # public entry points are pinned to the empty set
+    assert model.callers_held["m.py::C.push"] == frozenset()
+
+
+def test_thread_target_reachability_is_transitive():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def start(self):
+                threading.Thread(target=self._run).start()
+
+            def _run(self):
+                self._step()
+
+            def _step(self):
+                return 1
+    """})
+    assert "m.py::C._run" in model.thread_entries
+    assert "m.py::C._run" in model.concurrent_entry_held
+    assert "m.py::C._step" in model.concurrent_entry_held
+    # start() itself runs on the caller's thread, not the spawned one
+    assert "m.py::C.start" not in model.thread_entries
+
+
+def test_may_acquire_is_transitive_through_helpers():
+    model = model_of({"m.py": """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def top(self):
+                self._mid()
+
+            def _mid(self):
+                self._bottom()
+
+            def _bottom(self):
+                with self._lock:
+                    return 1
+    """})
+    assert model.may_acquire["m.py::C.top"] == frozenset({"C._lock"})
+
+
+def test_lock_model_is_memoized_per_symbol_index():
+    source = textwrap.dedent("""
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+    """)
+    tree = ast.parse(source, filename="m.py")
+    package = PackageContext(
+        index=SymbolIndex.build({"m.py": tree}),
+        files={"m.py": FileContext(path="m.py", source=source)},
+        trees={"m.py": tree},
+    )
+    assert lock_model(package) is lock_model(package)

@@ -1,0 +1,42 @@
+"""SK201 — lock-order cycles and self-deadlocks (fixture pack)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+from tools.sketchlint.baseline import Baseline
+from tools.sketchlint.engine import LintReport
+
+
+def test_bad_pack_flags_cycle_and_self_deadlock():
+    violations = lint_pack("sk201", "bad.py")
+    assert [v.code for v in violations] == ["SK201"] * 3
+    assert [v.line for v in violations] == [15, 20, 33]
+    by_line = {v.line: v.message for v in violations}
+    # the ABBA cycle is reported once per direction, each message naming
+    # the opposite acquisition site — the acceptance criterion
+    assert "bad.py:20" in by_line[15]
+    assert "bad.py:15" in by_line[20]
+    assert "Transfer._accounts" in by_line[15]
+    assert "Transfer._journal" in by_line[15]
+    # non-reentrant re-acquisition through a helper call
+    assert "self-deadlock" in by_line[33]
+    assert "Recount._unsafe_read" in by_line[33]
+    assert "RLock" in by_line[33]
+
+
+def test_good_pack_is_clean():
+    # same-order pairs, RLock re-entry, the name-sorted group pattern,
+    # and alias + try/finally release must all pass
+    assert lint_pack("sk201", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk201", "pragma.py") == []
+
+
+def test_baseline_suppresses_the_bad_pack(tmp_path):
+    report = LintReport(violations=lint_pack("sk201", "bad.py"))
+    Baseline.from_report(report, path=tmp_path / "baseline.json").apply(report)
+    assert report.violations == []
+    assert report.baseline_suppressed == 3

@@ -1,0 +1,29 @@
+"""SK202 — blocking calls while holding a lock (fixture pack)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+
+def test_bad_pack_flags_every_blocking_family():
+    violations = lint_pack("sk202", "bad.py")
+    assert [v.code for v in violations] == ["SK202"] * 5
+    assert [v.line for v in violations] == [16, 21, 27, 31, 45]
+    by_line = {v.line: v.message for v in violations}
+    assert "blocks on I/O" in by_line[16]  # socket recv under the lock
+    assert "stalls every waiter" in by_line[21]  # time.sleep under the lock
+    assert "waits without a timeout" in by_line[27]  # bare thread join
+    assert "blocks without a timeout" in by_line[31]  # queue get, no timeout
+    # Condition.wait() releases only its own lock, not the outer one
+    assert "releases only its own lock" in by_line[45]
+    assert "Gate._lock" in by_line[45]
+
+
+def test_good_pack_is_clean():
+    # recv before the lock, sleep after the try/finally release,
+    # join/get with timeouts, and a wait holding only its own condition
+    assert lint_pack("sk202", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk202", "pragma.py") == []

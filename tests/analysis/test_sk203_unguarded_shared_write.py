@@ -1,0 +1,30 @@
+"""SK203 — unguarded shared writes from thread-reachable code."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+
+def test_bad_pack_flags_thread_and_handler_writes():
+    violations = lint_pack("sk203", "bad.py")
+    assert [v.code for v in violations] == ["SK203"] * 3
+    assert [v.line for v in violations] == [19, 23, 32]
+    by_line = {v.line: v.message for v in violations}
+    # direct write in the Thread target
+    assert "'self._items'" in by_line[19]
+    assert "Collector._run" in by_line[19]
+    # write reached interprocedurally (_run -> _tally)
+    assert "'self.total'" in by_line[23]
+    assert "Collector._lock" in by_line[23]
+    # RequestHandler.handle counts as a concurrent entry point
+    assert "Handler.handle" in by_line[32]
+
+
+def test_good_pack_is_clean():
+    # lock-guarded writes, exempt __init__/_record* helpers, methods
+    # never reached by a thread, and classes that declare no locks
+    assert lint_pack("sk203", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk203", "pragma.py") == []

@@ -1,0 +1,29 @@
+"""SK204 — fork-safety hazards around child-process spawns."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+
+def test_bad_pack_flags_all_three_hazards():
+    violations = lint_pack("sk204", "bad.py")
+    assert [v.code for v in violations] == ["SK204"] * 4
+    assert [v.line for v in violations] == [19, 20, 23, 23]
+    messages = " | ".join(v.message for v in violations)
+    # fork-after-thread: the module starts threads *and* forks children
+    assert "also starts threads" in messages
+    # a threading lock handed to the child synchronizes nothing
+    assert "passed into a child process" in messages
+    assert "Hybrid._lock" in messages
+    # bound-method target drags the lock-owning instance across the fork
+    assert "bound method of 'Hybrid'" in messages
+
+
+def test_good_pack_is_clean():
+    # the sharded-runtime shape: processes only, module-level target,
+    # queues as arguments
+    assert lint_pack("sk204", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk204", "pragma.py") == []

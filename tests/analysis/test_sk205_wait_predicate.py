@@ -1,0 +1,26 @@
+"""SK205 — Condition.wait() outside a predicate re-check loop."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+
+def test_bad_pack_flags_if_wrapped_and_bare_waits():
+    violations = lint_pack("sk205", "bad.py")
+    assert [v.code for v in violations] == ["SK205"] * 2
+    assert [v.line for v in violations] == [15, 21]
+    for violation in violations:
+        assert "predicate re-check loop" in violation.message
+        assert "Mailbox._cond" in violation.message
+    # a timeout does not excuse the missing loop: the predicate may
+    # still be false when wait() returns
+    assert "wait_for" in violations[1].message
+
+
+def test_good_pack_is_clean():
+    # while-wrapped waits (bare and bounded) and wait_for all pass
+    assert lint_pack("sk205", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk205", "pragma.py") == []

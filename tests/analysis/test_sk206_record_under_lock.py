@@ -1,0 +1,38 @@
+"""SK206 — metrics/trace recording inside a lock region."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_pack
+
+
+def test_bad_pack_flags_recorder_calls_under_the_lock():
+    violations = lint_pack("sk206", "bad.py")
+    assert [v.code for v in violations] == ["SK206"] * 4
+    assert [v.line for v in violations] == [16, 21, 26, 31]
+    for violation in violations:
+        assert "Store._lock" in violation.message
+        assert "record after releasing" in violation.message
+
+
+def test_chained_recorder_reports_once_per_site():
+    # `_obs.counter(...).inc()` matches the inner and outer call of the
+    # chain; the rule must deduplicate to one finding per source position
+    violations = lint_pack("sk206", "bad.py")
+    assert len([v for v in violations if v.line == 21]) == 1
+
+
+def test_helper_only_called_under_lock_is_flagged():
+    # _locked_insert records while its callers always hold the lock:
+    # the callers_held fixpoint attributes the region interprocedurally
+    violations = lint_pack("sk206", "bad.py")
+    assert any(v.line == 31 for v in violations)
+
+
+def test_good_pack_is_clean():
+    # snapshot-then-record, control-plane calls under the lock, and the
+    # recorder implementation itself must all pass
+    assert lint_pack("sk206", "good.py") == []
+
+
+def test_pragma_pack_is_suppressed():
+    assert lint_pack("sk206", "pragma.py") == []

@@ -27,9 +27,23 @@ DEFAULT_CACHE_PATH = Path(".sketchlint-cache.json")
 
 
 def _engine_signature() -> str:
-    """A fingerprint of the linter's own sources (mtimes + sizes)."""
+    """A fingerprint of the linter's own sources (mtimes + sizes).
+
+    The declared rule-pack version is folded in alongside the source
+    stamps: a rule upgrade must invalidate stale entries even when the
+    package files carry frozen mtimes (installed wheels, checkouts with
+    normalized timestamps).  Imported late so the registry is only
+    loaded when a cache is actually constructed — and so tests can
+    monkeypatch ``tools.sketchlint.rules.RULE_PACK_VERSION`` and watch
+    the signature change.
+    """
+    from tools.sketchlint import rules as _rules
+
     package_dir = Path(__file__).resolve().parent
-    parts: List[str] = [f"v{CACHE_VERSION}"]
+    parts: List[str] = [
+        f"v{CACHE_VERSION}",
+        f"rules:{_rules.RULE_PACK_VERSION}",
+    ]
     for source in sorted(package_dir.rglob("*.py")):
         try:
             stat = source.stat()

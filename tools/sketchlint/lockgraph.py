@@ -1,0 +1,882 @@
+"""Lock identities, held regions and the acquisition-order graph.
+
+This is the shared model behind the SK2xx concurrency rules.  One pass
+over the package (memoized per :class:`~tools.sketchlint.symbols.SymbolIndex`)
+computes everything the six rules need:
+
+* **lock declarations** — every ``self.<attr> = threading.Lock()`` (or
+  ``RLock``/``Condition``/``Semaphore``, including the ``multiprocessing``
+  equivalents) found in a class body or method gives the lock a stable
+  identity ``ClassName.attr``.  ``Condition()`` wraps an ``RLock`` and is
+  reentrant; ``Condition(Lock())`` is not;
+* **held regions** — a lexical walk of every function threads the set of
+  currently-held locks through ``with`` blocks, explicit
+  ``acquire()``/``release()`` pairs (including release on the
+  ``finally`` arm, which is how the exceptional CFG edge drops the
+  lock), and local aliases (``lock = self._lock``).  Lock variables
+  iterated out of a ``sorted(...)``-derived sequence are *ordered-group*
+  acquisitions: the name-sorted convention
+  (``SketchServer._handle_query``) establishes a global order by
+  construction, so group members contribute no order edges;
+* **events** — every acquisition, call, ``Condition.wait`` and
+  ``self.<attr>`` write is recorded with the lexically-held snapshot;
+* **interprocedural closure** — a conservative call graph (``self.m()``
+  to the same class, bare names to the same module, ``obj._m()`` to a
+  package-unique private function) feeds a ``may_acquire`` fixpoint, a
+  *callers-held* fixpoint (the intersection of locks held at every
+  in-package call site of a private helper) and thread-entry
+  reachability (``threading.Thread(target=...)`` plus
+  ``socketserver`` ``RequestHandler.handle`` methods);
+* **the order graph** — a directed edge ``A -> B`` for every site that
+  acquires ``B`` (directly or via a callee) while holding ``A``, with
+  the acquisition sites kept per edge so SK201 can report both halves
+  of an opposite-order pair.
+
+Everything here is deliberately *under-approximate*: an unresolved lock
+expression, callee or target contributes nothing, so the rules built on
+the model flag only what the analysis actually proved.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from weakref import WeakKeyDictionary
+
+from tools.sketchlint.dataflow import attribute_chain, call_name
+from tools.sketchlint.engine import PackageContext
+from tools.sketchlint.symbols import ClassInfo, FunctionInfo, SymbolIndex
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: lock-like constructors mapped to (kind, reentrant)
+_LOCK_FACTORIES: Dict[str, Tuple[str, bool]] = {
+    "Lock": ("lock", False),
+    "RLock": ("rlock", True),
+    "Condition": ("condition", True),
+    "Semaphore": ("semaphore", False),
+    "BoundedSemaphore": ("semaphore", False),
+}
+
+#: module roots whose factories count as lock constructors
+_LOCK_MODULES = frozenset({"threading", "multiprocessing", "mp"})
+
+#: method names that mutate their receiver in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def chain_through_calls(node: ast.expr) -> Optional[List[str]]:
+    """Attribute chain that looks through calls and subscripts.
+
+    ``self._sink().emit`` -> ``["self", "_sink", "emit"]``.
+    """
+    parts: List[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        elif isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+# --------------------------------------------------------------------- #
+# model records
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LockDecl:
+    """One lock attribute declared by a class (identity ``Class.attr``)."""
+
+    class_name: str
+    attr: str
+    kind: str
+    reentrant: bool
+    path: str
+    line: int
+
+    @property
+    def lock_id(self) -> str:
+        return f"{self.class_name}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A concrete source location an edge or event anchors to."""
+
+    path: str
+    line: int
+    column: int
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass
+class AcquireEvent:
+    """A direct lock acquisition (``with`` item or ``.acquire()``)."""
+
+    lock: str
+    node: ast.AST
+    held: Tuple[str, ...]
+
+
+@dataclass
+class CallEvent:
+    """A call with the held snapshot; ``callee`` when resolvable."""
+
+    node: ast.Call
+    chain: Optional[List[str]]
+    callee: Optional[str]
+    held: Tuple[str, ...]
+
+
+@dataclass
+class WaitEvent:
+    """A ``Condition.wait()`` with loop context and timeout facts."""
+
+    lock: str
+    node: ast.Call
+    held: Tuple[str, ...]
+    in_loop: bool
+    bounded: bool
+
+
+@dataclass
+class WriteEvent:
+    """A ``self.<attr>`` store or in-place mutation."""
+
+    attr: str
+    node: ast.AST
+    held: Tuple[str, ...]
+
+
+@dataclass
+class SpawnEvent:
+    """A ``threading.Thread(...)`` or ``multiprocessing.Process(...)``."""
+
+    node: ast.Call
+    path: str
+    kind: str  # "thread" | "process"
+    target_key: Optional[str]
+    bound_target_class: Optional[str]
+    captured_locks: List[Tuple[str, ast.expr]]
+
+
+@dataclass
+class FunctionEvents:
+    """Everything the walker recorded for one function."""
+
+    info: FunctionInfo
+    acquires: List[AcquireEvent] = field(default_factory=list)
+    calls: List[CallEvent] = field(default_factory=list)
+    waits: List[WaitEvent] = field(default_factory=list)
+    writes: List[WriteEvent] = field(default_factory=list)
+
+
+@dataclass
+class SelfDeadlock:
+    """A non-reentrant lock re-acquired while already held."""
+
+    lock: str
+    node: ast.AST
+    path: str
+    detail: str
+
+
+def function_key(info: FunctionInfo) -> str:
+    """Stable per-definition key: ``path::qualname``."""
+    return f"{info.path}::{info.qualname}"
+
+
+# --------------------------------------------------------------------- #
+# the per-function walker
+# --------------------------------------------------------------------- #
+class _FunctionWalker:
+    """Lexical held-region walk of one function body."""
+
+    def __init__(self, model: "LockModel", info: FunctionInfo) -> None:
+        self.model = model
+        self.info = info
+        self.events = FunctionEvents(info)
+        #: local name -> lock id (``lock = self._lock``)
+        self.aliases: Dict[str, str] = {}
+        #: locals holding a ``sorted(...)``-derived sequence of locks
+        self.sorted_locals: Set[str] = set()
+        #: loop variables currently iterating an ordered group
+        self.group_vars: Set[str] = set()
+
+    # -- resolution ---------------------------------------------------- #
+    def resolve_lock(self, expr: ast.expr) -> Optional[str]:
+        """The lock id an expression denotes, or None when unproven."""
+        if isinstance(expr, ast.Name):
+            return self.aliases.get(expr.id)
+        chain = attribute_chain(expr)
+        if chain is None or len(chain) != 2:
+            return None
+        base, attr = chain
+        if base == "self" and self.info.class_name is not None:
+            lock_id = f"{self.info.class_name}.{attr}"
+            if lock_id in self.model.decls:
+                return lock_id
+        candidates = self.model.attr_decls.get(attr, [])
+        if len(candidates) == 1:
+            return candidates[0].lock_id
+        return None
+
+    def resolve_callee(self, expr: ast.expr) -> Optional[str]:
+        """The function key a call target resolves to, conservatively."""
+        chain = chain_through_calls(expr)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            found = self.model.index.module_function(self.info.path, chain[0])
+            return function_key(found) if found is not None else None
+        if chain[0] == "self" and len(chain) == 2:
+            method = self.model.class_method(
+                self.info.class_name, self.info.path, chain[1]
+            )
+            if method is not None:
+                return function_key(method)
+        last = chain[-1]
+        if last.startswith("_"):
+            named = self.model.index.functions_named(last)
+            if len(named) == 1:
+                return function_key(named[0])
+        return None
+
+    def _resolve_spawn_target(self, expr: ast.expr) -> Optional[str]:
+        return self.resolve_callee(expr)
+
+    # -- structure ----------------------------------------------------- #
+    def walk(self) -> FunctionEvents:
+        body = getattr(self.info.node, "body", [])
+        self.walk_body(body, [], in_loop=False)
+        return self.events
+
+    def walk_body(
+        self, stmts: Sequence[ast.stmt], held: List[str], in_loop: bool
+    ) -> List[str]:
+        for stmt in stmts:
+            held = self.walk_stmt(stmt, held, in_loop)
+        return held
+
+    def walk_stmt(
+        self, stmt: ast.stmt, held: List[str], in_loop: bool
+    ) -> List[str]:
+        if isinstance(stmt, _NESTED_SCOPES):
+            return held
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in stmt.items:
+                lock_id = self.resolve_lock(item.context_expr)
+                if lock_id is not None:
+                    self._note_acquire(lock_id, item.context_expr, inner)
+                    inner.append(lock_id)
+                else:
+                    inner = self.scan_expr(item.context_expr, inner, in_loop)
+            self.walk_body(stmt.body, inner, in_loop)
+            return held
+        if isinstance(stmt, ast.If):
+            held = self.scan_expr(stmt.test, held, in_loop)
+            self.walk_body(stmt.body, list(held), in_loop)
+            self.walk_body(stmt.orelse, list(held), in_loop)
+            return held
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            held = self.scan_expr(stmt.iter, held, in_loop)
+            group_var = self._group_loop_var(stmt)
+            if group_var is not None:
+                self.group_vars.add(group_var)
+            self.walk_body(stmt.body, list(held), in_loop=True)
+            self.walk_body(stmt.orelse, list(held), in_loop)
+            if group_var is not None:
+                self.group_vars.discard(group_var)
+            return held
+        if isinstance(stmt, ast.While):
+            held = self.scan_expr(stmt.test, held, in_loop)
+            self.walk_body(stmt.body, list(held), in_loop=True)
+            self.walk_body(stmt.orelse, list(held), in_loop)
+            return held
+        if isinstance(stmt, ast.Try):
+            after_body = self.walk_body(stmt.body, list(held), in_loop)
+            for handler in stmt.handlers:
+                # the exception may fire anywhere in the body; the locks
+                # held at try-entry are definitely still held here
+                self.walk_body(handler.body, list(held), in_loop)
+            after_else = self.walk_body(stmt.orelse, list(after_body), in_loop)
+            return self.walk_body(stmt.finalbody, list(after_else), in_loop)
+        # simple statement: alias / write bookkeeping, then event scan
+        if isinstance(stmt, ast.Assign):
+            self._handle_assign(stmt, held)
+        elif isinstance(stmt, ast.AugAssign):
+            self._handle_target_write(stmt.target, held)
+            if isinstance(stmt.target, ast.Name):
+                self.aliases.pop(stmt.target.id, None)
+                self.sorted_locals.discard(stmt.target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._handle_target_write(stmt.target, held)
+        return self.scan_stmt(stmt, held, in_loop)
+
+    def _group_loop_var(self, stmt: ast.stmt) -> Optional[str]:
+        """The loop variable when iterating a sorted lock group."""
+        iter_expr = getattr(stmt, "iter", None)
+        target = getattr(stmt, "target", None)
+        if not isinstance(target, ast.Name) or iter_expr is None:
+            return None
+        if self._is_sorted_sequence(iter_expr):
+            return target.id
+        return None
+
+    def _is_sorted_sequence(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.sorted_locals
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in ("sorted", "reversed"):
+                if name == "sorted":
+                    return True
+                return any(self._is_sorted_sequence(arg) for arg in expr.args)
+        return False
+
+    def _contains_sorted_call(self, expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and call_name(node) == "sorted":
+                return True
+            if isinstance(node, ast.Name) and node.id in self.sorted_locals:
+                return True
+        return False
+
+    # -- simple-statement bookkeeping ---------------------------------- #
+    def _handle_assign(self, stmt: ast.Assign, held: List[str]) -> None:
+        lock_id = self.resolve_lock(stmt.value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                self.aliases.pop(target.id, None)
+                self.sorted_locals.discard(target.id)
+                if lock_id is not None:
+                    self.aliases[target.id] = lock_id
+                elif self._contains_sorted_call(stmt.value):
+                    self.sorted_locals.add(target.id)
+            else:
+                self._handle_target_write(target, held)
+
+    def _handle_target_write(self, target: ast.expr, held: List[str]) -> None:
+        chain = attribute_chain(target)
+        if chain is not None and len(chain) == 2 and chain[0] == "self":
+            self.events.writes.append(
+                WriteEvent(chain[1], target, tuple(held))
+            )
+
+    # -- event scan ---------------------------------------------------- #
+    def scan_stmt(
+        self, stmt: ast.stmt, held: List[str], in_loop: bool
+    ) -> List[str]:
+        for call in self._calls_in(stmt):
+            held = self._classify_call(call, held, in_loop)
+        return held
+
+    def scan_expr(
+        self, expr: ast.expr, held: List[str], in_loop: bool
+    ) -> List[str]:
+        for call in self._calls_in(expr):
+            held = self._classify_call(call, held, in_loop)
+        return held
+
+    def _calls_in(self, root: ast.AST) -> List[ast.Call]:
+        """Every call under ``root`` (nested scopes excluded), in order."""
+        calls: List[ast.Call] = []
+        queue: List[ast.AST] = [root]
+        while queue:
+            node = queue.pop()
+            if node is not root and isinstance(node, _NESTED_SCOPES):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            queue.extend(ast.iter_child_nodes(node))
+        calls.sort(
+            key=lambda c: (
+                getattr(c, "lineno", 0),
+                getattr(c, "col_offset", 0),
+            )
+        )
+        return calls
+
+    def _classify_call(
+        self, call: ast.Call, held: List[str], in_loop: bool
+    ) -> List[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            if method in ("acquire", "release"):
+                receiver = func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in self.group_vars
+                ):
+                    return held  # ordered-group member: acyclic by design
+                lock_id = self.resolve_lock(receiver)
+                if lock_id is not None:
+                    held = list(held)
+                    if method == "acquire":
+                        self._note_acquire(lock_id, call, held)
+                        held.append(lock_id)
+                    elif lock_id in held:
+                        held.reverse()
+                        held.remove(lock_id)
+                        held.reverse()
+                    return held
+            if method == "wait":
+                lock_id = self.resolve_lock(func.value)
+                if (
+                    lock_id is not None
+                    and self.model.decls[lock_id].kind == "condition"
+                ):
+                    bounded = bool(call.args) or any(
+                        kw.arg == "timeout" for kw in call.keywords
+                    )
+                    self.events.waits.append(
+                        WaitEvent(
+                            lock_id, call, tuple(held), in_loop, bounded
+                        )
+                    )
+                    return held
+            if method in _MUTATORS:
+                chain = attribute_chain(func.value)
+                if chain is not None and len(chain) == 2 and chain[0] == "self":
+                    self.events.writes.append(
+                        WriteEvent(chain[1], call, tuple(held))
+                    )
+        name = call_name(call)
+        imports = self.model.module_imports.get(self.info.path, frozenset())
+        if name == "Thread" and "threading" in imports:
+            self._note_spawn(call, "thread")
+            return held
+        if name in ("Process", "Pool") and "multiprocessing" in imports:
+            self._note_spawn(call, "process")
+            return held
+        chain = chain_through_calls(func)
+        self.events.calls.append(
+            CallEvent(call, chain, self.resolve_callee(func), tuple(held))
+        )
+        return held
+
+    def _note_acquire(
+        self, lock_id: str, node: ast.AST, held: List[str]
+    ) -> None:
+        self.events.acquires.append(
+            AcquireEvent(lock_id, node, tuple(held))
+        )
+
+    def _note_spawn(self, call: ast.Call, kind: str) -> None:
+        target_key: Optional[str] = None
+        bound_class: Optional[str] = None
+        captured: List[Tuple[str, ast.expr]] = []
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                target_key = self._resolve_spawn_target(keyword.value)
+                chain = attribute_chain(keyword.value)
+                if (
+                    chain is not None
+                    and len(chain) == 2
+                    and chain[0] == "self"
+                    and self.info.class_name is not None
+                    and self.model.locks_of_class(self.info.class_name)
+                ):
+                    bound_class = self.info.class_name
+            elif keyword.arg in ("args", "kwargs"):
+                captured.extend(self._locks_under(keyword.value))
+        for arg in call.args:
+            captured.extend(self._locks_under(arg))
+        self.model.spawns.append(
+            SpawnEvent(
+                call, self.info.path, kind, target_key, bound_class, captured
+            )
+        )
+
+    def _locks_under(self, expr: ast.expr) -> List[Tuple[str, ast.expr]]:
+        found: List[Tuple[str, ast.expr]] = []
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                lock_id = self.resolve_lock(node)
+                if lock_id is not None:
+                    found.append((lock_id, node))
+        return found
+
+
+# --------------------------------------------------------------------- #
+# the whole-package model
+# --------------------------------------------------------------------- #
+class LockModel:
+    """Package-wide lock declarations, events and the order graph."""
+
+    def __init__(self, index: SymbolIndex) -> None:
+        self.index = index
+        #: lock id -> declaration
+        self.decls: Dict[str, LockDecl] = {}
+        #: attribute name -> every class-level declaration using it
+        self.attr_decls: Dict[str, List[LockDecl]] = {}
+        #: function key -> recorded events
+        self.functions: Dict[str, FunctionEvents] = {}
+        #: module path -> imported top-level module names
+        self.module_imports: Dict[str, FrozenSet[str]] = {}
+        self.spawns: List[SpawnEvent] = []
+        #: thread entry points (targets + RequestHandler.handle methods)
+        self.thread_entries: Set[str] = set()
+        #: function key -> every lock it may acquire (transitively)
+        self.may_acquire: Dict[str, FrozenSet[str]] = {}
+        #: function key -> locks held at *every* in-package call site
+        self.callers_held: Dict[str, FrozenSet[str]] = {}
+        #: functions reachable from a thread entry -> entry-held locks
+        self.concurrent_entry_held: Dict[str, FrozenSet[str]] = {}
+        #: directed order edges with their acquisition sites
+        self.order_edges: Dict[Tuple[str, str], List[Site]] = {}
+        self.self_deadlocks: List[SelfDeadlock] = []
+
+    # -- lookups -------------------------------------------------------- #
+    def class_method(
+        self, class_name: Optional[str], path: str, method: str
+    ) -> Optional[FunctionInfo]:
+        if class_name is None:
+            return None
+        for cls_info in self.index.classes_named(class_name):
+            if cls_info.path == path and method in cls_info.methods:
+                return cls_info.methods[method]
+        return None
+
+    def locks_of_class(self, class_name: str) -> FrozenSet[str]:
+        return frozenset(
+            lock_id
+            for lock_id, decl in self.decls.items()
+            if decl.class_name == class_name
+        )
+
+    def module_spawns_thread(self, path: str) -> bool:
+        return any(
+            spawn.kind == "thread" and spawn.path == path
+            for spawn in self.spawns
+        )
+
+    def site_of(self, path: str, node: ast.AST) -> Site:
+        return Site(
+            path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+        )
+
+    # -- construction --------------------------------------------------- #
+    @classmethod
+    def build(cls, index: SymbolIndex) -> "LockModel":
+        model = cls(index)
+        model._collect_imports()
+        model._collect_decls()
+        model._walk_functions()
+        model._collect_entries()
+        model._fix_may_acquire()
+        model._build_order_graph()
+        model._fix_callers_held()
+        model._fix_concurrent()
+        return model
+
+    def _collect_imports(self) -> None:
+        for path, module in self.index.modules.items():
+            roots: Set[str] = set()
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        roots.add(alias.name.split(".")[0])
+                        if alias.asname is not None:
+                            roots.add(alias.asname)
+                elif isinstance(node, ast.ImportFrom):
+                    if node.module is not None:
+                        roots.add(node.module.split(".")[0])
+            self.module_imports[path] = frozenset(roots)
+
+    def _collect_decls(self) -> None:
+        for cls_info in self.index.all_classes():
+            for stmt in cls_info.node.body:
+                if isinstance(stmt, ast.Assign):
+                    self._try_decl(cls_info, stmt.targets, stmt.value, None)
+            for method in cls_info.methods.values():
+                for node in ast.walk(method.node):
+                    if isinstance(node, ast.Assign):
+                        self._try_decl(
+                            cls_info, node.targets, node.value, "self"
+                        )
+
+    def _try_decl(
+        self,
+        cls_info: ClassInfo,
+        targets: Sequence[ast.expr],
+        value: ast.expr,
+        base: Optional[str],
+    ) -> None:
+        factory = self._lock_factory(value)
+        if factory is None:
+            return
+        kind, reentrant = factory
+        for target in targets:
+            attr: Optional[str] = None
+            if base is None and isinstance(target, ast.Name):
+                attr = target.id
+            elif (
+                base is not None
+                and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == base
+            ):
+                attr = target.attr
+            if attr is None:
+                continue
+            decl = LockDecl(
+                cls_info.name,
+                attr,
+                kind,
+                reentrant,
+                cls_info.path,
+                getattr(target, "lineno", 1),
+            )
+            existing = self.decls.get(decl.lock_id)
+            if existing is None:
+                self.decls[decl.lock_id] = decl
+                self.attr_decls.setdefault(attr, []).append(decl)
+            elif existing.reentrant != reentrant:
+                # Two same-named classes (different modules) disagree on
+                # the factory: the identity is ambiguous, so claim only
+                # what both agree on — treat it as reentrant and never
+                # report a self-deadlock for it.
+                self.decls[decl.lock_id] = dataclasses.replace(
+                    existing, reentrant=True
+                )
+
+    def _lock_factory(self, value: ast.expr) -> Optional[Tuple[str, bool]]:
+        if not isinstance(value, ast.Call):
+            return None
+        chain = attribute_chain(value.func)
+        if chain is None or chain[-1] not in _LOCK_FACTORIES:
+            return None
+        if len(chain) > 1 and chain[0] not in _LOCK_MODULES:
+            return None
+        kind, reentrant = _LOCK_FACTORIES[chain[-1]]
+        if kind == "condition" and value.args:
+            inner = value.args[0]
+            if isinstance(inner, ast.Call):
+                inner_chain = attribute_chain(inner.func)
+                if inner_chain is not None and inner_chain[-1] == "Lock":
+                    reentrant = False
+        return (kind, reentrant)
+
+    def _walk_functions(self) -> None:
+        for info in sorted(
+            self.index.all_functions(), key=lambda f: (f.path, f.qualname)
+        ):
+            key = function_key(info)
+            if key in self.functions:
+                continue
+            self.functions[key] = _FunctionWalker(self, info).walk()
+
+    def _collect_entries(self) -> None:
+        for spawn in self.spawns:
+            if spawn.kind == "thread" and spawn.target_key is not None:
+                self.thread_entries.add(spawn.target_key)
+        for cls_info in self.index.all_classes():
+            if not self._is_handler_class(cls_info):
+                continue
+            handle = cls_info.methods.get("handle")
+            if handle is not None:
+                self.thread_entries.add(function_key(handle))
+        self.thread_entries = {
+            key for key in self.thread_entries if key in self.functions
+        }
+
+    @staticmethod
+    def _is_handler_class(cls_info: ClassInfo) -> bool:
+        for base in cls_info.node.bases:
+            chain = attribute_chain(base)
+            if chain is not None and "RequestHandler" in chain[-1]:
+                return True
+        return False
+
+    def _fix_may_acquire(self) -> None:
+        may: Dict[str, Set[str]] = {
+            key: {event.lock for event in events.acquires}
+            for key, events in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, events in self.functions.items():
+                for call in events.calls:
+                    if call.callee is None or call.callee not in may:
+                        continue
+                    extra = may[call.callee] - may[key]
+                    if extra:
+                        may[key].update(extra)
+                        changed = True
+        self.may_acquire = {
+            key: frozenset(locks) for key, locks in may.items()
+        }
+
+    def _build_order_graph(self) -> None:
+        for key in sorted(self.functions):
+            events = self.functions[key]
+            path = events.info.path
+            for acquire in events.acquires:
+                site = self.site_of(path, acquire.node)
+                if acquire.lock in acquire.held:
+                    decl = self.decls[acquire.lock]
+                    if not decl.reentrant:
+                        self.self_deadlocks.append(
+                            SelfDeadlock(
+                                acquire.lock,
+                                acquire.node,
+                                path,
+                                "re-acquired directly while already held",
+                            )
+                        )
+                for held in dict.fromkeys(acquire.held):
+                    if held != acquire.lock:
+                        self.order_edges.setdefault(
+                            (held, acquire.lock), []
+                        ).append(site)
+            for call in events.calls:
+                if call.callee is None or not call.held:
+                    continue
+                acquired = self.may_acquire.get(call.callee, frozenset())
+                if not acquired:
+                    continue
+                site = self.site_of(path, call.node)
+                held_set = set(call.held)
+                for lock in sorted(acquired):
+                    decl = self.decls[lock]
+                    if lock in held_set:
+                        if not decl.reentrant:
+                            self.self_deadlocks.append(
+                                SelfDeadlock(
+                                    lock,
+                                    call.node,
+                                    path,
+                                    "re-acquired through the call "
+                                    f"'{call.callee.rsplit('::', 1)[-1]}'",
+                                )
+                            )
+                        continue
+                    for held in dict.fromkeys(call.held):
+                        if held != lock:
+                            self.order_edges.setdefault(
+                                (held, lock), []
+                            ).append(site)
+
+    def _fix_callers_held(self) -> None:
+        """Intersection of held sets across every in-package call site.
+
+        Only private (underscore-named) helpers participate: a public
+        function is externally callable with no locks held, so its
+        callers-held is pinned to the empty set up front.
+        """
+        has_callers: Set[str] = set()
+        for events in self.functions.values():
+            for call in events.calls:
+                if call.callee is not None:
+                    has_callers.add(call.callee)
+        state: Dict[str, Optional[FrozenSet[str]]] = {}
+        for key, events in self.functions.items():
+            private = events.info.name.startswith("_")
+            is_root = (
+                not private
+                or key not in has_callers
+                or key in self.thread_entries
+            )
+            state[key] = frozenset() if is_root else None
+        changed = True
+        while changed:
+            changed = False
+            for key, events in self.functions.items():
+                base = state[key]
+                if base is None:
+                    continue
+                for call in events.calls:
+                    callee = call.callee
+                    if callee is None or callee not in state:
+                        continue
+                    contribution = base | frozenset(call.held)
+                    current = state[callee]
+                    merged = (
+                        contribution
+                        if current is None
+                        else current & contribution
+                    )
+                    if merged != current:
+                        state[callee] = merged
+                        changed = True
+        self.callers_held = {
+            key: (value if value is not None else frozenset())
+            for key, value in state.items()
+        }
+
+    def _fix_concurrent(self) -> None:
+        """Entry-held locks for functions reachable from thread entries."""
+        state: Dict[str, FrozenSet[str]] = {
+            key: frozenset() for key in self.thread_entries
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key in list(state):
+                events = self.functions.get(key)
+                if events is None:
+                    continue
+                base = state[key]
+                for call in events.calls:
+                    callee = call.callee
+                    if callee is None or callee not in self.functions:
+                        continue
+                    contribution = base | frozenset(call.held)
+                    if callee not in state:
+                        state[callee] = contribution
+                        changed = True
+                        continue
+                    merged = state[callee] & contribution
+                    if merged != state[callee]:
+                        state[callee] = merged
+                        changed = True
+        self.concurrent_entry_held = state
+
+
+_MODEL_CACHE: "WeakKeyDictionary[SymbolIndex, LockModel]" = (
+    WeakKeyDictionary()
+)
+
+
+def lock_model(package: PackageContext) -> LockModel:
+    """The (memoized) lock model for one linted package."""
+    cached = _MODEL_CACHE.get(package.index)
+    if cached is None:
+        cached = LockModel.build(package.index)
+        _MODEL_CACHE[package.index] = cached
+    return cached

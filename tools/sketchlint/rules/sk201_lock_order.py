@@ -1,0 +1,125 @@
+"""SK201 — lock-acquisition order must be acyclic (no ABBA deadlocks).
+
+Two code paths that acquire the same pair of locks in opposite order can
+deadlock the moment they run concurrently: thread one holds A and waits
+for B while thread two holds B and waits for A.  The service layer's
+convention is a single global order — ``SketchServer._handle_query``
+sorts the aggregate locks by name before acquiring them, which the
+:mod:`~tools.sketchlint.lockgraph` model recognizes as an *ordered
+group* (no order edges, acyclic by construction).
+
+The rule reports every directed edge that participates in a cycle of
+the whole-package acquisition-order graph.  For an opposite-order pair
+both acquisition sites are reported — one violation per direction, each
+naming the conflicting site — so a SARIF consumer sees both halves of
+the ABBA pattern.  It also reports *self* deadlocks: a non-reentrant
+``Lock`` (or a ``Condition`` wrapping one) acquired again — directly or
+through a callee — while already held.  Re-entrant ``RLock``/bare
+``Condition`` self-edges are fine and stay silent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.lockgraph import Site, lock_model
+
+
+def _first(sites: List[Site]) -> Site:
+    return sorted(sites, key=lambda s: (s.path, s.line, s.column))[0]
+
+
+def _reaches(
+    edges: Dict[Tuple[str, str], List[Site]], start: str, goal: str
+) -> bool:
+    """Is ``goal`` reachable from ``start`` over the order edges?"""
+    seen: Set[str] = set()
+    stack: List[str] = [start]
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(b for (a, b) in edges if a == node)
+    return False
+
+
+class LockOrderCycleRule(PackageRule):
+    """SK201: opposite-order pair acquisition and self-deadlocks."""
+
+    code = "SK201"
+    summary = "lock-acquisition order must be acyclic (single global order)"
+    description = (
+        "Builds the whole-package lock-acquisition-order graph (an edge "
+        "A->B for every site acquiring B while holding A, directly or "
+        "through a callee) and reports every edge on a cycle: two paths "
+        "taking the same pair of locks in opposite order can deadlock "
+        "under concurrency. Both acquisition sites of an opposite-order "
+        "pair are reported. Non-reentrant locks re-acquired while held "
+        "(self-deadlock) are reported too; RLock/bare-Condition "
+        "re-entries and name-sorted ordered-group acquisition are "
+        "recognized as safe."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        model = lock_model(package)
+        edges = model.order_edges
+        reported: Set[Tuple[str, str]] = set()
+        for a, b in sorted(edges):
+            if (a, b) in reported or (b, a) not in edges:
+                continue
+            reported.add((a, b))
+            reported.add((b, a))
+            site_ab = _first(edges[(a, b)])
+            site_ba = _first(edges[(b, a)])
+            yield self._edge_violation(a, b, site_ab, site_ba)
+            yield self._edge_violation(b, a, site_ba, site_ab)
+        for a, b in sorted(edges):
+            if (a, b) in reported:
+                continue
+            if not _reaches(edges, b, a):
+                continue
+            reported.add((a, b))
+            site = _first(edges[(a, b)])
+            yield Violation(
+                code=self.code,
+                message=(
+                    f"lock-order cycle: '{b}' is acquired while holding "
+                    f"'{a}' here, and a chain of acquisitions leads from "
+                    f"'{b}' back to '{a}'; pick one global order"
+                ),
+                path=site.path,
+                line=site.line,
+                column=site.column,
+            )
+        for deadlock in model.self_deadlocks:
+            yield Violation(
+                code=self.code,
+                message=(
+                    f"self-deadlock: non-reentrant lock '{deadlock.lock}' "
+                    f"is {deadlock.detail}; use an RLock or drop the "
+                    "inner acquisition"
+                ),
+                path=deadlock.path,
+                line=getattr(deadlock.node, "lineno", 1),
+                column=getattr(deadlock.node, "col_offset", 0),
+            )
+
+    def _edge_violation(
+        self, held: str, acquired: str, site: Site, opposite: Site
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            message=(
+                f"lock-order cycle: '{acquired}' is acquired while "
+                f"holding '{held}' here, but '{held}' is acquired while "
+                f"holding '{acquired}' at {opposite.render()}; acquire "
+                "both in one global (e.g. name-sorted) order"
+            ),
+            path=site.path,
+            line=site.line,
+            column=site.column,
+        )

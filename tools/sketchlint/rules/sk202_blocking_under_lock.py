@@ -1,0 +1,136 @@
+"""SK202 — no blocking calls while holding a lock.
+
+A lock region is a convoy: every thread that wants the lock waits for
+the holder, so the holder must not block on anything slower than memory.
+Socket I/O, ``time.sleep``, unbounded ``queue.put``/``get``, ``fsync``,
+subprocess waits and timeout-less ``join()`` calls inside a held region
+turn one slow peer into a server-wide stall — exactly the failure mode
+the service layer's bounded-admission design exists to prevent.
+
+``Condition.wait()`` on the *held* condition is the one legitimate
+"block under lock": waiting releases the condition's own lock.  Waiting
+while holding any *other* lock is still reported (those are not
+released).  Held regions come from the :mod:`~tools.sketchlint.lockgraph`
+model, so a private helper only ever called with a lock held (the
+callers-held intersection) is checked too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.lockgraph import CallEvent, lock_model
+
+#: method/function names that block on the network or the disk
+_BLOCKING_IO = frozenset(
+    {
+        "accept",
+        "connect",
+        "create_connection",
+        "fsync",
+        "recv",
+        "recv_into",
+        "recvfrom",
+        "recv_message",
+        "select",
+        "send",
+        "sendall",
+        "sendto",
+        "send_message",
+    }
+)
+
+#: subprocess entry points that wait for the child
+_SUBPROCESS_WAITS = frozenset(
+    {"call", "check_call", "check_output", "communicate", "run"}
+)
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+def _blocks(event: CallEvent) -> Optional[str]:
+    """Why this call blocks, or None when it does not."""
+    chain = event.chain
+    if not chain:
+        return None
+    last = chain[-1]
+    call = event.node
+    if last in _BLOCKING_IO:
+        return f"'{'.'.join(chain)}' blocks on I/O"
+    if last == "sleep":
+        return f"'{'.'.join(chain)}' stalls every waiter"
+    if last == "join" and not call.args and not _has_timeout(call):
+        return f"'{'.'.join(chain)}' waits without a timeout"
+    if last in ("put", "get"):
+        if not any("queue" in part.lower() for part in chain[:-1]):
+            return None
+        if _has_timeout(call):
+            return None
+        if any(
+            kw.arg == "block"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in call.keywords
+        ):
+            return None
+        return f"'{'.'.join(chain)}' blocks without a timeout"
+    if last in _SUBPROCESS_WAITS and chain[0] == "subprocess":
+        return f"'{'.'.join(chain)}' waits for a child process"
+    return None
+
+
+def _render_held(held: FrozenSet[str]) -> str:
+    return ", ".join(f"'{lock}'" for lock in sorted(held))
+
+
+class BlockingUnderLockRule(PackageRule):
+    """SK202: lock regions must not perform blocking calls."""
+
+    code = "SK202"
+    summary = "no blocking I/O, sleeps or unbounded waits inside a lock region"
+    description = (
+        "Socket send/recv/accept/connect, time.sleep, fsync, select, "
+        "subprocess waits, timeout-less join() and unbounded queue "
+        "put/get must not run while a lock is held: every other thread "
+        "needing the lock inherits the stall. Held regions are tracked "
+        "lexically through with-blocks and acquire/release pairs, and "
+        "interprocedurally into private helpers only ever called under "
+        "a lock. Condition.wait() on the held condition itself is "
+        "exempt (waiting releases that lock), but waiting while holding "
+        "any other lock is reported."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        model = lock_model(package)
+        for key in sorted(model.functions):
+            events = model.functions[key]
+            base = model.callers_held.get(key, frozenset())
+            for event in events.calls:
+                held = base | frozenset(event.held)
+                if not held:
+                    continue
+                reason = _blocks(event)
+                if reason is None:
+                    continue
+                yield self.violation_at(
+                    events.info.path,
+                    event.node,
+                    f"{reason} while holding {_render_held(held)}; move "
+                    "it outside the lock region or bound it with a "
+                    "timeout",
+                )
+            for wait in events.waits:
+                others = (base | frozenset(wait.held)) - {wait.lock}
+                if not others:
+                    continue
+                yield self.violation_at(
+                    events.info.path,
+                    wait.node,
+                    f"Condition.wait() on '{wait.lock}' releases only "
+                    f"its own lock; still holding {_render_held(others)} "
+                    "while blocked",
+                )

@@ -1,0 +1,78 @@
+"""SK203 — shared attributes written from thread-reachable code need a lock.
+
+A class that owns locks has declared its instances shared; once a method
+is reachable from a thread entry point (a ``threading.Thread(target=...)``
+site or a ``socketserver`` ``RequestHandler.handle``), every
+``self.<attr>`` store or in-place mutation it performs races with the
+other threads unless one of the class's own locks is held.
+
+Reachability and held sets come from the
+:mod:`~tools.sketchlint.lockgraph` model: the rule follows the call
+graph out of the thread entries and intersects the locks held across
+every concurrent call path, so a helper that is only ever invoked under
+the right lock stays silent.  ``__init__`` is exempt (the instance has
+not escaped yet), as are the ``_observe``/``_record*`` recorder helpers
+the observability convention already treats as special — their lazy
+memo writes are idempotent by construction (racing initializations
+resolve to the same registry-owned instrument).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.lockgraph import lock_model
+
+
+def _exempt(name: str) -> bool:
+    return (
+        name == "__init__" or name == "_observe" or name.startswith("_record")
+    )
+
+
+class UnguardedSharedWriteRule(PackageRule):
+    """SK203: thread-reachable writes must hold an owning-class lock."""
+
+    code = "SK203"
+    summary = "shared attribute written from a thread without its owning lock"
+    description = (
+        "In a class that declares locks, any self.<attr> assignment or "
+        "in-place mutation (append/add/update/...) executed by a method "
+        "reachable from a threading.Thread target or a socketserver "
+        "handler must happen while one of the class's locks is held — "
+        "otherwise concurrent requests race on the shared state. "
+        "Escape analysis follows Thread(target=...) and handle() entry "
+        "points through the call graph; locks held at every concurrent "
+        "call site of a helper count as held inside it. __init__ and "
+        "the _observe/_record* recorder helpers are exempt."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        model = lock_model(package)
+        for key in sorted(model.concurrent_entry_held):
+            events = model.functions.get(key)
+            if events is None:
+                continue
+            info = events.info
+            if info.class_name is None or _exempt(info.name):
+                continue
+            class_locks = model.locks_of_class(info.class_name)
+            if not class_locks:
+                continue
+            base = model.concurrent_entry_held[key]
+            for write in events.writes:
+                if f"{info.class_name}.{write.attr}" in model.decls:
+                    continue  # assigning the lock attribute itself
+                held = base | frozenset(write.held)
+                if held & class_locks:
+                    continue
+                locks = ", ".join(f"'{lock}'" for lock in sorted(class_locks))
+                yield self.violation_at(
+                    info.path,
+                    write.node,
+                    f"'self.{write.attr}' is written from "
+                    f"'{info.qualname}', which runs on a service thread, "
+                    f"without holding any lock of '{info.class_name}' "
+                    f"({locks}); guard the write",
+                )

@@ -1,0 +1,78 @@
+"""SK204 — fork safety: processes and threads must not mix carelessly.
+
+``fork()`` clones exactly one thread.  Any lock another thread happened
+to hold at fork time is copied into the child permanently locked, and no
+thread exists to release it — the classic post-fork deadlock.  Three
+concrete hazards are reported:
+
+* a module that creates ``threading.Thread`` workers *and* spawns
+  ``multiprocessing`` children: under the default ``fork`` start method
+  the child inherits whatever lock states the threads left behind;
+* a ``threading`` lock/Condition passed into a child process through
+  ``Process(args=...)`` — the child gets a pickled/forked copy whose
+  state is meaningless (and ``threading`` primitives do not synchronize
+  across processes at all);
+* a *bound method* of a lock-owning class used as the child's
+  ``target=`` — the instance, its locks and everything they guard are
+  dragged across the fork boundary.
+
+The sharded ingestion runtime stays clean by construction: module-level
+worker functions, queue-only arguments, and no threads in the spawning
+module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.lockgraph import lock_model
+
+
+class ForkSafetyRule(PackageRule):
+    """SK204: no fork-after-thread, no locks across the fork boundary."""
+
+    code = "SK204"
+    summary = "fork-after-thread hazard or lock captured into a child process"
+    description = (
+        "Spawning multiprocessing workers from a module that also "
+        "starts threads risks the classic post-fork deadlock (a forked "
+        "child inherits locks mid-held by other threads). Passing a "
+        "threading lock or Condition into Process(args=...), or using a "
+        "bound method of a lock-owning class as the child target, "
+        "carries lock state across the fork/pickle boundary where it "
+        "cannot synchronize anything. Spawn children from thread-free "
+        "modules, with module-level targets and queue/pipe arguments."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        model = lock_model(package)
+        for spawn in model.spawns:
+            if spawn.kind != "process":
+                continue
+            if model.module_spawns_thread(spawn.path):
+                yield self.violation_at(
+                    spawn.path,
+                    spawn.node,
+                    "child process spawned from a module that also "
+                    "starts threads; under the default fork start "
+                    "method the child inherits locks held by those "
+                    "threads — spawn workers from a thread-free module",
+                )
+            for lock_id, expr in spawn.captured_locks:
+                yield self.violation_at(
+                    spawn.path,
+                    expr,
+                    f"lock '{lock_id}' is passed into a child process; "
+                    "threading primitives do not synchronize across "
+                    "processes — pass a queue/pipe instead",
+                )
+            if spawn.bound_target_class is not None:
+                yield self.violation_at(
+                    spawn.path,
+                    spawn.node,
+                    "child-process target is a bound method of "
+                    f"'{spawn.bound_target_class}', which owns locks; "
+                    "the instance and its lock state cross the fork "
+                    "boundary — use a module-level worker function",
+                )

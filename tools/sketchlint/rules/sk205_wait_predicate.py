@@ -1,0 +1,54 @@
+"""SK205 — ``Condition.wait()`` must sit in a predicate re-check loop.
+
+``wait()`` can return for reasons other than the predicate becoming
+true: spurious wakeups are permitted by the underlying primitives,
+``notify_all`` wakes every waiter though only one can consume the
+state change, and a timeout expiry returns with the predicate still
+false.  The only correct shape is the classic loop::
+
+    with cond:
+        while not predicate():
+            cond.wait(timeout=...)
+
+An ``if``-guarded (or bare) wait acts on stale state after waking.
+``wait_for`` embeds the loop and is always fine.  The drain loop in
+``SketchServer.close`` — ``while self._inflight > 0: ...wait(...)`` —
+is the in-repo reference for the pattern this rule enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.lockgraph import lock_model
+
+
+class ConditionWaitLoopRule(PackageRule):
+    """SK205: every Condition.wait() needs an enclosing predicate loop."""
+
+    code = "SK205"
+    summary = "Condition.wait() outside a predicate re-check loop"
+    description = (
+        "Condition variables wake spuriously, notify_all over-wakes, "
+        "and timeouts expire with the predicate still false — wait() "
+        "must be wrapped in `while not predicate(): cond.wait(...)`, "
+        "never in a plain `if` or a bare call. wait_for() embeds the "
+        "re-check loop and is exempt."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        model = lock_model(package)
+        for key in sorted(model.functions):
+            events = model.functions[key]
+            for wait in events.waits:
+                if wait.in_loop:
+                    continue
+                yield self.violation_at(
+                    events.info.path,
+                    wait.node,
+                    f"wait() on '{wait.lock}' is not wrapped in a "
+                    "predicate re-check loop; use `while not "
+                    "predicate(): cond.wait(...)` (or wait_for) so "
+                    "spurious wakeups and timeouts re-test the state",
+                )

@@ -1,0 +1,100 @@
+"""SK206 — no metrics/trace recording inside a lock region.
+
+The observability layer promises ~1% overhead when disabled and "cheap
+enough to leave on" when enabled — but a recorder call under a hot lock
+multiplies its cost by every thread queued on that lock, and a trace
+sink that blocks (file, socket) turns the lock region into SK202's
+convoy.  The service layer already follows the convention by hand:
+snapshot state under the lock, release, *then* record (see
+``SketchServer._dispatch`` and ``_handle_push``).  This rule generalizes
+that convention with the SK102 recorder-call vocabulary on top of the
+:mod:`~tools.sketchlint.lockgraph` held-region model.
+
+The ``_observe``/``_record*`` helpers themselves stay exempt — they are
+the recording implementation, and the convention is enforced at their
+call sites instead.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from tools.sketchlint.engine import PackageContext, PackageRule, Violation
+from tools.sketchlint.lockgraph import lock_model
+
+#: module aliases whose calls are observability recording (as in SK102)
+_OBS_ROOTS = frozenset({"_obs", "obs", "observability"})
+
+#: control-plane entry points recording rules never flag (as in SK102)
+_CONTROL_PLANE = frozenset(
+    {"enabled", "disabled", "configure", "snapshot", "reset", "registry"}
+)
+
+
+def _is_recording(chain: Optional[List[str]]) -> bool:
+    if not chain:
+        return False
+    if chain[-1] in _CONTROL_PLANE:
+        return False
+    if chain[0] in _OBS_ROOTS:
+        return True
+    if any(part in ("_sink", "_trace") for part in chain) and (
+        chain[-1] == "emit"
+    ):
+        return True
+    if chain[0] == "self":
+        return any(
+            part == "_observe" or part.startswith("_record")
+            for part in chain[1:]
+        )
+    return False
+
+
+class RecordUnderLockRule(PackageRule):
+    """SK206: record after releasing, never inside the lock region."""
+
+    code = "SK206"
+    summary = "metrics/trace recording inside a lock region"
+    description = (
+        "Recorder and trace-sink calls (self._observe().*, "
+        "self._record*, self._sink().emit, _obs.*) must not run while a "
+        "lock is held: the recording cost is paid by every thread "
+        "queued on the lock, and a blocking sink turns the region into "
+        "a convoy. Snapshot the state under the lock, release, then "
+        "record — the convention the service layer follows by hand. "
+        "Held regions include private helpers only ever called under a "
+        "lock."
+    )
+
+    def check_package(self, package: PackageContext) -> Iterator[Violation]:
+        model = lock_model(package)
+        seen: Set[Tuple[str, int, int]] = set()
+        for key in sorted(model.functions):
+            events = model.functions[key]
+            name = events.info.name
+            if name == "_observe" or name.startswith("_record"):
+                continue
+            base: FrozenSet[str] = model.callers_held.get(key, frozenset())
+            for event in events.calls:
+                held = base | frozenset(event.held)
+                if not held:
+                    continue
+                if not _is_recording(event.chain):
+                    continue
+                # a chained recorder (``_obs.counter(...).inc()``) matches
+                # both the inner and the outer call at one source position
+                spot = (
+                    events.info.path,
+                    event.node.lineno,
+                    event.node.col_offset,
+                )
+                if spot in seen:
+                    continue
+                seen.add(spot)
+                locks = ", ".join(f"'{lock}'" for lock in sorted(held))
+                yield self.violation_at(
+                    events.info.path,
+                    event.node,
+                    f"recording call while holding {locks}; snapshot "
+                    "under the lock and record after releasing it",
+                )
